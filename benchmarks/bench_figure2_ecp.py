@@ -1,0 +1,37 @@
+"""Regenerates the Figure 2 rows for the 11 ECP proxy applications.
+
+Paper shape (Sec. 3.2): "the user would be advised to switch to LLVM or
+GNU in almost all cases", average speedup 1.65x (median 1.09x), with
+XSBench's 6.7x Polly win the salient cell.
+"""
+
+from repro.analysis import benchmark_gains, figure2, suite_summary
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("ecp"),))
+
+
+def test_figure2_ecp(benchmark):
+    result = benchmark(_regenerate)
+    print()
+    print(figure2(result).render())
+
+    summary = suite_summary(result, "ecp")
+    assert 1.40 <= summary.mean_gain <= 1.95  # paper: 1.65x
+    assert 1.02 <= summary.median_gain <= 1.22  # paper: 1.09x
+
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    xs = gains["ecp.xsbench"]
+    assert 5.4 <= xs.best_gain <= 8.0  # paper: 6.7x
+    assert xs.best_variant == "LLVM+Polly"
+
+    # "switch to LLVM or GNU in almost all cases"
+    non_fujitsu_wins = sum(
+        1
+        for g in gains.values()
+        if g.best_variant in ("LLVM", "LLVM+Polly", "GNU") or g.best_gain < 1.05
+    )
+    assert non_fujitsu_wins >= 9

@@ -1,0 +1,29 @@
+"""Regenerates the Figure 2 rows for the 8 RIKEN Fiber mini-apps.
+
+Paper shape (Sec. 3.2): "With a few exceptions, like FFB and mVMC,
+Fujitsu dominates the other compilers on Fiber mini-apps, which is
+consistent with the Micro Kernel results".
+"""
+
+from repro.analysis import benchmark_gains, figure2
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("fiber"),))
+
+
+def test_figure2_fiber(benchmark):
+    result = benchmark(_regenerate)
+    print()
+    print(figure2(result).render())
+
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    # Fujitsu (near-)best on most of the suite
+    fj_dominant = sum(1 for g in gains.values() if g.best_gain <= 1.05)
+    assert fj_dominant >= 5
+
+    # the two named exceptions
+    assert gains["fiber.ffb"].best_gain > 1.2
+    assert gains["fiber.mvmc"].best_gain > 1.2

@@ -1,0 +1,38 @@
+"""Regenerates the Figure 2 rows for the 22 RIKEN micro kernels.
+
+Paper shape (Sec. 3.1): FJtrad wins nearly everywhere (co-design);
+only GNU noticeably beats it, on 4 of 22; GNU also produces 6 runtime
+errors, and Kernel 22 carries a compiler-error cell.
+"""
+
+from repro.analysis import benchmark_gains, figure2, suite_summary
+from repro.harness import STATUS_COMPILE_ERROR, STATUS_RUNTIME_ERROR, run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("micro"),))
+
+
+def test_figure2_micro(benchmark):
+    result = benchmark(_regenerate)
+    fig = figure2(result)
+    print()
+    print(fig.render())
+
+    summary = suite_summary(result, "micro")
+    assert 1.10 <= summary.mean_gain <= 1.26  # paper: 17% average
+    assert summary.median_gain <= 1.03  # paper: 0% median
+    assert 2.0 <= summary.peak_gain <= 2.9  # paper: 2.4x peak
+
+    gnu_wins = [
+        g
+        for g in benchmark_gains(result)
+        if g.best_variant == "GNU" and g.best_gain > 1.1
+    ]
+    assert len(gnu_wins) == 4
+
+    statuses = [r.status for r in result.records.values()]
+    assert statuses.count(STATUS_RUNTIME_ERROR) == 6
+    assert statuses.count(STATUS_COMPILE_ERROR) == 1
+    assert result.get("micro.k22", "FJclang").status == STATUS_COMPILE_ERROR

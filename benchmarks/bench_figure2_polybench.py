@@ -1,0 +1,34 @@
+"""Regenerates the Figure 2 rows for the 30 PolyBench kernels.
+
+Paper shape (Sec. 3.1): "the roles reverse, with LLVM+Polly showing the
+best results, followed by FJclang in some cases"; median best-compiler
+speedup 3.8x; mvt > 250,000x via the polyhedral configuration.
+"""
+
+from repro.analysis import benchmark_gains, figure2, suite_summary
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("polybench"),))
+
+
+def test_figure2_polybench(benchmark):
+    result = benchmark(_regenerate)
+    print()
+    print(figure2(result).render())
+
+    summary = suite_summary(result, "polybench")
+    assert 2.6 <= summary.median_gain <= 5.2  # paper: 3.8x
+
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    assert gains["polybench.mvt"].best_gain > 250_000
+    assert gains["polybench.mvt"].best_variant == "LLVM+Polly"
+
+    llvm_family_wins = sum(
+        1
+        for g in gains.values()
+        if g.best_variant in ("LLVM", "LLVM+Polly") and g.best_gain > 1.05
+    )
+    assert llvm_family_wins >= 12

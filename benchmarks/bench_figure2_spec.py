@@ -1,0 +1,42 @@
+"""Regenerates the Figure 2 rows for SPEC CPU [speed] and SPEC OMP.
+
+Paper shape (Sec. 3.3): FJtrad beats the clang-based compilers on the
+integer codes while GNU almost universally beats FJtrad there; GNU is
+the worst choice for the multi-threaded FP codes; kdtree shows a 16.5x
+best-compiler win.
+"""
+
+from repro.analysis import benchmark_gains, figure2
+from repro.analysis.report import SPEC_INT
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("spec_cpu"), get_suite("spec_omp")))
+
+
+def test_figure2_spec(benchmark):
+    result = benchmark(_regenerate)
+    print()
+    print(figure2(result).render())
+
+    # integer-half ordering: GNU > FJtrad > clang-based
+    gnu_beats_fj = 0
+    fj_beats_clang = 0
+    for bench in SPEC_INT:
+        fj = result.get(bench, "FJtrad").best_s
+        if result.get(bench, "GNU").best_s < fj * 0.98:
+            gnu_beats_fj += 1
+        clang_best = min(
+            result.get(bench, "LLVM").best_s, result.get(bench, "FJclang").best_s
+        )
+        if fj < clang_best * 1.02:
+            fj_beats_clang += 1
+    assert gnu_beats_fj >= 8
+    assert fj_beats_clang >= 8
+
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    kdtree = gains["spec_omp.376.kdtree"]
+    assert 12.0 <= kdtree.best_gain <= 21.0  # paper: 16.5x
+    assert kdtree.best_variant in ("LLVM", "LLVM+Polly", "FJclang")

@@ -1,0 +1,30 @@
+"""Regenerates the Figure 2 rows for HPL, HPCG, and BabelStream.
+
+Paper shape (Sec. 3.2): HPL moves only ~5% (SSL2 dominates); Babel-
+Stream shows the largest switch gain, up to 51% lower runtime with
+LLVM or GNU.
+"""
+
+from repro.analysis import benchmark_gains, figure2
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("top500"),))
+
+
+def test_figure2_top500(benchmark):
+    result = benchmark(_regenerate)
+    print()
+    print(figure2(result).render())
+
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    assert 1.02 <= gains["top500.hpl"].best_gain <= 1.10
+    # 51% lower runtime == 2.04x; "up to" -> accept 1.3x..2.04x
+    stream = gains["top500.babelstream"]
+    assert 1.30 <= stream.best_gain <= 2.04
+    assert stream.best_variant in ("LLVM", "GNU", "FJclang")
+    # BabelStream's famous run-to-run variability (CV up to 22%)
+    cvs = [result.get("top500.babelstream", v).cv for v in result.variants()]
+    assert max(cvs) > 0.05

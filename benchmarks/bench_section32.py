@@ -1,0 +1,35 @@
+"""Regenerates the Section 3.2 statistics (TOP500 metrics, ECP, Fiber).
+
+Paper values: HPL ~5% (SSL2-bound); BabelStream up to 51% lower
+runtime; ECP average 1.65x / median 1.09x with XSBench at 6.7x;
+Fujitsu dominates Fiber with FFB and mVMC the exceptions.
+"""
+
+from repro.analysis import benchmark_gains, suite_summary
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(
+        suites=(get_suite("top500"), get_suite("ecp"), get_suite("fiber"))
+    )
+
+
+def test_section32_statistics(benchmark):
+    result = benchmark(_regenerate)
+    gains = {g.benchmark: g.best_gain for g in benchmark_gains(result)}
+    ecp = suite_summary(result, "ecp")
+    print()
+    print(f"HPL gain:         {gains['top500.hpl']:.3f} (paper ~1.05)")
+    print(f"BabelStream gain: {gains['top500.babelstream']:.3f} (paper <= 2.04)")
+    print(f"ECP:              {ecp}")
+    print(f"XSBench gain:     {gains['ecp.xsbench']:.2f} (paper 6.7)")
+
+    assert 1.02 <= gains["top500.hpl"] <= 1.10
+    assert 1.30 <= gains["top500.babelstream"] <= 2.04
+    assert 1.40 <= ecp.mean_gain <= 1.95
+    assert 1.02 <= ecp.median_gain <= 1.22
+    assert 5.4 <= gains["ecp.xsbench"] <= 8.0
+    assert gains["fiber.ffb"] > 1.2
+    assert gains["fiber.mvmc"] > 1.2

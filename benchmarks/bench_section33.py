@@ -1,0 +1,35 @@
+"""Regenerates the Section 3.3 statistics (SPEC CPU + SPEC OMP).
+
+Paper values: kdtree 16.5x; average improvement 49% in SPEC CPU and
+2.5x in SPEC OMP; median across both suites 14%.
+"""
+
+import statistics
+
+from repro.analysis import benchmark_gains, suite_summary
+from repro.harness import run_campaign
+from repro.suites import get_suite
+
+
+def _regenerate():
+    return run_campaign(suites=(get_suite("spec_cpu"), get_suite("spec_omp")))
+
+
+def test_section33_statistics(benchmark):
+    result = benchmark(_regenerate)
+    cpu = suite_summary(result, "spec_cpu")
+    omp = suite_summary(result, "spec_omp")
+    gains = [g.best_gain for g in benchmark_gains(result)]
+    median_both = statistics.median(gains)
+    print()
+    print(f"SPEC CPU: {cpu}")
+    print(f"SPEC OMP: {omp}")
+    print(f"median across both suites: {median_both:.3f} (paper 1.14)")
+
+    assert 1.30 <= cpu.mean_gain <= 1.70  # paper: 49%
+    assert 2.0 <= omp.mean_gain <= 3.1  # paper: 2.5x
+    assert 1.06 <= median_both <= 1.25  # paper: 14%
+    kdtree = next(
+        g for g in benchmark_gains(result) if g.benchmark == "spec_omp.376.kdtree"
+    )
+    assert 12.0 <= kdtree.best_gain <= 21.0  # paper: 16.5x

@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one of the paper's artifacts (timed by
+pytest-benchmark) and asserts the paper's shape claims on the output.
+Session-scoped campaign fixtures let the assertion-only benchmarks
+avoid recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_campaign, run_polybench_xeon
+from repro.suites import all_suites, get_suite
+
+
+@pytest.fixture(scope="session")
+def full_campaign():
+    return run_campaign()
+
+
+@pytest.fixture(scope="session")
+def xeon_reference():
+    return run_polybench_xeon()
+
+
+def suite_campaign(name: str):
+    """Run the campaign for a single suite (used inside timed bodies)."""
+    return run_campaign(suites=(get_suite(name),))

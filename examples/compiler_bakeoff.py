@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compiler bake-off on a user-defined kernel.
+
+Shows the library's intended end-user workflow: describe *your* hot
+loop in the IR, compile it under all five study environments, and see
+which transformations fire and what the A64FX performance model
+predicts — the same "test as many compilers as possible" advice the
+paper gives its readers.
+
+The example kernel is a naive C matrix multiply, the exact shape behind
+the paper's Figure 1 anomaly.
+
+Run:  python examples/compiler_bakeoff.py
+"""
+
+from repro.compilers import STUDY_VARIANTS, compile_kernel
+from repro.ir import KernelBuilder, Language, read, update
+from repro.machine import a64fx
+from repro.perf import nest_time
+from repro.units import pretty_seconds
+
+
+def build_my_kernel():
+    """C[i][j] += A[i][k] * B[k][j] at n=1024, naive loop order."""
+    n = 1024
+    b = KernelBuilder("my_matmul", Language.C)
+    b.array("A", (n, n))
+    b.array("B", (n, n))
+    b.array("C", (n, n))
+    b.nest(
+        loops=[("i", n), ("j", n), ("k", n)],
+        body=[
+            b.stmt(
+                update("C", "i", "j"),
+                read("A", "i", "k"),
+                read("B", "k", "j"),
+                fma=1,
+                reduction="k",
+            )
+        ],
+    )
+    return b.build()
+
+
+def main() -> None:
+    machine = a64fx()
+    kernel = build_my_kernel()
+    print(f"machine: {machine}")
+    print(f"kernel:  {kernel.name}, {kernel.total_flops() / 1e9:.1f} GFLOP")
+    print()
+    header = f"{'compiler':12s} {'loop order':>12s} {'vector':>10s} {'tiled':>6s} {'time':>10s}  passes"
+    print(header)
+    print("-" * len(header))
+
+    for variant in STUDY_VARIANTS:
+        compiled = compile_kernel(variant, kernel, machine)
+        if not compiled.ok:
+            print(f"{variant:12s} {'-':>12s} {'-':>10s} {'-':>6s} {compiled.status.value:>10s}")
+            continue
+        info = compiled.nest_infos[0]
+        t = nest_time(info, machine).total_s * compiled.anomaly_multiplier
+        order = "".join(info.nest.loop_vars)
+        vec = f"{info.vector_isa.name}x{info.vec_lanes}" if info.vectorized else "scalar"
+        tiled = "yes" if info.tile_working_set else "no"
+        print(
+            f"{variant:12s} {order:>12s} {vec:>10s} {tiled:>6s} "
+            f"{pretty_seconds(t):>10s}  {','.join(info.applied_passes)}"
+        )
+
+    print()
+    print(
+        "FJtrad and FJclang keep the strided i-j-k order (no C loop\n"
+        "interchange); LLVM/GNU permute to i-k-j; Polly additionally\n"
+        "tiles for the L2 — the Figure 1 mechanism, live."
+    )
+
+
+if __name__ == "__main__":
+    main()

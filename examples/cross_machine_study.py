@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Cross-machine study: A64FX vs ThunderX2 vs Xeon (extension).
+
+Reproduces the qualitative comparisons of the paper's related work
+([19] Jackson et al., [20] Odajima et al., both IEEE CLUSTER 2020):
+A64FX wins decisively on bandwidth-bound kernels (HBM2) and on
+well-vectorized SVE compute, while the older ThunderX2 and the Xeon
+hold up better on scalar/irregular codes where A64FX's modest
+out-of-order core shows.
+
+Also prints the roofline view: three machines with very different
+machine balance points.
+
+Run:  python examples/cross_machine_study.py
+"""
+
+from repro.compilers import compile_kernel
+from repro.ir import Language
+from repro.machine import a64fx, xeon
+from repro.machine.thunderx2 import thunderx2
+from repro.perf import machine_balance, nest_time, roofline_point
+from repro.suites.kernels_common import (
+    dense_matmul,
+    int_scan,
+    pointer_chase,
+    stencil3d7,
+    stream_triad,
+)
+from repro.units import pretty_seconds
+
+#: Representative kernels and the "native" compiler used on each machine
+#: (the paper's recommended-environment convention).
+KERNELS = (
+    ("stream triad (2 GiB)", stream_triad("x_triad", 1 << 28, Language.C)),
+    ("7pt stencil 384^3", stencil3d7("x_stencil", 384, Language.C)),
+    ("dense matmul 1536^3", dense_matmul("x_gemm", 1536, 1536, 1536, Language.C, parallel=True)),
+    ("integer scan 256 MiB", int_scan("x_scan", 1 << 28, Language.C, parallel=True)),
+    ("pointer chase 4M", pointer_chase("x_chase", 1 << 22, Language.C)),
+)
+
+MACHINES = (
+    (a64fx(), "FJtrad"),
+    (thunderx2(), "GNU"),
+    (xeon(), "icc"),
+)
+
+
+def main() -> None:
+    print("machine balance points (flops per byte at the ridge):")
+    for machine, _ in MACHINES:
+        print(f"  {machine.name:12s} {machine_balance(machine):6.1f} F/B   ({machine})")
+
+    print()
+    header = f"{'kernel':24s}" + "".join(f"{m.name:>14s}" for m, _ in MACHINES)
+    print(header)
+    print("-" * len(header))
+    for label, kernel in KERNELS:
+        row = f"{label:24s}"
+        for machine, compiler in MACHINES:
+            compiled = compile_kernel(compiler, kernel, machine)
+            threads = machine.total_cores if kernel.is_openmp else 1
+            total = sum(
+                nest_time(
+                    info,
+                    machine,
+                    threads=threads if info.parallel else 1,
+                    active_cores_per_domain=machine.topology.cores_per_domain,
+                    domains=machine.topology.numa_domains if info.parallel else 1,
+                ).total_s
+                for info in compiled.nest_infos
+            )
+            row += f"{pretty_seconds(total):>14s}"
+        print(row)
+
+    print()
+    print("roofline placement of the stencil on each machine (full node):")
+    for machine, compiler in MACHINES:
+        kernel = KERNELS[1][1]
+        compiled = compile_kernel(compiler, kernel, machine)
+        point = roofline_point(
+            compiled.nest_infos[0],
+            machine,
+            threads=machine.total_cores,
+            domains=machine.topology.numa_domains,
+        )
+        print(f"  {machine.name:12s} {point}")
+
+    print()
+    print(
+        "Expected shape (related work [19], [20]): A64FX dominates the\n"
+        "bandwidth-bound kernels by ~5-10x over ThunderX2/Xeon and loses\n"
+        "its edge on the scalar integer scan and the pointer chase.\n"
+        "Note the matmul row: with each machine's *recommended* compiler\n"
+        "the A64FX loses — that is the paper's Figure 1 effect (FJtrad\n"
+        "misses the C loop interchange), not a hardware deficit:"
+    )
+    gemm = KERNELS[2][1]
+    m = a64fx()
+    for variant in ("FJtrad", "LLVM"):
+        compiled = compile_kernel(variant, gemm, m)
+        total = sum(
+            nest_time(
+                info, m,
+                threads=m.total_cores if info.parallel else 1,
+                active_cores_per_domain=m.topology.cores_per_domain,
+                domains=m.topology.numa_domains if info.parallel else 1,
+            ).total_s
+            for info in compiled.nest_infos
+        )
+        print(f"  A64FX matmul with {variant:8s}: {pretty_seconds(total)}")
+
+
+if __name__ == "__main__":
+    main()

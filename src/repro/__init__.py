@@ -1,0 +1,23 @@
+"""repro — a reproduction of "A64FX - Your Compiler You Must Decide!"
+(Jens Domke, IEEE CLUSTER 2021).
+
+The package models the paper's entire measurement campaign in software:
+benchmark kernels as an affine loop-nest IR (:mod:`repro.ir`), five
+compiler environments as transformation pipelines (:mod:`repro.compilers`),
+A64FX and a Xeon reference as analytic machine models
+(:mod:`repro.machine`, :mod:`repro.perf`), the seven benchmark suites
+(:mod:`repro.suites`), the exploration/performance-run harness
+(:mod:`repro.harness`), and the figure/statistics generators
+(:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.harness import run_campaign
+    from repro.analysis import figure2, overall_summary
+
+    results = run_campaign()          # all 108 benchmarks x 5 compilers
+    print(figure2(results).render())  # the paper's Figure 2 heatmap
+    print(overall_summary(results))   # "median gain from best compiler"
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,102 @@
+"""Campaign comparison: diff two result sets cell by cell.
+
+Built for the ablation workflow — run the campaign twice (different
+flags, a modified capability table, a different machine model), save
+both JSONs, and diff them:
+
+    a64fx-campaign run --out base.json
+    # ... edit quirks/flags ...
+    a64fx-campaign run --out tuned.json
+    a64fx-campaign compare base.json tuned.json
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.harness.results import CampaignResult
+from repro.units import pretty_seconds
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One (benchmark, variant) cell's change between two campaigns."""
+
+    benchmark: str
+    variant: str
+    before_s: float
+    after_s: float
+    before_status: str
+    after_status: str
+
+    @property
+    def speedup(self) -> float:
+        """before/after (> 1: the second campaign is faster)."""
+        if self.after_s == 0:
+            return float("inf")
+        return self.before_s / self.after_s
+
+    @property
+    def status_changed(self) -> bool:
+        return self.before_status != self.after_status
+
+    def __str__(self) -> str:
+        if self.status_changed:
+            return (
+                f"{self.benchmark} [{self.variant}]: "
+                f"{self.before_status} -> {self.after_status}"
+            )
+        return (
+            f"{self.benchmark} [{self.variant}]: "
+            f"{pretty_seconds(self.before_s)} -> {pretty_seconds(self.after_s)} "
+            f"({self.speedup:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class CampaignDiff:
+    """All cell deltas between two campaigns."""
+
+    deltas: tuple[CellDelta, ...]
+
+    def changed(self, threshold: float = 0.02) -> tuple[CellDelta, ...]:
+        """Cells whose time moved more than ``threshold`` (relative),
+        or whose status changed."""
+        out = []
+        for d in self.deltas:
+            if d.status_changed:
+                out.append(d)
+            elif d.before_s != float("inf") and abs(d.speedup - 1.0) > threshold:
+                out.append(d)
+        return tuple(sorted(out, key=lambda d: -abs(d.speedup - 1.0)))
+
+    def render(self, threshold: float = 0.02) -> str:
+        changed = self.changed(threshold)
+        if not changed:
+            return "campaigns are identical within the threshold"
+        lines = [f"{len(changed)} of {len(self.deltas)} cells changed (>{threshold:.0%}):"]
+        lines += [f"  {d}" for d in changed]
+        return "\n".join(lines)
+
+
+def compare_campaigns(before: CampaignResult, after: CampaignResult) -> CampaignDiff:
+    """Cell-by-cell diff; both campaigns must cover the same cells."""
+    if set(before.records) != set(after.records):
+        missing = set(before.records) ^ set(after.records)
+        raise AnalysisError(f"campaigns cover different cells, e.g. {sorted(missing)[:3]}")
+    deltas = []
+    for key in before.records:
+        b = before.records[key]
+        a = after.records[key]
+        deltas.append(
+            CellDelta(
+                benchmark=b.benchmark,
+                variant=b.variant,
+                before_s=b.best_s,
+                after_s=a.best_s,
+                before_status=b.status,
+                after_status=a.status,
+            )
+        )
+    return CampaignDiff(tuple(sorted(deltas, key=lambda d: (d.benchmark, d.variant))))

@@ -1,0 +1,116 @@
+"""Generators for the paper's two figures.
+
+* :func:`figure1` — PolyBench time-to-solution on the Xeon reference
+  (icc) vs. A64FX (FJtrad), both with recommended flags: the plot that
+  motivated the study ("unexpected advantage of Xeon vs. A64FX").
+* :func:`figure2` — the full heatmap: absolute times for every
+  benchmark under every study compiler, color-coded by gain over
+  FJtrad, failure cells included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.heatmap import Heatmap, HeatmapCell
+from repro.compilers.registry import BASELINE_VARIANT
+from repro.errors import AnalysisError
+from repro.harness.results import CampaignResult
+from repro.suites.registry import all_suites, get_benchmark
+from repro.units import pretty_seconds
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One PolyBench kernel of Figure 1."""
+
+    kernel: str
+    a64fx_s: float
+    xeon_s: float
+
+    @property
+    def slowdown(self) -> float:
+        """A64FX time over Xeon time (> 1: Xeon faster)."""
+        if self.xeon_s == 0:
+            return float("inf")
+        return self.a64fx_s / self.xeon_s
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """Figure 1: Xeon-vs-A64FX PolyBench comparison."""
+
+    rows: tuple[Figure1Row, ...]
+
+    @property
+    def max_slowdown(self) -> float:
+        return max(r.slowdown for r in self.rows)
+
+    def row(self, kernel: str) -> Figure1Row:
+        for r in self.rows:
+            if r.kernel == kernel:
+                return r
+        raise AnalysisError(f"no Figure 1 row for {kernel!r}")
+
+    def render(self) -> str:
+        out = [
+            "Figure 1: PolyBench [LARGE], recommended compiler/flags",
+            f"{'kernel':18s} {'A64FX(FJtrad)':>14s} {'Xeon(icc)':>12s} {'slowdown':>10s}",
+        ]
+        for r in sorted(self.rows, key=lambda x: -x.slowdown):
+            bar = "#" * min(60, max(1, int(round(2 * r.slowdown))))
+            out.append(
+                f"{r.kernel:18s} {pretty_seconds(r.a64fx_s):>14s} "
+                f"{pretty_seconds(r.xeon_s):>12s} {r.slowdown:9.1f}x {bar}"
+            )
+        return "\n".join(out)
+
+
+def figure1(a64fx_result: CampaignResult, xeon_result: CampaignResult) -> Figure1:
+    """Build Figure 1 from an A64FX campaign (needs FJtrad rows for the
+    polybench suite) and the icc/Xeon reference campaign."""
+    rows: list[Figure1Row] = []
+    for bench in a64fx_result.benchmarks():
+        if not bench.startswith("polybench."):
+            continue
+        if not xeon_result.has(bench, "icc"):
+            raise AnalysisError(f"Xeon reference missing {bench!r}")
+        a = a64fx_result.get(bench, BASELINE_VARIANT)
+        x = xeon_result.get(bench, "icc")
+        rows.append(
+            Figure1Row(
+                kernel=bench.split(".", 1)[1], a64fx_s=a.best_s, xeon_s=x.best_s
+            )
+        )
+    if not rows:
+        raise AnalysisError("campaign contains no PolyBench rows")
+    return Figure1(tuple(rows))
+
+
+def figure2(result: CampaignResult, baseline: str = BASELINE_VARIANT) -> Heatmap:
+    """Build the Figure 2 heatmap from a full campaign."""
+    variants = result.variants()
+    rows: list[tuple[str, str, str]] = []
+    cells: dict[tuple[str, str], HeatmapCell] = {}
+    registry_order = [b.full_name for s in all_suites() for b in s.benchmarks]
+    present = set(result.benchmarks())
+    ordered = [n for n in registry_order if n in present]
+    # Campaigns may contain ad-hoc benchmarks outside the registry;
+    # append them in recording order.
+    ordered += [n for n in result.benchmarks() if n not in set(registry_order)]
+    for full_name in ordered:
+        try:
+            bench = get_benchmark(full_name)
+            suite, lang = bench.suite, bench.language.value
+        except Exception:
+            suite = full_name.split(".", 1)[0]
+            lang = "-"
+        rows.append((suite, full_name, lang))
+        base = result.get(full_name, baseline).best_s
+        for v in variants:
+            record = result.get(full_name, v)
+            gain = base / record.best_s if record.valid and base != float("inf") else 0.0
+            cells[(full_name, v)] = HeatmapCell(
+                time_s=record.best_s, gain=gain, status=record.status
+            )
+    return Heatmap(variants=tuple(variants), rows=tuple(rows), cells=cells)

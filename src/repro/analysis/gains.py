@@ -1,0 +1,129 @@
+"""Relative-gain computations (Hoefler-style relative performance).
+
+All of the paper's headline statistics are derived from the *relative
+gain* of a compiler over the FJtrad baseline on one benchmark:
+``gain = t_baseline / t_variant`` (> 1 means the variant is faster),
+and from the *best-compiler gain* ``t_baseline / min_v t_v``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.compilers.registry import BASELINE_VARIANT
+from repro.errors import AnalysisError
+from repro.harness.results import CampaignResult
+
+
+@dataclass(frozen=True)
+class BenchmarkGains:
+    """Per-benchmark gains over the baseline compiler."""
+
+    benchmark: str
+    suite: str
+    baseline_s: float
+    #: variant -> best run time (inf for failed cells).
+    times: dict[str, float]
+
+    def gain(self, variant: str) -> float:
+        t = self.times[variant]
+        if t == 0:
+            return float("inf")
+        return self.baseline_s / t
+
+    @property
+    def best_variant(self) -> str:
+        return min(self.times, key=lambda v: self.times[v])
+
+    @property
+    def best_gain(self) -> float:
+        """Speedup from always choosing the best compiler."""
+        best = min(self.times.values())
+        if best == 0:
+            return float("inf")
+        if best == float("inf"):
+            raise AnalysisError(f"{self.benchmark}: no valid measurement")
+        return self.baseline_s / best
+
+    @property
+    def baseline_valid(self) -> bool:
+        return self.baseline_s != float("inf")
+
+
+def benchmark_gains(
+    result: CampaignResult, baseline: str = BASELINE_VARIANT
+) -> tuple[BenchmarkGains, ...]:
+    """Gains for every benchmark with a valid baseline measurement."""
+    out: list[BenchmarkGains] = []
+    variants = result.variants()
+    if baseline not in variants:
+        raise AnalysisError(f"baseline {baseline!r} absent from campaign")
+    for bench in result.benchmarks():
+        records = {v: result.get(bench, v) for v in variants}
+        times = {v: r.best_s for v, r in records.items()}
+        out.append(
+            BenchmarkGains(
+                benchmark=bench,
+                suite=records[baseline].suite,
+                baseline_s=times[baseline],
+                times=times,
+            )
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Best-compiler gain statistics over one suite (or the whole study)."""
+
+    name: str
+    count: int
+    mean_gain: float
+    median_gain: float
+    peak_gain: float
+    #: variant -> number of benchmarks it wins outright.
+    wins: dict[str, int]
+
+    def __str__(self) -> str:
+        wins = ", ".join(f"{v}:{n}" for v, n in sorted(self.wins.items()) if n)
+        return (
+            f"{self.name}: n={self.count} mean={self.mean_gain:.2f}x "
+            f"median={self.median_gain:.2f}x peak={self.peak_gain:.1f}x [{wins}]"
+        )
+
+
+def summarize(
+    gains: tuple[BenchmarkGains, ...], name: str, *, skip_invalid_baseline: bool = True
+) -> SuiteSummary:
+    """Aggregate best-compiler gains (the paper's Sec. 3 statistics)."""
+    usable = [g for g in gains if g.baseline_valid or not skip_invalid_baseline]
+    if not usable:
+        raise AnalysisError(f"no usable gains for {name!r}")
+    values = [g.best_gain for g in usable]
+    wins: dict[str, int] = {}
+    for g in usable:
+        wins[g.best_variant] = wins.get(g.best_variant, 0) + 1
+    return SuiteSummary(
+        name=name,
+        count=len(usable),
+        mean_gain=statistics.fmean(values),
+        median_gain=statistics.median(values),
+        peak_gain=max(values),
+        wins=wins,
+    )
+
+
+def suite_summary(
+    result: CampaignResult, suite: str, baseline: str = BASELINE_VARIANT
+) -> SuiteSummary:
+    gains = tuple(g for g in benchmark_gains(result, baseline) if g.suite == suite)
+    return summarize(gains, suite)
+
+
+def overall_summary(
+    result: CampaignResult, baseline: str = BASELINE_VARIANT
+) -> SuiteSummary:
+    """The paper's closing number: "a median runtime improvement of 16%
+    ... across all 108 benchmarks" from picking the best compiler."""
+    return summarize(benchmark_gains(result, baseline), "overall")

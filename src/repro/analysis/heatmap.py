@@ -1,0 +1,93 @@
+"""Figure 2 rendering: the color-coded compiler-comparison heatmap.
+
+The paper's Figure 2 shows absolute time-to-solution per cell,
+color-coded by the relative gain over FJtrad (white ~ 1x, dark green
+>= 2x, highlighted when beyond), with textual cells for failures
+("compiler error", "runtime error").  Terminals don't do print colors,
+so the renderer buckets gains into glyphs and also exports CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import pretty_seconds
+
+#: Gain-bucket glyphs, mirroring the paper's white->dark-green scale
+#: (plus red-ish buckets for slowdowns, which the figure also encodes).
+_BUCKETS = (
+    (2.0, "++"),  # >= 2x speedup: dark green / bold in the paper
+    (1.25, "+ "),
+    (1.05, "~+"),
+    (0.95, "  "),  # parity: white
+    (0.8, "~-"),
+    (0.5, "- "),
+    (0.0, "--"),  # >= 2x slowdown
+)
+
+
+def gain_glyph(gain: float) -> str:
+    for threshold, glyph in _BUCKETS:
+        if gain >= threshold:
+            return glyph
+    return "--"
+
+
+@dataclass(frozen=True)
+class HeatmapCell:
+    """One (benchmark, compiler) cell of Figure 2."""
+
+    time_s: float
+    gain: float
+    status: str  # "ok" / "compiler error" / "runtime error"
+
+    @property
+    def text(self) -> str:
+        if self.status != "ok":
+            return self.status
+        return f"{pretty_seconds(self.time_s)} {gain_glyph(self.gain)}"
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """The full Figure 2 table."""
+
+    #: Column order (compiler variants).
+    variants: tuple[str, ...]
+    #: Row order: (suite, benchmark, language) triples.
+    rows: tuple[tuple[str, str, str], ...]
+    #: (benchmark, variant) -> cell.
+    cells: dict[tuple[str, str], HeatmapCell]
+
+    def cell(self, benchmark: str, variant: str) -> HeatmapCell:
+        return self.cells[(benchmark, variant)]
+
+    def render(self, *, width: int = 16) -> str:
+        """ASCII rendering, one row group per suite."""
+        out: list[str] = []
+        header = f"{'benchmark':28s} {'lang':7s}" + "".join(
+            f"{v:>{width}s}" for v in self.variants
+        )
+        current_suite = None
+        for suite, bench, lang in self.rows:
+            if suite != current_suite:
+                out.append("")
+                out.append(f"=== {suite} ===")
+                out.append(header)
+                current_suite = suite
+            row = f"{bench:28s} {lang:7s}"
+            for v in self.variants:
+                row += f"{self.cell(bench, v).text:>{width}s}"
+            out.append(row)
+        return "\n".join(out[1:])  # drop the leading blank line
+
+    def to_csv(self) -> str:
+        """CSV export: suite,benchmark,language,variant,time_s,gain,status."""
+        lines = ["suite,benchmark,language,variant,time_s,gain,status"]
+        for suite, bench, lang in self.rows:
+            for v in self.variants:
+                c = self.cell(bench, v)
+                time_txt = "" if c.status != "ok" else f"{c.time_s:.6g}"
+                gain_txt = "" if c.status != "ok" else f"{c.gain:.6g}"
+                lines.append(f"{suite},{bench},{lang},{v},{time_txt},{gain_txt},{c.status}")
+        return "\n".join(lines) + "\n"

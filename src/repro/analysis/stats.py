@@ -1,0 +1,114 @@
+"""Statistical helpers for result reporting.
+
+Includes the run-to-run variability checks of Section 2.4 (CV of AMG
+below 0.114%, BabelStream up to 22%), the Hoefler-style distribution
+summaries the paper's reporting follows ([12]: "Scientific
+benchmarking of parallel computing systems", SC'15 — report medians
+and nonparametric confidence intervals, not just means), and small
+utilities shared by the figure generators.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.harness.results import CampaignResult, RunRecord
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """stdev/mean of a sample (0 for degenerate samples)."""
+    if len(values) < 2:
+        return 0.0
+    mean = statistics.fmean(values)
+    if mean == 0:
+        return 0.0
+    return statistics.stdev(values) / mean
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        raise AnalysisError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise AnalysisError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def percent_improvement(gain: float) -> float:
+    """Gain factor -> percent runtime improvement (1.17x -> 17%)."""
+    return (gain - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Hoefler-style summary of one cell's performance runs [12]."""
+
+    n: int
+    min_s: float
+    q1_s: float
+    median_s: float
+    q3_s: float
+    max_s: float
+    mean_s: float
+    cv: float
+    #: Nonparametric ~95% confidence interval of the median (order
+    #: statistics; degenerates to (min, max) for small n).
+    median_ci: tuple[float, float]
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} median={self.median_s:.4g}s "
+            f"CI95=({self.median_ci[0]:.4g}, {self.median_ci[1]:.4g}) "
+            f"IQR=({self.q1_s:.4g}, {self.q3_s:.4g}) CV={self.cv:.2%}"
+        )
+
+
+def _median_ci_indices(n: int) -> tuple[int, int]:
+    """Order-statistic indices for a ~95% CI of the median.
+
+    Normal approximation to the binomial: ranks n/2 +- 1.96*sqrt(n)/2,
+    clamped to the sample (Hoefler & Belli, SC'15, Rule 8).
+    """
+    half_width = 1.959964 * math.sqrt(n) / 2.0
+    lo = max(0, int(math.floor(n / 2.0 - half_width)))
+    hi = min(n - 1, int(math.ceil(n / 2.0 + half_width)) - 1)
+    return lo, max(hi, lo)
+
+
+def run_summary(record: "RunRecord | Sequence[float]") -> RunSummary:
+    """Summarize a cell's run distribution per the SC'15 guidelines."""
+    runs = record.runs if isinstance(record, RunRecord) else tuple(record)
+    if not runs:
+        raise AnalysisError("cannot summarize an empty run set")
+    ordered = sorted(runs)
+    n = len(ordered)
+    quartiles = statistics.quantiles(ordered, n=4) if n >= 2 else [ordered[0]] * 3
+    lo, hi = _median_ci_indices(n)
+    return RunSummary(
+        n=n,
+        min_s=ordered[0],
+        q1_s=quartiles[0],
+        median_s=statistics.median(ordered),
+        q3_s=quartiles[2],
+        max_s=ordered[-1],
+        mean_s=statistics.fmean(ordered),
+        cv=coefficient_of_variation(ordered),
+        median_ci=(ordered[lo], ordered[hi]),
+    )
+
+
+def variability_report(result: CampaignResult) -> dict[str, float]:
+    """Max CV across compilers for every benchmark (Sec. 2.4 check)."""
+    out: dict[str, float] = {}
+    for bench in result.benchmarks():
+        cvs = [
+            result.get(bench, v).cv
+            for v in result.variants()
+            if result.get(bench, v).valid
+        ]
+        out[bench] = max(cvs) if cvs else 0.0
+    return out

@@ -1,0 +1,149 @@
+"""SVG renderers for the paper's figures (no plotting dependency).
+
+Produces self-contained SVG documents:
+
+* :func:`figure1_svg` — a horizontal log-scale bar chart of the
+  PolyBench Xeon-over-A64FX slowdowns (the shape of the paper's
+  Figure 1);
+* :func:`figure2_svg` — the color-coded heatmap grid of Figure 2, white
+  at parity shading to green for gains and red for losses, with textual
+  failure cells.
+"""
+
+from __future__ import annotations
+
+import math
+from xml.sax.saxutils import escape
+
+from repro.analysis.figures import Figure1
+from repro.analysis.heatmap import Heatmap
+from repro.units import pretty_seconds
+
+_FONT = 'font-family="Menlo, Consolas, monospace"'
+
+
+def _svg_header(width: int, height: int) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def gain_color(gain: float) -> str:
+    """Figure 2's color scale: white ~1x, green gains, red losses."""
+    if gain <= 0:
+        return "#dddddd"
+    level = max(-1.0, min(1.0, math.log2(gain) / 2.0))  # +-4x saturates
+    if level >= 0:
+        other = int(round(255 * (1.0 - level)))
+        return f"#{other:02x}ff{other:02x}"
+    other = int(round(255 * (1.0 + level)))
+    return f"#ff{other:02x}{other:02x}"
+
+
+def figure1_svg(fig: Figure1) -> str:
+    """Horizontal log-scale bar chart of per-kernel slowdowns."""
+    rows = sorted(fig.rows, key=lambda r: -r.slowdown)
+    bar_h, gap, left, top = 16, 4, 150, 40
+    plot_w = 520
+    height = top + len(rows) * (bar_h + gap) + 30
+    width = left + plot_w + 120
+    max_log = max(1.0, math.log10(max(r.slowdown for r in rows)))
+    min_log = min(0.0, math.log10(min(max(r.slowdown, 1e-3) for r in rows)))
+    span = max_log - min_log
+
+    out = _svg_header(width, height)
+    out.append(
+        f'<text x="{left}" y="20" {_FONT} font-size="13" font-weight="bold">'
+        "Figure 1: PolyBench slowdown on A64FX (FJtrad) vs Xeon (icc), log scale</text>"
+    )
+    # decade gridlines
+    d = math.ceil(min_log)
+    while d <= max_log:
+        x = left + plot_w * (d - min_log) / span
+        out.append(
+            f'<line x1="{x:.1f}" y1="{top - 8}" x2="{x:.1f}" '
+            f'y2="{height - 25}" stroke="#cccccc" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{x:.1f}" y="{height - 10}" {_FONT} font-size="10" '
+            f'text-anchor="middle">{10 ** d:g}x</text>'
+        )
+        d += 1
+    x_one = left + plot_w * (0.0 - min_log) / span
+    out.append(
+        f'<line x1="{x_one:.1f}" y1="{top - 8}" x2="{x_one:.1f}" '
+        f'y2="{height - 25}" stroke="#888888" stroke-width="1.5"/>'
+    )
+    for idx, row in enumerate(rows):
+        y = top + idx * (bar_h + gap)
+        log_v = math.log10(max(row.slowdown, 1e-3))
+        x_v = left + plot_w * (log_v - min_log) / span
+        x0, x1 = sorted((x_one, x_v))
+        color = "#2f8f2f" if row.slowdown > 1 else "#b03030"
+        out.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{max(x1 - x0, 1):.1f}" '
+            f'height="{bar_h}" fill="{color}"/>'
+        )
+        out.append(
+            f'<text x="{left - 6}" y="{y + bar_h - 4}" {_FONT} font-size="10" '
+            f'text-anchor="end">{escape(row.kernel)}</text>'
+        )
+        out.append(
+            f'<text x="{x1 + 4:.1f}" y="{y + bar_h - 4}" {_FONT} '
+            f'font-size="10">{row.slowdown:.1f}x</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def figure2_svg(heatmap: Heatmap) -> str:
+    """Color-coded heatmap grid of the full campaign."""
+    cell_w, cell_h, left, top = 104, 16, 190, 56
+    rows = heatmap.rows
+    width = left + cell_w * len(heatmap.variants) + 20
+    height = top + cell_h * len(rows) + 20
+
+    out = _svg_header(width, height)
+    out.append(
+        f'<text x="{left}" y="20" {_FONT} font-size="13" font-weight="bold">'
+        "Figure 2: time-to-solution, color = gain over FJtrad</text>"
+    )
+    for col, variant in enumerate(heatmap.variants):
+        x = left + col * cell_w + cell_w / 2
+        out.append(
+            f'<text x="{x:.1f}" y="{top - 8}" {_FONT} font-size="11" '
+            f'text-anchor="middle" font-weight="bold">{escape(variant)}</text>'
+        )
+    current_suite = None
+    for r, (suite, bench, lang) in enumerate(rows):
+        y = top + r * cell_h
+        label = bench.split(".", 1)[1]
+        if suite != current_suite:
+            current_suite = suite
+            out.append(
+                f'<text x="6" y="{y + cell_h - 4}" {_FONT} font-size="10" '
+                f'font-weight="bold">{escape(suite)}</text>'
+            )
+        out.append(
+            f'<text x="{left - 6}" y="{y + cell_h - 4}" {_FONT} font-size="9" '
+            f'text-anchor="end">{escape(label)} [{escape(lang)}]</text>'
+        )
+        for col, variant in enumerate(heatmap.variants):
+            cell = heatmap.cell(bench, variant)
+            x = left + col * cell_w
+            if cell.status != "ok":
+                fill, text = "#bbbbbb", cell.status
+            else:
+                fill, text = gain_color(cell.gain), pretty_seconds(cell.time_s)
+            out.append(
+                f'<rect x="{x}" y="{y}" width="{cell_w - 2}" height="{cell_h - 2}" '
+                f'fill="{fill}" stroke="#999999" stroke-width="0.5"/>'
+            )
+            out.append(
+                f'<text x="{x + (cell_w - 2) / 2:.1f}" y="{y + cell_h - 5}" {_FONT} '
+                f'font-size="9" text-anchor="middle">{escape(text)}</text>'
+            )
+    out.append("</svg>")
+    return "\n".join(out)

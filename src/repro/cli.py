@@ -1,0 +1,253 @@
+"""Command-line interface: run the study and regenerate the artifacts.
+
+Usage::
+
+    a64fx-campaign run [--out results.json]       # full 108x5 campaign
+    a64fx-campaign figure1                        # Xeon-vs-A64FX PolyBench
+    a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
+    a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
+    a64fx-campaign list                           # suites and benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    evaluate,
+    experiments_markdown,
+    figure1,
+    figure1_svg,
+    figure2,
+    figure2_svg,
+)
+from repro.harness import run_campaign, run_polybench_xeon
+from repro.suites import all_suites
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_campaign()
+    if args.out:
+        result.save(args.out)
+        print(f"saved {len(result.records)} records to {args.out}")
+    else:
+        print(result.to_json())
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    a64 = run_campaign(suites=(next(s for s in all_suites() if s.name == "polybench"),))
+    xeon = run_polybench_xeon()
+    fig = figure1(a64, xeon)
+    print(fig.render())
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(figure1_svg(fig))
+        print(f"\nSVG written to {args.svg}")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    result = run_campaign()
+    fig = figure2(result)
+    print(fig.render())
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(fig.to_csv())
+        print(f"\nCSV written to {args.csv}")
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(figure2_svg(fig))
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = run_campaign()
+    xeon = run_polybench_xeon()
+    text = experiments_markdown(result, xeon)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    checks = evaluate(result, xeon)
+    failed = [c for c in checks if not c.passed]
+    return 1 if failed else 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    """Compile and cost a user-authored kernel from a JSON file."""
+    from repro.compilers import STUDY_VARIANTS, compile_kernel
+    from repro.ir import check_kernel, kernel_from_json
+    from repro.machine import a64fx
+    from repro.perf import nest_time, roofline_point
+    from repro.units import pretty_seconds
+
+    with open(args.path) as fh:
+        kernel = kernel_from_json(fh.read())
+    check_kernel(kernel)
+    machine = a64fx()
+    threads = args.threads
+    print(f"kernel {kernel.name} [{kernel.language.value}], "
+          f"{kernel.total_flops() / 1e9:.2f} GFLOP, "
+          f"{kernel.data_footprint_bytes / 2**20:.1f} MiB footprint")
+    best = None
+    for variant in STUDY_VARIANTS:
+        compiled = compile_kernel(variant, kernel, machine)
+        if not compiled.ok:
+            print(f"  {variant:12s} {compiled.status.value}")
+            continue
+        total = 0.0
+        for info in compiled.nest_infos:
+            t = nest_time(
+                info,
+                machine,
+                threads=threads if info.parallel else 1,
+                active_cores_per_domain=min(threads, machine.topology.cores_per_domain),
+                domains=max(1, -(-threads // machine.topology.cores_per_domain))
+                if info.parallel
+                else 1,
+            )
+            total += t.total_s
+        total *= compiled.anomaly_multiplier
+        if best is None or total < best[1]:
+            best = (variant, total)
+        point = roofline_point(compiled.nest_infos[0], machine, threads=threads)
+        print(
+            f"  {variant:12s} {pretty_seconds(total):>10s}  "
+            f"AI={point.arithmetic_intensity:7.3f} F/B  "
+            f"passes={','.join(compiled.nest_infos[0].applied_passes)}"
+        )
+    if best:
+        print(f"recommendation: {best[0]} ({pretty_seconds(best[1])})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_campaigns
+    from repro.harness import CampaignResult
+
+    before = CampaignResult.load(args.before)
+    after = CampaignResult.load(args.after)
+    diff = compare_campaigns(before, after)
+    print(diff.render(args.threshold))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.compilers import STUDY_VARIANTS, compile_kernel
+    from repro.harness import run_benchmark
+    from repro.machine import a64fx
+    from repro.suites import get_benchmark
+    from repro.units import pretty_seconds
+
+    bench = get_benchmark(args.benchmark)
+    machine = a64fx()
+    print(f"{bench.full_name} [{bench.language.value}] — {bench.notes}")
+    print(
+        f"  parallel={bench.parallel.value} scaling={bench.scaling.value} "
+        f"noise_cv={bench.noise_cv}"
+    )
+    base_time = None
+    for variant in STUDY_VARIANTS:
+        record = run_benchmark(bench, variant, machine)
+        if not record.valid:
+            print(f"  {variant:12s} {record.status}")
+            continue
+        if base_time is None:
+            base_time = record.best_s
+        gain = base_time / record.best_s
+        print(
+            f"  {variant:12s} best={pretty_seconds(record.best_s):>10s} "
+            f"gain={gain:6.2f}x placement={record.ranks}x{record.threads} "
+            f"cv={record.cv * 100:.2f}%"
+        )
+        for unit in bench.units:
+            if unit.kernel is None:
+                continue
+            compiled = compile_kernel(variant, unit.kernel, machine)
+            if not compiled.ok:
+                continue
+            for info in compiled.nest_infos:
+                vec = (
+                    f"{info.vector_isa.name}x{info.vec_lanes}"
+                    if info.vectorized
+                    else "scalar"
+                )
+                print(
+                    f"      {unit.kernel.name:22s} order={''.join(info.nest.loop_vars):6s} "
+                    f"{vec:10s} passes={','.join(info.applied_passes)}"
+                )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.analysis import advice_report
+
+    result = run_campaign()
+    print(advice_report(result))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for suite in all_suites():
+        print(f"{suite.display} ({suite.name}): {len(suite)} benchmarks")
+        for b in suite.benchmarks:
+            print(f"  {b.full_name:28s} [{b.language.value:7s}] {b.notes}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="a64fx-campaign",
+        description="Reproduce 'A64FX - Your Compiler You Must Decide!' (CLUSTER'21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run the full campaign")
+    p_run.add_argument("--out", help="write results JSON here")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_f1 = sub.add_parser("figure1", help="regenerate Figure 1")
+    p_f1.add_argument("--svg", help="also export an SVG chart here")
+    p_f1.set_defaults(func=_cmd_figure1)
+
+    p_f2 = sub.add_parser("figure2", help="regenerate Figure 2 (heatmap)")
+    p_f2.add_argument("--csv", help="also export CSV here")
+    p_f2.add_argument("--svg", help="also export an SVG heatmap here")
+    p_f2.set_defaults(func=_cmd_figure2)
+
+    p_rep = sub.add_parser("report", help="paper-vs-measured claim report")
+    p_rep.add_argument("--out", help="write markdown here")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_adv = sub.add_parser("advise", help="derive per-workload compiler advice")
+    p_adv.set_defaults(func=_cmd_advise)
+
+    p_show = sub.add_parser("show", help="per-compiler detail for one benchmark")
+    p_show.add_argument("benchmark", help="full name, e.g. polybench.2mm")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_k = sub.add_parser("kernel", help="compile & cost a kernel JSON file")
+    p_k.add_argument("path", help="kernel JSON (see repro.ir.kernel_to_json)")
+    p_k.add_argument("--threads", type=int, default=12)
+    p_k.set_defaults(func=_cmd_kernel)
+
+    p_cmp = sub.add_parser("compare", help="diff two saved campaign JSONs")
+    p_cmp.add_argument("before")
+    p_cmp.add_argument("after")
+    p_cmp.add_argument("--threshold", type=float, default=0.02)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_list = sub.add_parser("list", help="list suites and benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

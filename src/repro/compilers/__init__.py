@@ -1,0 +1,84 @@
+"""Compiler models: the five study variants plus the Xeon reference.
+
+Use :func:`repro.compilers.compile_kernel` to compile a kernel under a
+variant name (handles the paper's "Fortran goes through frt" rule), or
+instantiate the classes directly for finer control.
+"""
+
+from repro.compilers.base import (
+    CodegenNestInfo,
+    CompiledKernel,
+    Compiler,
+    CompileStatus,
+    Pass,
+    PassContext,
+)
+from repro.compilers.flags import (
+    FJCLANG_FLAGS,
+    FJTRAD_FLAGS,
+    GNU_FLAGS,
+    ICC_FLAGS,
+    LLVM_FLAGS,
+    LLVM_POLLY_FLAGS,
+    CompilerFlags,
+    LtoMode,
+    parse_flags,
+)
+from repro.compilers.fujitsu import FujitsuClang, FujitsuTrad
+from repro.compilers.gnu import Gnu
+from repro.compilers.intel import Icc
+from repro.compilers.llvm import Llvm, LlvmPolly
+from repro.compilers.quirks import (
+    ALL_CAPS,
+    FJCLANG_CAPS,
+    FJTRAD_CAPS,
+    GNU_CAPS,
+    ICC_CAPS,
+    LLVM_CAPS,
+    LLVM_POLLY_CAPS,
+    CompilerCapabilities,
+)
+from repro.compilers.registry import (
+    BASELINE_VARIANT,
+    STUDY_VARIANTS,
+    available_variants,
+    compile_kernel,
+    get_compiler,
+)
+
+__all__ = [
+    "ALL_CAPS",
+    "BASELINE_VARIANT",
+    "CodegenNestInfo",
+    "CompiledKernel",
+    "Compiler",
+    "CompilerCapabilities",
+    "CompilerFlags",
+    "CompileStatus",
+    "FJCLANG_CAPS",
+    "FJCLANG_FLAGS",
+    "FJTRAD_CAPS",
+    "FJTRAD_FLAGS",
+    "FujitsuClang",
+    "FujitsuTrad",
+    "GNU_CAPS",
+    "GNU_FLAGS",
+    "Gnu",
+    "ICC_CAPS",
+    "ICC_FLAGS",
+    "Icc",
+    "LLVM_CAPS",
+    "LLVM_FLAGS",
+    "LLVM_POLLY_CAPS",
+    "LLVM_POLLY_FLAGS",
+    "Llvm",
+    "LlvmPolly",
+    "LtoMode",
+    "Pass",
+    "PassContext",
+    "STUDY_VARIANTS",
+    "available_variants",
+    "compile_kernel",
+    "get_compiler",
+    "parse_flags",
+]

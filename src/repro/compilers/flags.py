@@ -1,0 +1,132 @@
+"""Compiler flag model.
+
+Parses the flag sets the paper uses (Section 2.1) into a structured
+:class:`CompilerFlags` that the passes consult:
+
+* Fujitsu: ``-Kfast,ocl,largepage,lto`` (both trad and clang modes);
+* LLVM: ``-Ofast -ffast-math -flto=thin`` and, for the Polly variant,
+  ``-mllvm -polly -mllvm -polly-vectorizer=polly`` with full LTO;
+* GNU: ``-O3 -march=native -flto``.
+
+The semantic differences that matter downstream: ``-Ofast``/``-Kfast``
+imply fast-math (FP reassociation -> vectorizable reductions), while
+GNU's ``-O3`` does *not* — GCC contracts FMAs by default but will not
+reassociate reductions, one mechanical reason GNU loses FP-heavy
+OpenMP workloads in Section 3.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class LtoMode(enum.Enum):
+    OFF = "off"
+    THIN = "thin"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class CompilerFlags:
+    """Structured view of a compiler invocation's flags."""
+
+    opt_level: int = 2
+    #: -ffast-math / -Ofast / -Kfast: permits FP reassociation,
+    #: reciprocal approximations, and assumes no NaN/Inf edge cases.
+    fast_math: bool = False
+    lto: LtoMode = LtoMode.OFF
+    #: Target the native (widest) vector ISA (-march=native / -Kfast /
+    #: -xHost).
+    march_native: bool = False
+    openmp: bool = True
+    #: LLVM polyhedral optimizer (-mllvm -polly).
+    polly: bool = False
+    #: Fujitsu optimization control lines honored (-Kocl).
+    ocl: bool = False
+    #: Large/huge pages requested (-Klargepage).
+    largepage: bool = False
+    #: The verbatim flag strings, for reports.
+    raw: tuple[str, ...] = ()
+
+    def with_(self, **kwargs: object) -> "CompilerFlags":
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        return " ".join(self.raw) if self.raw else f"-O{self.opt_level}"
+
+
+def parse_flags(flag_strings: "list[str] | tuple[str, ...]") -> CompilerFlags:
+    """Parse a flag list into :class:`CompilerFlags`.
+
+    Unknown flags are kept in ``raw`` but otherwise ignored, matching
+    how drivers tolerate unrecognized ``-W``/``-f`` options.
+    """
+    f = CompilerFlags(raw=tuple(flag_strings))
+    i = 0
+    tokens = list(flag_strings)
+    while i < len(tokens):
+        tok = tokens[i]
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else ""
+        if tok.startswith("-O"):
+            level = tok[2:]
+            if level == "fast":
+                f = f.with_(opt_level=3, fast_math=True)
+            elif level.isdigit():
+                f = f.with_(opt_level=min(int(level), 3))
+        elif tok == "-ffast-math":
+            f = f.with_(fast_math=True)
+        elif tok == "-fno-fast-math":
+            f = f.with_(fast_math=False)
+        elif tok == "-flto" or tok == "-Klto" or tok == "-ipo":
+            f = f.with_(lto=LtoMode.FULL)
+        elif tok == "-flto=thin":
+            f = f.with_(lto=LtoMode.THIN)
+        elif tok == "-flto=full":
+            f = f.with_(lto=LtoMode.FULL)
+        elif tok in ("-march=native", "-xHost", "-mcpu=native", "-mcpu=a64fx"):
+            f = f.with_(march_native=True)
+        elif tok in ("-fopenmp", "-qopenmp", "-Kopenmp", "-homp"):
+            f = f.with_(openmp=True)
+        elif tok in ("-fno-openmp", "-noomp"):
+            f = f.with_(openmp=False)
+        elif tok.startswith("-K"):
+            # Fujitsu-style combined options: -Kfast,ocl,largepage,lto
+            for sub in tok[2:].split(","):
+                if sub == "fast":
+                    f = f.with_(opt_level=3, fast_math=True, march_native=True)
+                elif sub == "ocl":
+                    f = f.with_(ocl=True)
+                elif sub == "largepage":
+                    f = f.with_(largepage=True)
+                elif sub == "lto":
+                    f = f.with_(lto=LtoMode.FULL)
+                elif sub == "openmp":
+                    f = f.with_(openmp=True)
+        elif tok == "-mllvm" and nxt == "-polly":
+            f = f.with_(polly=True)
+            i += 1
+        elif tok.startswith("-mllvm"):
+            i += 1  # skip the argument of other -mllvm options
+        i += 1
+    return f
+
+
+# The paper's per-environment flag sets (Section 2.1).
+FJTRAD_FLAGS = parse_flags(["-Kfast,ocl,largepage,lto"])
+FJCLANG_FLAGS = parse_flags(["-Kfast,ocl,largepage,lto"])
+LLVM_FLAGS = parse_flags(["-Ofast", "-ffast-math", "-flto=thin", "-mcpu=native"])
+LLVM_POLLY_FLAGS = parse_flags(
+    [
+        "-Ofast",
+        "-ffast-math",
+        "-flto=full",
+        "-mcpu=native",
+        "-mllvm",
+        "-polly",
+        "-mllvm",
+        "-polly-vectorizer=polly",
+    ]
+)
+GNU_FLAGS = parse_flags(["-O3", "-march=native", "-flto"])
+ICC_FLAGS = parse_flags(["-Ofast", "-xHost", "-ipo"])

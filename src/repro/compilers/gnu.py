@@ -1,0 +1,52 @@
+"""GNU Compiler Collection 10.2 model.
+
+Built with the paper's ``-O3 -march=native -flto``.  The decisive
+semantic detail: **no fast-math**, so FP reductions are not reassociated
+and stay scalar.  GCC 10's SVE support also bails on strided and
+predicated loops (NEON or scalar fallbacks), and libgomp's fork/barrier
+costs at 48 threads are the highest of the bunch.  Against that, GCC's
+scalar integer code generation is the best on A64FX — the paper
+speculates a legacy of GNU's dominance in the (FPU-less) embedded Arm
+space — and it almost universally beats FJtrad on single-threaded SPEC
+integer codes.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler, Pass, PassContext
+from repro.compilers.flags import GNU_FLAGS, CompilerFlags
+from repro.compilers.passes import (
+    DeadCodeEliminationPass,
+    InterchangePass,
+    MemoryScheduleFinalizePass,
+    OpenMPOutliningPass,
+    ScalarCodegenPass,
+    SoftwarePrefetchPass,
+    UnrollPass,
+    VectorizePass,
+)
+from repro.compilers.quirks import GNU_CAPS
+
+
+class Gnu(Compiler):
+    """GCC 10.2 targeting A64FX (-march=native enables SVE)."""
+
+    variant = "GNU"
+
+    def __init__(self) -> None:
+        super().__init__(GNU_CAPS)
+
+    def default_flags(self) -> CompilerFlags:
+        return GNU_FLAGS
+
+    def pipeline(self, ctx: PassContext) -> list[Pass]:
+        return [
+            DeadCodeEliminationPass(),
+            InterchangePass(),  # -floop-interchange is on at -O3
+            OpenMPOutliningPass(),
+            VectorizePass(),
+            UnrollPass(),
+            SoftwarePrefetchPass(),
+            ScalarCodegenPass(),
+            MemoryScheduleFinalizePass(),
+        ]

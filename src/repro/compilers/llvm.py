@@ -1,0 +1,75 @@
+"""LLVM 12 models: plain and with Polly.
+
+The paper builds C/C++ with upstream LLVM 12 (``-Ofast -ffast-math
+-flto=thin``), and a second configuration with the polyhedral optimizer
+(``-mllvm -polly -mllvm -polly-vectorizer=polly``) using full LTO
+because ThinLTO interfered with Polly.  Fortran units are compiled with
+Fujitsu ``frt`` (the paper skips flang), which the registry implements
+as delegation to the FJtrad pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler, Pass, PassContext
+from repro.compilers.flags import LLVM_FLAGS, LLVM_POLLY_FLAGS, CompilerFlags
+from repro.compilers.passes import (
+    DeadCodeEliminationPass,
+    InterchangePass,
+    MemoryScheduleFinalizePass,
+    OpenMPOutliningPass,
+    PolyhedralPass,
+    ScalarCodegenPass,
+    SoftwarePrefetchPass,
+    UnrollPass,
+    VectorizePass,
+)
+from repro.compilers.quirks import LLVM_CAPS, LLVM_POLLY_CAPS
+
+
+class Llvm(Compiler):
+    """Upstream LLVM 12 (clang) with the paper's -Ofast configuration."""
+
+    variant = "LLVM"
+
+    def __init__(self) -> None:
+        super().__init__(LLVM_CAPS)
+
+    def default_flags(self) -> CompilerFlags:
+        return LLVM_FLAGS
+
+    def pipeline(self, ctx: PassContext) -> list[Pass]:
+        return [
+            DeadCodeEliminationPass(),
+            InterchangePass(),
+            OpenMPOutliningPass(),
+            VectorizePass(),
+            UnrollPass(),
+            SoftwarePrefetchPass(),
+            ScalarCodegenPass(),
+            MemoryScheduleFinalizePass(),
+        ]
+
+
+class LlvmPolly(Compiler):
+    """LLVM 12 with the Polly polyhedral optimizer and full LTO."""
+
+    variant = "LLVM+Polly"
+
+    def __init__(self) -> None:
+        super().__init__(LLVM_POLLY_CAPS)
+
+    def default_flags(self) -> CompilerFlags:
+        return LLVM_POLLY_FLAGS
+
+    def pipeline(self, ctx: PassContext) -> list[Pass]:
+        return [
+            DeadCodeEliminationPass(),
+            PolyhedralPass(),
+            InterchangePass(),
+            OpenMPOutliningPass(),
+            VectorizePass(),
+            UnrollPass(),
+            SoftwarePrefetchPass(),
+            ScalarCodegenPass(),
+            MemoryScheduleFinalizePass(),
+        ]

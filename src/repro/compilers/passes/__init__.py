@@ -1,0 +1,30 @@
+"""Concrete compiler passes.
+
+Each pass inspects/transforms one nest's :class:`CodegenNestInfo` under
+a :class:`PassContext`.  Pipelines assemble them in the conventional
+order: dead-code elimination, polyhedral scheduling, loop interchange,
+OpenMP outlining, vectorization, unrolling, prefetch insertion, and
+final scalar/memory-schedule annotation.
+"""
+
+from repro.compilers.passes.dce import DeadCodeEliminationPass
+from repro.compilers.passes.interchange import InterchangePass
+from repro.compilers.passes.memsched import MemoryScheduleFinalizePass
+from repro.compilers.passes.openmp import OpenMPOutliningPass
+from repro.compilers.passes.polyhedral import PolyhedralPass
+from repro.compilers.passes.prefetch import SoftwarePrefetchPass
+from repro.compilers.passes.scalar import ScalarCodegenPass
+from repro.compilers.passes.unroll import UnrollPass
+from repro.compilers.passes.vectorize import VectorizePass
+
+__all__ = [
+    "DeadCodeEliminationPass",
+    "InterchangePass",
+    "MemoryScheduleFinalizePass",
+    "OpenMPOutliningPass",
+    "PolyhedralPass",
+    "ScalarCodegenPass",
+    "SoftwarePrefetchPass",
+    "UnrollPass",
+    "VectorizePass",
+]

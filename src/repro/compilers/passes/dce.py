@@ -1,0 +1,30 @@
+"""Dead-code elimination incidents.
+
+Aggressive interprocedural optimization occasionally proves a
+benchmark's entire computation dead and deletes it — the reproduced
+paper's PolyBench ``mvt`` cell, where LLVM+Polly reports a speedup of
+more than 250 000x, is the canonical example (the kernel's outputs are
+never observed by the timing harness's build).  Which (variant, kernel)
+pairs this happened to is empirical Figure 2 data, recorded in
+``CompilerCapabilities.dce_kernels``; this pass applies it, gated on
+the kernel actually being statically analyzable (a SCoP).
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CodegenNestInfo, Pass, PassContext
+from repro.ir.analysis import is_scop
+
+
+class DeadCodeEliminationPass(Pass):
+    """Eliminate nests of kernels the variant is known to have DCE'd."""
+
+    name = "dce"
+
+    def run(self, info: CodegenNestInfo, ctx: PassContext) -> None:
+        if ctx.kernel.name not in ctx.caps.dce_kernels:
+            return
+        if not is_scop(ctx.kernel):
+            return  # can't prove deadness through irregular code
+        info.eliminated = True
+        info.mark(self.name)

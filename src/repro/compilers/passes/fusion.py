@@ -1,0 +1,95 @@
+"""Loop fusion across adjacent nests.
+
+Fusion merges consecutive nests with identical iteration spaces into
+one, so producer values are consumed while still in registers/cache —
+the traffic model then sees the reuse automatically.  It is a
+*kernel-level* transformation (it changes the nest list), run by the
+compile driver before the per-nest pipeline for variants whose
+capability table enables it (Fujitsu trad, Polly, icc).
+
+Legality (classic loop-fusion criterion): the original program runs
+*all* iterations of nest A before *any* of nest B; fusing interleaves
+them.  That is safe iff no *fusion-preventing dependence* exists — a
+carried dependence of the fused nest whose source statement comes from
+B and whose sink comes from A (such a dependence means some B iteration
+must still run before a later A iteration, which fusion would reverse).
+The check runs the full dependence analysis on the candidate fused
+nest, so e.g. Jacobi's sweep + copy-back pair is correctly rejected
+(the copy-back feeds the *next* sweep iteration's neighbours) while
+same-index producer/consumer chains fuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.compilers.base import PassContext
+from repro.ir.dependence import nest_dependences
+from repro.ir.kernel import Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.statement import Statement
+
+
+def _compatible(a: LoopNest, b: LoopNest) -> bool:
+    """Same depth, same trip structure, same parallel annotation."""
+    if a.depth != b.depth:
+        return False
+    for la, lb in zip(a.loops, b.loops):
+        if (la.lower, la.upper, la.step, la.parallel) != (
+            lb.lower,
+            lb.upper,
+            lb.step,
+            lb.parallel,
+        ):
+            return False
+    return True
+
+
+def _share_array(a: LoopNest, b: LoopNest) -> bool:
+    names_a = {arr.name for arr in a.arrays}
+    return any(arr.name in names_a for arr in b.arrays)
+
+
+def _renamed_body(b: LoopNest, target_vars: tuple[str, ...], tag: str) -> tuple[Statement, ...]:
+    """B's body with loop variables mapped onto A's and unique names."""
+    mapping = dict(zip(b.loop_vars, target_vars))
+    out = []
+    for stmt in b.body:
+        renamed = stmt.rename(mapping)
+        out.append(replace(renamed, name=f"{stmt.name}{tag}"))
+    return tuple(out)
+
+
+def try_fuse(a: LoopNest, b: LoopNest) -> LoopNest | None:
+    """Fuse two adjacent nests; None when incompatible or illegal."""
+    if not _compatible(a, b) or not _share_array(a, b):
+        return None
+    b_body = _renamed_body(b, a.loop_vars, "_f")
+    candidate = LoopNest(a.loops, a.body + b_body, label=a.label)
+    a_names = {s.name for s in a.body}
+    b_names = {s.name for s in b_body}
+    for dep in nest_dependences(candidate):
+        if dep.carried_level() is None:
+            continue
+        if dep.src.name in b_names and dep.dst.name in a_names:
+            return None  # fusion-preventing dependence
+    return candidate
+
+
+def fuse_kernel(kernel: Kernel, ctx: PassContext) -> Kernel:
+    """Greedily fuse adjacent nests of the kernel where legal."""
+    if not ctx.caps.fusion or ctx.flags.opt_level < 2 or len(kernel.nests) < 2:
+        return kernel
+    nests = list(kernel.nests)
+    changed = False
+    i = 0
+    while i < len(nests) - 1:
+        fused = try_fuse(nests[i], nests[i + 1])
+        if fused is not None:
+            nests[i : i + 2] = [fused]
+            changed = True
+        else:
+            i += 1
+    if not changed:
+        return kernel
+    return kernel.with_nests(tuple(nests))

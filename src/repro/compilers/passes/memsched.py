@@ -1,0 +1,47 @@
+"""Memory-schedule finalization.
+
+Stamps the variant's achievable-bandwidth multiplier and streaming-
+store capability onto the nest.  The multiplier is calibrated on
+BabelStream: the paper measures up to 51% lower runtime from LLVM/GNU
+versus Fujitsu's compilers on the pure streaming kernels, i.e. the
+Fujitsu-generated load/store/prefetch schedule sustains markedly less
+of the HBM2 bandwidth on trivial streams (its aggressive software
+pipelining and prefetching pay off on complex kernels instead).
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CodegenNestInfo, Pass, PassContext
+from repro.ir.kernel import Feature
+
+
+class MemoryScheduleFinalizePass(Pass):
+    """Record bandwidth-efficiency and streaming-store codegen facts."""
+
+    name = "memsched"
+
+    def run(self, info: CodegenNestInfo, ctx: PassContext) -> None:
+        if info.eliminated:
+            return
+        quality = ctx.caps.memory_schedule_quality.get(ctx.language, 0.9)
+        # The low-quality case (Fujitsu's SWP scheduler on untuned C/C++)
+        # is a *trivial-stream* phenomenon: on complex memory-bound
+        # bodies the software pipelining and prefetching pay off and the
+        # schedule recovers most of the bandwidth.
+        nest = info.nest
+        complex_body = (
+            len(nest.accesses) >= 4 or nest.flops_per_iteration() >= 4.0
+        )
+        if quality < 0.80 and complex_body:
+            quality = 0.85
+        # Vendor-tuned sources (OCL pragmas with hand-set prefetch
+        # distances and zfill hints) recover Fujitsu's schedule quality
+        # on the co-designed kernels; other compilers treat the pragmas
+        # as comments, so the feature changes nothing for them.
+        if ctx.flags.ocl and ctx.kernel.has_feature(Feature.VENDOR_TUNED):
+            quality = max(quality, 0.94)
+        info.memory_schedule_quality = quality
+        info.streaming_stores = ctx.caps.streaming_stores and ctx.flags.opt_level >= 2
+        info.latency_serialized = ctx.kernel.has_feature(Feature.POINTER_CHASING)
+        info.large_pages = ctx.flags.largepage
+        info.mark(self.name)

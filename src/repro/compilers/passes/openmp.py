@@ -1,0 +1,33 @@
+"""OpenMP outlining.
+
+Marks nests with a ``parallel``-annotated loop as multi-threaded and
+stamps the variant's runtime-library costs onto the codegen info.  The
+runtime differences are significant on A64FX: Fujitsu's runtime is
+co-tuned for the chip's 12-core CMGs, LLVM's libomp is close, and GNU's
+libgomp pays several microseconds per fork/barrier at high thread
+counts — part of why the paper finds GNU "currently the worst choice"
+for SPEC OMP-style workloads.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CodegenNestInfo, Pass, PassContext
+
+
+class OpenMPOutliningPass(Pass):
+    """Outline parallel loops and record runtime-library costs."""
+
+    name = "openmp"
+
+    def run(self, info: CodegenNestInfo, ctx: PassContext) -> None:
+        if info.eliminated:
+            return
+        if not ctx.flags.openmp:
+            return
+        if not any(loop.parallel for loop in info.nest.loops):
+            return
+        info.parallel = True
+        info.omp_fork_us = ctx.caps.openmp_fork_us
+        info.omp_barrier_us = ctx.caps.openmp_barrier_us
+        info.omp_scaling_quality = ctx.caps.omp_scaling_quality
+        info.mark(self.name)

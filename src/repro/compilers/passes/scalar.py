@@ -1,0 +1,61 @@
+"""Final scalar-codegen quality annotation.
+
+Distills the variant's frontend/backend quality into the single
+``scalar_quality`` multiplier the ECM compute model applies to
+non-vector work.  This is where the paper's language-correlated
+findings are mechanized:
+
+* integer/branch-dominated code takes the variant's
+  ``integer_quality`` (GNU's strength, FJtrad's weakness — Sec. 3.3);
+* C++ abstractions and call-heavy/recursive code lean on the inliner,
+  whose effectiveness varies with the LTO mode in the flag set;
+* pointer-chasing and branch-heavy kernels blend in branch handling.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CodegenNestInfo, Pass, PassContext
+from repro.compilers.flags import LtoMode
+from repro.ir.kernel import Feature
+from repro.ir.statement import OpCount
+
+
+class ScalarCodegenPass(Pass):
+    """Set the scalar-quality multiplier from language and features."""
+
+    name = "scalar"
+
+    def run(self, info: CodegenNestInfo, ctx: PassContext) -> None:
+        if info.eliminated:
+            return
+        caps = ctx.caps
+        kernel = ctx.kernel
+
+        quality = caps.scalar_quality.get(ctx.language, 0.8)
+
+        # Integer-dominant nests are judged by the integer pipeline
+        # codegen instead of the FP path.
+        ops = sum((s.ops for s in info.nest.body), start=OpCount())
+        if ops.iops + ops.branches > ops.flops or kernel.has_feature(Feature.INTEGER_DOMINANT):
+            quality = caps.integer_quality
+
+        # Inliner-dependent kernels: effectiveness scales with LTO mode.
+        inline = caps.inline_quality
+        if ctx.flags.lto is LtoMode.OFF:
+            inline *= 0.80
+        elif ctx.flags.lto is LtoMode.THIN:
+            inline *= 0.97
+        if kernel.has_feature(Feature.NEEDS_INLINING):
+            quality *= inline
+        if kernel.has_feature(Feature.RECURSIVE):
+            # Recursive traversals need both inlining and good branch code.
+            quality *= inline * (0.5 + 0.5 * caps.integer_quality)
+        if kernel.has_feature(Feature.BRANCH_HEAVY):
+            quality *= 0.6 + 0.4 * caps.integer_quality
+        if kernel.has_feature(Feature.POINTER_CHASING):
+            # Address-generation/scheduling quality shows up on chains.
+            quality *= 0.7 + 0.3 * caps.integer_quality
+
+        info.scalar_quality = max(0.05, min(1.0, quality))
+        info.math_library_quality = caps.math_library_quality
+        info.mark(self.name)

@@ -1,0 +1,42 @@
+"""Innermost-loop unrolling (and unroll-and-jam stand-in).
+
+Unrolling matters more on A64FX than on big OoO x86 cores: the modest
+scheduler window benefits from the compiler exposing independent work
+explicitly.  The ECM model uses ``unroll_factor`` to partially recover
+``ooo_quality`` on the compute side.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CodegenNestInfo, Pass, PassContext
+
+#: Innermost trip count below which unrolling is not attempted.
+_MIN_TRIP = 16
+
+#: Statements above which the body is considered too large to unroll.
+_MAX_BODY = 8
+
+
+class UnrollPass(Pass):
+    """Unroll small hot innermost loops."""
+
+    name = "unroll"
+
+    def run(self, info: CodegenNestInfo, ctx: PassContext) -> None:
+        if info.eliminated:
+            return
+        if ctx.flags.opt_level < 2:
+            return
+        nest = info.nest
+        if nest.innermost.trip_count < _MIN_TRIP or len(nest.body) > _MAX_BODY:
+            return
+        # Reductions benefit most (breaking the accumulation chain needs
+        # either vector partial sums or unrolled scalar accumulators —
+        # the latter also requires reassociation for FP).
+        has_reduction = any(s.is_reduction for s in nest.body)
+        if has_reduction and not ctx.flags.fast_math:
+            factor = 2
+        else:
+            factor = 4
+        info.unroll_factor = max(info.unroll_factor, factor)
+        info.mark(self.name)

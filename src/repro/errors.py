@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.  Compiler-model failures that
+*mirror real toolchain failures* (a compile error, a miscompiled binary
+that crashes at runtime) are modelled as *results*, not exceptions — see
+:mod:`repro.compilers.diagnostics` — because the paper's Figure 2 reports
+them as data points.  Exceptions here indicate misuse of the library
+itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation (IR) construction or use."""
+
+
+class IRValidationError(IRError):
+    """An IR object failed structural validation."""
+
+
+class UnknownLoopError(IRError):
+    """A loop variable was referenced that is not bound by the nest."""
+
+
+class TransformError(ReproError):
+    """A compiler pass was asked to perform an illegal transformation."""
+
+
+class MachineConfigError(ReproError):
+    """Inconsistent machine-model configuration."""
+
+
+class PlacementError(ReproError):
+    """An MPI x OpenMP placement does not fit the machine topology."""
+
+
+class HarnessError(ReproError):
+    """Campaign/runner orchestration misuse."""
+
+
+class SuiteError(ReproError):
+    """Benchmark-suite definition or lookup failure."""
+
+
+class AnalysisError(ReproError):
+    """Result post-processing failure (e.g. missing baseline data)."""

@@ -1,0 +1,32 @@
+"""Measurement harness: exploration phase, performance runs, campaign
+orchestration, and result records (Sections 2.3-2.4 of the paper)."""
+
+from repro.harness.campaign import run_campaign, run_polybench_xeon
+from repro.harness.exploration import (
+    EXPLORATION_TRIALS,
+    explore,
+    placement_candidates,
+)
+from repro.harness.results import (
+    STATUS_COMPILE_ERROR,
+    STATUS_OK,
+    STATUS_RUNTIME_ERROR,
+    CampaignResult,
+    RunRecord,
+)
+from repro.harness.runner import PERFORMANCE_RUNS, run_benchmark
+
+__all__ = [
+    "CampaignResult",
+    "EXPLORATION_TRIALS",
+    "PERFORMANCE_RUNS",
+    "RunRecord",
+    "STATUS_COMPILE_ERROR",
+    "STATUS_OK",
+    "STATUS_RUNTIME_ERROR",
+    "explore",
+    "placement_candidates",
+    "run_benchmark",
+    "run_campaign",
+    "run_polybench_xeon",
+]

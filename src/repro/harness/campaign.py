@@ -1,0 +1,58 @@
+"""Campaign orchestration: the full study in one call.
+
+``run_campaign()`` measures every benchmark of every suite under every
+study variant on an A64FX node — the complete Figure 2 — and
+``run_polybench_xeon()`` produces the icc/Xeon reference column that
+Figure 1 compares against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.compilers.flags import CompilerFlags
+from repro.compilers.registry import STUDY_VARIANTS
+from repro.harness.results import CampaignResult
+from repro.harness.runner import run_benchmark
+from repro.machine.a64fx import a64fx
+from repro.machine.machine import Machine
+from repro.machine.xeon import xeon
+from repro.perf.cost import CompilationCache
+from repro.suites.base import Benchmark, Suite
+from repro.suites.registry import all_suites
+
+
+def run_campaign(
+    machine: Machine | None = None,
+    *,
+    variants: Sequence[str] = STUDY_VARIANTS,
+    suites: Iterable[Suite] | None = None,
+    benchmarks: Iterable[Benchmark] | None = None,
+    flags: CompilerFlags | None = None,
+    progress: "callable | None" = None,
+) -> CampaignResult:
+    """Measure all (benchmark, variant) cells.
+
+    ``suites``/``benchmarks`` restrict the campaign; ``flags`` overrides
+    every variant's paper flags (for the flag-ablation studies);
+    ``progress`` is an optional callback ``(benchmark_name, variant)``.
+    """
+    machine = machine if machine is not None else a64fx()
+    if benchmarks is None:
+        suite_list = tuple(suites) if suites is not None else all_suites()
+        benchmarks = [b for s in suite_list for b in s.benchmarks]
+    result = CampaignResult(machine=machine.name)
+    cache = CompilationCache()
+    for bench in benchmarks:
+        for variant in variants:
+            if progress is not None:
+                progress(bench.full_name, variant)
+            result.add(run_benchmark(bench, variant, machine, flags=flags, cache=cache))
+    return result
+
+
+def run_polybench_xeon() -> CampaignResult:
+    """The Figure 1 reference: PolyBench under icc on the Xeon node."""
+    from repro.suites.polybench import polybench_suite
+
+    return run_campaign(xeon(), variants=("icc",), suites=(polybench_suite(),))

@@ -1,0 +1,107 @@
+"""The exploration phase (Section 2.4).
+
+"We employ an exploration phase for each compiler and test various MPI
+and/or OMP combinations for all parallelized, strong-scaling benchmarks
+..., using three trial runs each.  The fastest time-to-solution
+determines the final MPI/OMP setting (individual per compiler) for the
+performance runs."
+
+Benchmark constraints honoured: PolyBench is pinned to one core; SWFFT
+needs power-of-two ranks; OpenMP-only codes keep one rank; weak-scaling
+codes (miniAMR, XSBench) skip exploration and use the recommended
+placement.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.flags import CompilerFlags
+from repro.machine.machine import Machine
+from repro.machine.topology import Placement, candidate_placements
+from repro.perf.cost import CompilationCache, ModelResult, benchmark_model
+from repro.perf.noise import noise_multiplier
+from repro.suites.base import Benchmark, ParallelKind, ScalingKind
+
+#: Trial runs per placement candidate (Sec. 2.4).
+EXPLORATION_TRIALS = 3
+
+
+def placement_candidates(bench: Benchmark, machine: Machine) -> tuple[Placement, ...]:
+    """The placements the exploration phase tries for one benchmark."""
+    topo = machine.topology
+    if bench.pinned_single_core or bench.parallel is ParallelKind.SERIAL:
+        return (Placement(1, 1),)
+    if bench.scaling is ScalingKind.WEAK:
+        # Weak-scaling codes are excluded from the sweep (Sec. 2.4).
+        return (machine.recommended_placement(),)
+    if bench.parallel is ParallelKind.OPENMP:
+        threads: list[int] = []
+        t = 1
+        while t <= topo.total_cores:
+            threads.append(t)
+            t *= 2
+        if topo.cores_per_domain not in threads:
+            threads.append(topo.cores_per_domain)
+        if topo.total_cores not in threads:
+            threads.append(topo.total_cores)
+        return tuple(Placement(1, t) for t in sorted(set(threads)))
+    if bench.parallel is ParallelKind.MPI:
+        ranks: list[int] = []
+        r = 1
+        while r <= topo.total_cores:
+            ranks.append(r)
+            r *= 2
+        if topo.numa_domains not in ranks:
+            ranks.append(topo.numa_domains)
+        if topo.total_cores not in ranks:
+            ranks.append(topo.total_cores)
+        if bench.pow2_ranks:
+            ranks = [x for x in ranks if not x & (x - 1)]
+        return tuple(Placement(x, 1) for x in sorted(set(ranks)))
+    return candidate_placements(topo, pow2_ranks_only=bench.pow2_ranks)
+
+
+def explore(
+    bench: Benchmark,
+    variant: str,
+    machine: Machine,
+    *,
+    flags: CompilerFlags | None = None,
+    cache: CompilationCache | None = None,
+) -> tuple[Placement, tuple[tuple[int, int, float], ...], ModelResult]:
+    """Run the exploration sweep; returns (winner, trial log, its model).
+
+    Each candidate gets :data:`EXPLORATION_TRIALS` noisy trials; the
+    placement with the fastest single trial wins (per the paper).
+    Failed builds return the recommended placement unexplored — the
+    failure will be recorded by the performance runner anyway.
+    """
+    cache = cache if cache is not None else CompilationCache()
+    log: list[tuple[int, int, float]] = []
+    best_placement: Placement | None = None
+    best_time = float("inf")
+    best_model: ModelResult | None = None
+
+    for placement in placement_candidates(bench, machine):
+        model = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
+        if not model.valid:
+            return machine.recommended_placement(), (), model
+        fastest_trial = min(
+            model.time_s
+            * noise_multiplier(
+                bench.noise_cv,
+                "explore",
+                bench.full_name,
+                variant,
+                str(placement),
+                trial,
+            )
+            for trial in range(EXPLORATION_TRIALS)
+        )
+        log.append((placement.ranks, placement.threads, fastest_trial))
+        if fastest_trial < best_time:
+            best_time = fastest_trial
+            best_placement = placement
+            best_model = model
+
+    assert best_placement is not None and best_model is not None
+    return best_placement, tuple(log), best_model

@@ -1,0 +1,138 @@
+"""Result records and campaign containers, with JSON round-tripping.
+
+The harness reproduces the paper's reporting discipline: each
+(benchmark, compiler) pair stores the chosen placement (from the
+exploration phase), the ten performance-run times, and a status for
+Figure 2's failure cells.  The *reported* time is the fastest run
+(Sec. 3: "We report the fastest runtime across 10 performance runs").
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError, HarnessError
+from repro.machine.topology import Placement
+
+#: Status strings stored in records (Figure 2 cell kinds).
+STATUS_OK = "ok"
+STATUS_COMPILE_ERROR = "compiler error"
+STATUS_RUNTIME_ERROR = "runtime error"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """All measurements for one (benchmark, compiler) cell."""
+
+    benchmark: str  # full name: "suite.name"
+    suite: str
+    variant: str
+    ranks: int
+    threads: int
+    #: The ten performance-run times (seconds); empty on failure.
+    runs: tuple[float, ...]
+    status: str = STATUS_OK
+    #: (ranks, threads, best-of-3 time) for every explored placement.
+    exploration: tuple[tuple[int, int, float], ...] = ()
+    diagnostics: tuple[str, ...] = ()
+
+    @property
+    def valid(self) -> bool:
+        return self.status == STATUS_OK and bool(self.runs)
+
+    @property
+    def best_s(self) -> float:
+        """Fastest performance run — the paper's reported metric."""
+        if not self.valid:
+            return float("inf")
+        return min(self.runs)
+
+    @property
+    def mean_s(self) -> float:
+        if not self.valid:
+            return float("inf")
+        return statistics.fmean(self.runs)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation across the performance runs."""
+        if not self.valid or len(self.runs) < 2:
+            return 0.0
+        mean = statistics.fmean(self.runs)
+        if mean == 0:
+            return 0.0
+        return statistics.stdev(self.runs) / mean
+
+    @property
+    def placement(self) -> Placement:
+        return Placement(self.ranks, self.threads)
+
+
+@dataclass
+class CampaignResult:
+    """All records of one measurement campaign (one machine)."""
+
+    machine: str
+    records: dict[tuple[str, str], RunRecord] = field(default_factory=dict)
+
+    def add(self, record: RunRecord) -> None:
+        key = (record.benchmark, record.variant)
+        if key in self.records:
+            raise HarnessError(f"duplicate record for {key}")
+        self.records[key] = record
+
+    def get(self, benchmark: str, variant: str) -> RunRecord:
+        try:
+            return self.records[(benchmark, variant)]
+        except KeyError:
+            raise AnalysisError(
+                f"no record for {benchmark!r} under {variant!r}"
+            ) from None
+
+    def has(self, benchmark: str, variant: str) -> bool:
+        return (benchmark, variant) in self.records
+
+    def benchmarks(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for bench, _ in self.records:
+            seen.setdefault(bench)
+        return tuple(seen)
+
+    def variants(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for _, variant in self.records:
+            seen.setdefault(variant)
+        return tuple(seen)
+
+    def suite_records(self, suite: str) -> tuple[RunRecord, ...]:
+        return tuple(r for r in self.records.values() if r.suite == suite)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "machine": self.machine,
+            "records": [asdict(r) for r in self.records.values()],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        payload = json.loads(text)
+        result = cls(machine=payload["machine"])
+        for raw in payload["records"]:
+            raw["runs"] = tuple(raw["runs"])
+            raw["exploration"] = tuple(tuple(e) for e in raw["exploration"])
+            raw["diagnostics"] = tuple(raw["diagnostics"])
+            result.add(RunRecord(**raw))
+        return result
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CampaignResult":
+        return cls.from_json(Path(path).read_text())

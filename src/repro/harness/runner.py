@@ -1,0 +1,80 @@
+"""Performance runs (Section 2.4): ten repetitions at the explored
+placement, fastest reported; failure statuses recorded as Figure 2
+cells."""
+
+from __future__ import annotations
+
+from repro.compilers.base import CompileStatus
+from repro.compilers.flags import CompilerFlags
+from repro.harness.exploration import explore
+from repro.harness.results import (
+    STATUS_COMPILE_ERROR,
+    STATUS_OK,
+    STATUS_RUNTIME_ERROR,
+    RunRecord,
+)
+from repro.machine.machine import Machine
+from repro.perf.cost import CompilationCache, benchmark_model
+from repro.perf.noise import noise_multiplier, timer_resolution_floor
+from repro.suites.base import Benchmark
+
+#: Repetitions in the performance phase (Sec. 2.4).
+PERFORMANCE_RUNS = 10
+
+_STATUS_MAP = {
+    CompileStatus.COMPILE_ERROR: STATUS_COMPILE_ERROR,
+    CompileStatus.RUNTIME_FAULT: STATUS_RUNTIME_ERROR,
+}
+
+
+def run_benchmark(
+    bench: Benchmark,
+    variant: str,
+    machine: Machine,
+    *,
+    flags: CompilerFlags | None = None,
+    cache: CompilationCache | None = None,
+    runs: int = PERFORMANCE_RUNS,
+) -> RunRecord:
+    """Full measurement of one (benchmark, compiler) cell."""
+    cache = cache if cache is not None else CompilationCache()
+    placement, exploration_log, model = explore(
+        bench, variant, machine, flags=flags, cache=cache
+    )
+
+    if model.status is not CompileStatus.OK:
+        return RunRecord(
+            benchmark=bench.full_name,
+            suite=bench.suite,
+            variant=variant,
+            ranks=placement.ranks,
+            threads=placement.threads,
+            runs=(),
+            status=_STATUS_MAP[model.status],
+            exploration=exploration_log,
+            diagnostics=model.diagnostics,
+        )
+
+    # Re-evaluate at the chosen placement (the exploration may have kept
+    # a different model instance) and add per-run noise.
+    final = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
+    times = tuple(
+        timer_resolution_floor(
+            final.time_s
+            * noise_multiplier(
+                bench.noise_cv, "perf", bench.full_name, variant, str(placement), i
+            )
+        )
+        for i in range(runs)
+    )
+    return RunRecord(
+        benchmark=bench.full_name,
+        suite=bench.suite,
+        variant=variant,
+        ranks=placement.ranks,
+        threads=placement.threads,
+        runs=times,
+        status=STATUS_OK,
+        exploration=exploration_log,
+        diagnostics=final.diagnostics,
+    )

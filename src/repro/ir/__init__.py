@@ -1,0 +1,101 @@
+"""Kernel intermediate representation.
+
+The IR describes benchmark kernels as affine loop nests over typed
+arrays, precisely enough for real dependence analysis and loop
+transformations, while staying compact enough to describe 150+ kernels
+by hand in :mod:`repro.suites`.
+
+Public surface::
+
+    from repro.ir import (
+        AffineExpr, Array, Access, AccessKind, DType, Language, Layout,
+        Loop, LoopNest, OpCount, Statement, Kernel, Feature,
+        KernelBuilder, read, write, update,
+    )
+"""
+
+from repro.ir.analysis import (
+    AccessPattern,
+    StrideClass,
+    classify_access,
+    contiguous_fraction,
+    is_scop,
+    nest_access_patterns,
+    reuse_potential,
+    working_set_bytes,
+    working_set_profile,
+)
+from repro.ir.array import Access, Array, footprint_bytes
+from repro.ir.builder import AccessSpec, KernelBuilder, read, update, write
+from repro.ir.dependence import (
+    Dependence,
+    DepKind,
+    Direction,
+    VectorizationLegality,
+    carried_dependences,
+    innermost_vectorization_legality,
+    nest_dependences,
+    permutation_legal,
+)
+from repro.ir.expr import AffineExpr
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.serialize import (
+    kernel_from_dict,
+    kernel_from_json,
+    kernel_to_dict,
+    kernel_to_json,
+)
+from repro.ir.statement import OpCount, Statement
+from repro.ir.transforms import interchange, strip_mine, tile
+from repro.ir.types import AccessKind, DType, Language, Layout
+from repro.ir.validate import check_kernel, validate_kernel, validate_nest
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AccessPattern",
+    "AccessSpec",
+    "AffineExpr",
+    "Array",
+    "DepKind",
+    "Dependence",
+    "Direction",
+    "DType",
+    "Feature",
+    "Kernel",
+    "KernelBuilder",
+    "Language",
+    "Layout",
+    "Loop",
+    "LoopNest",
+    "OpCount",
+    "Statement",
+    "StrideClass",
+    "VectorizationLegality",
+    "carried_dependences",
+    "check_kernel",
+    "classify_access",
+    "contiguous_fraction",
+    "footprint_bytes",
+    "innermost_vectorization_legality",
+    "interchange",
+    "strip_mine",
+    "tile",
+    "kernel_from_dict",
+    "kernel_from_json",
+    "kernel_to_dict",
+    "kernel_to_json",
+    "is_scop",
+    "nest_access_patterns",
+    "nest_dependences",
+    "permutation_legal",
+    "read",
+    "reuse_potential",
+    "update",
+    "validate_kernel",
+    "validate_nest",
+    "working_set_bytes",
+    "working_set_profile",
+    "write",
+]

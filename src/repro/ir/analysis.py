@@ -1,0 +1,196 @@
+"""Structural analyses over kernels: stride classification, working
+sets, and SCoP (static control part) detection.
+
+These feed two consumers:
+
+* the **compiler models** — e.g. the Polly model only optimizes SCoPs;
+  vectorizers ask for innermost-stride classes to choose between unit
+  loads, strided loads, and gathers;
+* the **performance model** — the analytic cache-traffic estimator uses
+  per-level working sets and stride classes to place each access stream
+  in the memory hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.array import Access
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.loop import LoopNest
+
+
+class StrideClass(enum.Enum):
+    """How an access stream moves with respect to a given loop."""
+
+    #: Address does not change (register-resident after the first load).
+    INVARIANT = "invariant"
+    #: Unit element stride (perfect spatial locality).
+    CONTIGUOUS = "contiguous"
+    #: Constant non-unit stride.
+    STRIDED = "strided"
+    #: Data-dependent address (gather/scatter).
+    INDIRECT = "indirect"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StrideClass.{self.name}"
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Stride classification of one access with respect to one loop."""
+
+    access: Access
+    loop_var: str
+    stride_class: StrideClass
+    #: Elements moved per loop step (0 for INVARIANT, meaningless for
+    #: INDIRECT where it holds the pessimistic proxy).
+    element_stride: int
+
+    @property
+    def byte_stride(self) -> int:
+        return self.element_stride * self.access.array.dtype.size
+
+
+def classify_access(access: Access, var: str) -> AccessPattern:
+    """Classify one access with respect to loop variable ``var``."""
+    if access.indirect:
+        return AccessPattern(access, var, StrideClass.INDIRECT, access.element_stride(var))
+    stride = access.element_stride(var)
+    if stride == 0:
+        return AccessPattern(access, var, StrideClass.INVARIANT, 0)
+    if abs(stride) == 1:
+        return AccessPattern(access, var, StrideClass.CONTIGUOUS, stride)
+    return AccessPattern(access, var, StrideClass.STRIDED, stride)
+
+
+def nest_access_patterns(nest: LoopNest, var: str | None = None) -> tuple[AccessPattern, ...]:
+    """Classify every access of the nest w.r.t. ``var`` (default: innermost)."""
+    v = var if var is not None else nest.innermost.var
+    return tuple(classify_access(acc, v) for acc in nest.accesses)
+
+
+def contiguous_fraction(nest: LoopNest) -> float:
+    """Fraction of the nest's accesses that stream contiguously (or are
+    invariant) along the innermost loop — a cheap vectorization-quality
+    signal used by compiler cost models."""
+    patterns = nest_access_patterns(nest)
+    if not patterns:
+        return 1.0
+    good = sum(
+        1
+        for p in patterns
+        if p.stride_class in (StrideClass.CONTIGUOUS, StrideClass.INVARIANT)
+    )
+    return good / len(patterns)
+
+
+# --------------------------------------------------------------------------
+# working sets
+# --------------------------------------------------------------------------
+
+
+def distinct_elements(access: Access, inner_vars: frozenset[str], trips: dict[str, int]) -> int:
+    """Distinct array elements touched while the loops in ``inner_vars``
+    run over their full ranges (outer loops held fixed).
+
+    For affine subscripts this is the product of the trip counts of the
+    inner variables the access depends on (each variable enumerates a
+    distinct coordinate because subscript coefficients are constant),
+    capped by the array size.  Indirect accesses are charged their full
+    array extent — the pessimistic assumption matching their cache
+    behaviour in sparse codes.
+    """
+    if access.indirect:
+        return access.array.elements
+    deps = access.variables & inner_vars
+    count = 1
+    for v in deps:
+        count *= max(trips.get(v, 1), 1)
+    return min(count, access.array.elements)
+
+
+def working_set_bytes(nest: LoopNest, level: int) -> int:
+    """Bytes of distinct data touched by one full execution of the loops
+    at depth >= ``level`` (0 = whole nest), with outer loops held fixed.
+
+    Per-array footprints are unioned by taking the maximum across that
+    array's accesses (different subscripts of the same array largely
+    overlap in the kernels modelled here).
+    """
+    if not 0 <= level < nest.depth:
+        raise ValueError(f"level {level} out of range for depth {nest.depth}")
+    inner_vars = frozenset(l.var for l in nest.loops[level:])
+    trips = {l.var: l.trip_count for l in nest.loops}
+    per_array: dict[str, int] = {}
+    for acc in nest.accesses:
+        n = distinct_elements(acc, inner_vars, trips) * acc.array.dtype.size
+        prev = per_array.get(acc.array.name, 0)
+        per_array[acc.array.name] = max(prev, n)
+    return sum(per_array.values())
+
+
+def working_set_profile(nest: LoopNest) -> tuple[int, ...]:
+    """Working set at every loop level, outermost (whole nest) first."""
+    return tuple(working_set_bytes(nest, lvl) for lvl in range(nest.depth))
+
+
+# --------------------------------------------------------------------------
+# SCoP detection
+# --------------------------------------------------------------------------
+
+#: Features that break static-control-part-ness for polyhedral tools.
+_SCOP_BREAKERS = frozenset(
+    {
+        Feature.INDIRECT,
+        Feature.POINTER_CHASING,
+        Feature.NON_AFFINE,
+        Feature.RECURSIVE,
+        Feature.BRANCH_HEAVY,
+    }
+)
+
+
+def nest_is_static_control(nest: LoopNest) -> bool:
+    """True when the nest has affine subscripts/bounds and no
+    data-dependent control flow."""
+    for stmt in nest.body:
+        if stmt.predicated:
+            return False
+        if any(acc.indirect for acc in stmt.accesses):
+            return False
+    return True
+
+
+def is_scop(kernel: Kernel) -> bool:
+    """Is the kernel a static control part, i.e. amenable to polyhedral
+    analysis (the Polly model's gate)?
+
+    Requires affine everything and none of the breaker features.  Calls
+    needing inlining do not break SCoP-ness by themselves (Polly runs
+    after the inliner); recursion, indirect accesses, and data-dependent
+    control do.
+    """
+    if kernel.features & _SCOP_BREAKERS:
+        return False
+    return all(nest_is_static_control(nest) for nest in kernel.nests)
+
+
+def reuse_potential(nest: LoopNest) -> float:
+    """A [0, 1] score of how much temporal reuse tiling could expose.
+
+    Heuristic used by compiler cost models to decide whether tiling is
+    worth the code-size/overhead cost: ratio of naive traffic to
+    compulsory (first-touch) traffic, squashed to [0, 1].  Dense matrix
+    products score high; pure streaming kernels score ~0.
+    """
+    naive = 0.0
+    for stmt in nest.body:
+        naive += nest.iterations * stmt.bytes_moved_naive()
+    compulsory = float(working_set_bytes(nest, 0))
+    if naive <= 0 or compulsory <= 0:
+        return 0.0
+    ratio = naive / compulsory
+    # ratio ~ 1 -> no reuse; ratio >> 1 -> high reuse.
+    return max(0.0, 1.0 - 1.0 / ratio)

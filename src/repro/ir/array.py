@@ -1,0 +1,164 @@
+"""Arrays and array accesses.
+
+An :class:`Array` is a named, typed, shaped storage object; an
+:class:`Access` is one subscripted reference to it inside a statement.
+The stride of an access with respect to a loop variable — how many
+*elements* the linearized address moves when that variable increments —
+is the single most performance-relevant quantity in the study: the
+``2mm``/``3mm`` anomaly in the paper's Figure 1 is a stride-N inner loop
+that Intel's compiler interchanges away and Fujitsu's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.expr import AffineExpr
+from repro.ir.types import AccessKind, DType, Layout
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named array (or scalar, when ``shape`` is empty)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.F64
+    layout: Layout = Layout.ROW_MAJOR
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("array name must be non-empty")
+        shape = tuple(int(d) for d in self.shape)
+        for d in shape:
+            if d <= 0:
+                raise IRError(f"array {self.name!r} has non-positive extent {d}")
+        object.__setattr__(self, "shape", shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * self.dtype.size
+
+    @property
+    def linear_strides(self) -> tuple[int, ...]:
+        """Element stride of each subscript position."""
+        return self.layout.linear_strides(self.shape)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) if self.shape else "scalar"
+        return f"{self.name}[{dims}:{self.dtype.label}]"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One subscripted reference ``array[indices...]`` of a statement."""
+
+    array: Array
+    indices: tuple[AffineExpr, ...]
+    kind: AccessKind = AccessKind.READ
+    #: True when the subscript is data-dependent (indirect access, e.g.
+    #: ``x[col[j]]`` in sparse codes).  Indirect accesses defeat affine
+    #: dependence analysis and force gather/scatter vectorization.
+    indirect: bool = False
+
+    def __post_init__(self) -> None:
+        idx = tuple(AffineExpr.parse(e) for e in self.indices)
+        if len(idx) != self.array.rank:
+            raise IRError(
+                f"access to {self.array.name!r}: {len(idx)} subscripts for rank "
+                f"{self.array.rank}"
+            )
+        object.__setattr__(self, "indices", idx)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All loop variables appearing in any subscript."""
+        vs: set[str] = set()
+        for e in self.indices:
+            vs |= e.variables
+        return frozenset(vs)
+
+    def element_stride(self, var: str) -> int:
+        """Elements the linearized address moves per unit step of ``var``.
+
+        Indirect accesses report the array's leading extent as a
+        pessimistic proxy (every step may land on a new line).
+        """
+        if self.indirect:
+            return max(self.array.linear_strides, default=1)
+        strides = self.array.linear_strides
+        total = 0
+        for pos, expr in enumerate(self.indices):
+            total += expr.coefficient(var) * strides[pos]
+        return total
+
+    def byte_stride(self, var: str) -> int:
+        """Bytes the address moves per unit step of ``var``."""
+        return self.element_stride(var) * self.array.dtype.size
+
+    def is_invariant(self, var: str) -> bool:
+        """True if the access does not move when ``var`` changes."""
+        return not self.indirect and self.element_stride(var) == 0 and all(
+            not e.depends_on(var) for e in self.indices
+        )
+
+    def linearized(self) -> AffineExpr:
+        """The linearized element offset as a single affine expression."""
+        strides = self.array.linear_strides
+        out = AffineExpr.constant(0)
+        for pos, expr in enumerate(self.indices):
+            out = out + expr * strides[pos]
+        return out
+
+    def rename(self, mapping: dict[str, str]) -> "Access":
+        """Rename loop variables in every subscript."""
+        return Access(
+            self.array,
+            tuple(e.rename(mapping) for e in self.indices),
+            self.kind,
+            self.indirect,
+        )
+
+    def substitute(self, var: str, replacement: AffineExpr | int) -> "Access":
+        """Substitute a loop variable in every subscript."""
+        return Access(
+            self.array,
+            tuple(e.substitute(var, replacement) for e in self.indices),
+            self.kind,
+            self.indirect,
+        )
+
+    def with_kind(self, kind: AccessKind) -> "Access":
+        return Access(self.array, self.indices, kind, self.indirect)
+
+    def __str__(self) -> str:
+        subs = ",".join(str(e) for e in self.indices)
+        marker = {"read": "", "write": "=", "update": "+="}[self.kind.value]
+        star = "*" if self.indirect else ""
+        return f"{marker}{self.array.name}{star}[{subs}]"
+
+
+def footprint_bytes(accesses: "list[Access] | tuple[Access, ...]") -> int:
+    """Total distinct-array footprint of a set of accesses, in bytes.
+
+    Arrays referenced more than once are counted once — this is the
+    working-set upper bound used by the analytic cache model.
+    """
+    seen: dict[str, int] = {}
+    for acc in accesses:
+        seen[acc.array.name] = acc.array.nbytes
+    return sum(seen.values())

@@ -1,0 +1,208 @@
+"""Fluent construction helpers for kernels.
+
+The benchmark suites define some 150 kernels; this module keeps those
+definitions compact and readable::
+
+    b = KernelBuilder("gemm", Language.C)
+    b.array("A", (NI, NK))
+    b.array("B", (NK, NJ))
+    b.array("C", (NI, NJ))
+    b.nest(
+        loops=[("i", NI), ("j", NJ), ("k", NK)],
+        body=[
+            b.stmt(update("C", "i", "j"), read("A", "i", "k"),
+                   read("B", "k", "j"), fma=1, reduction="k"),
+        ],
+        parallel=("i",),
+    )
+    kernel = b.build()
+
+Index expressions are the concise strings accepted by
+:meth:`repro.ir.expr.AffineExpr.parse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.ir.array import Access, Array
+from repro.ir.expr import AffineExpr
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.statement import OpCount, Statement
+from repro.ir.types import AccessKind, DType, Language, Layout
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """A deferred access: resolved against declared arrays at stmt()."""
+
+    array_name: str
+    indices: tuple[str | int | AffineExpr, ...]
+    kind: AccessKind
+    indirect: bool = False
+
+
+def read(array: str, *indices: str | int | AffineExpr, indirect: bool = False) -> AccessSpec:
+    """A read access spec, e.g. ``read("A", "i", "k")``."""
+    return AccessSpec(array, indices, AccessKind.READ, indirect)
+
+
+def write(array: str, *indices: str | int | AffineExpr, indirect: bool = False) -> AccessSpec:
+    """A write access spec."""
+    return AccessSpec(array, indices, AccessKind.WRITE, indirect)
+
+
+def update(array: str, *indices: str | int | AffineExpr, indirect: bool = False) -> AccessSpec:
+    """A read-modify-write access spec (``+=``)."""
+    return AccessSpec(array, indices, AccessKind.UPDATE, indirect)
+
+
+#: Loop specification accepted by :meth:`KernelBuilder.nest`:
+#: ``("i", n)`` for ``[0, n)``, ``("i", lo, hi)``, ``("i", lo, hi, step)``,
+#: or a fully-built :class:`Loop`.
+LoopSpec = "tuple | Loop"
+
+
+def _make_loop(spec: object) -> Loop:
+    if isinstance(spec, Loop):
+        return spec
+    if isinstance(spec, tuple):
+        if len(spec) == 2:
+            var, n = spec
+            return Loop(str(var), 0, int(n))
+        if len(spec) == 3:
+            var, lo, hi = spec
+            return Loop(str(var), int(lo), int(hi))
+        if len(spec) == 4:
+            var, lo, hi, step = spec
+            return Loop(str(var), int(lo), int(hi), int(step))
+    raise IRError(f"bad loop spec: {spec!r}")
+
+
+class KernelBuilder:
+    """Incrementally assemble a :class:`~repro.ir.kernel.Kernel`."""
+
+    def __init__(
+        self,
+        name: str,
+        language: Language = Language.C,
+        *,
+        layout: Layout | None = None,
+        notes: str = "",
+    ) -> None:
+        self.name = name
+        self.language = language
+        #: Default layout for arrays declared without an explicit one;
+        #: follows the language unless overridden.
+        self.layout = layout if layout is not None else language.default_layout
+        self.notes = notes
+        self._arrays: dict[str, Array] = {}
+        self._nests: list[LoopNest] = []
+        self._features: set[Feature] = set()
+        self._stmt_counter = 0
+
+    # -- declarations -------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: DType = DType.F64,
+        layout: Layout | None = None,
+    ) -> Array:
+        """Declare (or re-fetch, if identical) an array."""
+        arr = Array(name, tuple(shape), dtype, layout if layout is not None else self.layout)
+        existing = self._arrays.get(name)
+        if existing is not None and existing != arr:
+            raise IRError(f"array {name!r} redeclared with different signature")
+        self._arrays[name] = arr
+        return arr
+
+    def feature(self, *features: Feature) -> "KernelBuilder":
+        self._features.update(features)
+        return self
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(
+        self,
+        *accesses: AccessSpec,
+        name: str | None = None,
+        reduction: str | None = None,
+        predicated: bool = False,
+        fadd: float = 0.0,
+        fmul: float = 0.0,
+        fma: float = 0.0,
+        fdiv: float = 0.0,
+        fsqrt: float = 0.0,
+        fspecial: float = 0.0,
+        iops: float = 0.0,
+        branches: float = 0.0,
+    ) -> Statement:
+        """Create a statement from access specs and per-execution op counts."""
+        if not accesses:
+            raise IRError("a statement needs at least one access")
+        resolved: list[Access] = []
+        for spec in accesses:
+            if not isinstance(spec, AccessSpec):
+                raise IRError(f"expected AccessSpec, got {type(spec).__name__}")
+            arr = self._arrays.get(spec.array_name)
+            if arr is None:
+                raise IRError(
+                    f"kernel {self.name!r}: access to undeclared array {spec.array_name!r}"
+                )
+            indices = tuple(AffineExpr.parse(e) for e in spec.indices)
+            resolved.append(Access(arr, indices, spec.kind, spec.indirect))
+        if name is None:
+            name = f"S{self._stmt_counter}"
+            self._stmt_counter += 1
+        ops = OpCount(fadd, fmul, fma, fdiv, fsqrt, fspecial, iops, branches)
+        return Statement(name, tuple(resolved), ops, reduction, predicated)
+
+    # -- nests ----------------------------------------------------------------
+
+    def nest(
+        self,
+        loops: list[object],
+        body: list[Statement],
+        *,
+        parallel: tuple[str, ...] = (),
+        label: str = "",
+    ) -> LoopNest:
+        """Append a loop nest; ``parallel`` names loops to mark OpenMP-parallel."""
+        built: list[Loop] = []
+        for spec in loops:
+            loop = _make_loop(spec)
+            if loop.var in parallel:
+                loop = Loop(loop.var, loop.lower, loop.upper, loop.step, parallel=True)
+            built.append(loop)
+        unknown = set(parallel) - {l.var for l in built}
+        if unknown:
+            raise IRError(f"parallel loops {sorted(unknown)} not in nest")
+        if parallel:
+            self._features.add(Feature.OPENMP)
+        nest = LoopNest(tuple(built), tuple(body), label or f"nest{len(self._nests)}")
+        self._nests.append(nest)
+        return nest
+
+    # -- finalization ----------------------------------------------------------
+
+    def build(self, *extra_features: Feature) -> Kernel:
+        """Produce the immutable kernel."""
+        if not self._nests:
+            raise IRError(f"kernel {self.name!r} has no nests")
+        has_indirect = any(
+            acc.indirect for nest in self._nests for acc in nest.accesses
+        )
+        features = set(self._features) | set(extra_features)
+        if has_indirect:
+            features.add(Feature.INDIRECT)
+        return Kernel(
+            name=self.name,
+            nests=tuple(self._nests),
+            language=self.language,
+            features=frozenset(features),
+            notes=self.notes,
+        )

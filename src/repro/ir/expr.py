@@ -1,0 +1,223 @@
+"""Affine index expressions over loop variables.
+
+An :class:`AffineExpr` is ``sum(coeff_v * v for v in vars) + const`` with
+integer coefficients.  Affine subscripts are what make the IR amenable to
+real dependence analysis (GCD/Banerjee tests in
+:mod:`repro.ir.dependence`) and to polyhedral optimization (the Polly
+model only fires on static-control parts, i.e. kernels whose subscripts
+and bounds are all affine).
+
+Expressions are immutable and hashable; arithmetic returns new objects.
+A tiny parser accepts the concise strings used by the suite definitions,
+e.g. ``"i"``, ``"k+1"``, ``"2*i - j + 3"``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+
+_TERM_RE = re.compile(
+    r"""
+    \s*(?P<sign>[+-]?)\s*
+    (?:
+        (?P<coeff>\d+)\s*\*\s*(?P<var1>[A-Za-z_]\w*)   # 2*i
+      | (?P<var2>[A-Za-z_]\w*)\s*\*\s*(?P<coeff2>\d+)  # i*2
+      | (?P<var3>[A-Za-z_]\w*)                          # i
+      | (?P<const>\d+)                                  # 3
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An integer affine expression over named loop variables."""
+
+    #: Mapping loop-variable name -> integer coefficient (zero coeffs dropped).
+    coeffs: Mapping[str, int] = field(default_factory=dict)
+    const: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned = {v: int(c) for v, c in dict(self.coeffs).items() if int(c) != 0}
+        object.__setattr__(self, "coeffs", _FrozenDict(cleaned))
+        object.__setattr__(self, "const", int(self.const))
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        """The expression consisting of a single loop variable."""
+        if not name or not name[0].isalpha() and name[0] != "_":
+            raise IRError(f"invalid variable name: {name!r}")
+        return AffineExpr({name: 1}, 0)
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        """A constant expression."""
+        return AffineExpr({}, int(value))
+
+    @staticmethod
+    def parse(text: "str | int | AffineExpr") -> "AffineExpr":
+        """Parse a concise affine string such as ``"2*i - j + 3"``.
+
+        Integers and existing :class:`AffineExpr` values pass through,
+        which lets suite definitions mix notations freely.
+        """
+        if isinstance(text, AffineExpr):
+            return text
+        if isinstance(text, int):
+            return AffineExpr.constant(text)
+        s = text.strip()
+        if not s:
+            raise IRError("empty affine expression")
+        coeffs: dict[str, int] = {}
+        const = 0
+        pos = 0
+        first = True
+        while pos < len(s):
+            m = _TERM_RE.match(s, pos)
+            if not m or m.end() == pos:
+                raise IRError(f"cannot parse affine expression {text!r} at offset {pos}")
+            sign_txt = m.group("sign")
+            if first and sign_txt == "" and s[:pos].strip():
+                raise IRError(f"missing operator in {text!r}")
+            sign = -1 if sign_txt == "-" else 1
+            if not first and sign_txt == "":
+                raise IRError(f"missing +/- between terms in {text!r}")
+            if m.group("const") is not None:
+                const += sign * int(m.group("const"))
+            else:
+                var = m.group("var1") or m.group("var2") or m.group("var3")
+                coeff_txt = m.group("coeff") or m.group("coeff2")
+                coeff = int(coeff_txt) if coeff_txt else 1
+                coeffs[var] = coeffs.get(var, 0) + sign * coeff
+            pos = m.end()
+            first = False
+        return AffineExpr(coeffs, const)
+
+    # -- algebra -------------------------------------------------------
+
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        other = AffineExpr.parse(other) if not isinstance(other, AffineExpr) else other
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return AffineExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        other = AffineExpr.parse(other) if not isinstance(other, AffineExpr) else other
+        return self + (-other)
+
+    def __rsub__(self, other: int) -> "AffineExpr":
+        return AffineExpr.constant(other) - self
+
+    def __mul__(self, scalar: int) -> "AffineExpr":
+        if not isinstance(scalar, int):
+            raise IRError("affine expressions only support integer scaling")
+        return AffineExpr({v: c * scalar for v, c in self.coeffs.items()}, self.const * scalar)
+
+    __rmul__ = __mul__
+
+    # -- queries -------------------------------------------------------
+
+    def coefficient(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if the variable does not appear)."""
+        return self.coeffs.get(var, 0)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The loop variables appearing with nonzero coefficient."""
+        return frozenset(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def depends_on(self, var: str) -> bool:
+        return var in self.coeffs
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate with concrete loop-variable values.
+
+        Raises :class:`IRError` if a variable is unbound.
+        """
+        total = self.const
+        for v, c in self.coeffs.items():
+            if v not in env:
+                raise IRError(f"unbound variable {v!r} in affine evaluation")
+            total += c * env[v]
+        return total
+
+    def substitute(self, var: str, replacement: "AffineExpr | int") -> "AffineExpr":
+        """Replace ``var`` with another affine expression."""
+        repl = AffineExpr.parse(replacement)
+        coeff = self.coefficient(var)
+        if coeff == 0:
+            return self
+        remaining = {v: c for v, c in self.coeffs.items() if v != var}
+        return AffineExpr(remaining, self.const) + repl * coeff
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename loop variables (used by unroll-and-jam, strip-mining)."""
+        coeffs: dict[str, int] = {}
+        for v, c in self.coeffs.items():
+            nv = mapping.get(v, v)
+            coeffs[nv] = coeffs.get(nv, 0) + c
+        return AffineExpr(coeffs, self.const)
+
+    # -- rendering -----------------------------------------------------
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for v in sorted(self.coeffs):
+            c = self.coeffs[v]
+            if c == 1:
+                term = v
+            elif c == -1:
+                term = f"-{v}"
+            else:
+                term = f"{c}*{v}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+{term}")
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts and self.const >= 0:
+                parts.append(f"+{self.const}")
+            else:
+                parts.append(str(self.const))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AffineExpr({str(self)!r})"
+
+
+class _FrozenDict(dict):
+    """An immutable dict so AffineExpr stays hashable."""
+
+    def _blocked(self, *args: object, **kwargs: object) -> None:
+        raise TypeError("AffineExpr coefficients are immutable")
+
+    __setitem__ = _blocked
+    __delitem__ = _blocked
+    clear = _blocked  # type: ignore[assignment]
+    pop = _blocked  # type: ignore[assignment]
+    popitem = _blocked  # type: ignore[assignment]
+    setdefault = _blocked  # type: ignore[assignment]
+    update = _blocked  # type: ignore[assignment]
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(frozenset(self.items()))
+
+    def __iter__(self) -> Iterator[str]:
+        return super().__iter__()

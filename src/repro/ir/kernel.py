@@ -1,0 +1,151 @@
+"""Kernels: the unit of compilation in this study.
+
+A :class:`Kernel` is an ordered sequence of loop nests plus metadata
+(language, feature tags).  The suites in :mod:`repro.suites` describe
+every benchmark as one or more weighted kernels; the compiler models in
+:mod:`repro.compilers` transform kernels; the performance model in
+:mod:`repro.perf` costs the transformed result on a machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import IRError
+from repro.ir.array import Array
+from repro.ir.loop import LoopNest
+from repro.ir.statement import OpCount
+from repro.ir.types import Language
+
+
+class Feature(enum.Enum):
+    """Structural/behavioural tags that affect compilation or costing."""
+
+    #: Kernel is OpenMP-parallelized (some loop carries ``parallel=True``).
+    OPENMP = "openmp"
+    #: Benchmark distributes the kernel across MPI ranks.
+    MPI = "mpi"
+    #: Contains data-dependent subscripts (sparse/indirect access).
+    INDIRECT = "indirect"
+    #: Contains pointer-chasing (linked structures; defeats prefetch).
+    POINTER_CHASING = "pointer-chasing"
+    #: Heavy data-dependent branching (defeats vectorization/predication
+    #: is costly).
+    BRANCH_HEAVY = "branch-heavy"
+    #: Calls into an opaque math library (SSL2/BLAS/FFT) for the bulk of
+    #: its work — the called portion is compiler-independent.
+    LIBRARY_CALLS = "library-calls"
+    #: Statement bodies contain function calls the compiler must inline
+    #: to vectorize (LTO and inliner quality matter).
+    NEEDS_INLINING = "needs-inlining"
+    #: Non-affine loop bounds or subscripts (breaks SCoP detection).
+    NON_AFFINE = "non-affine"
+    #: Recursion / irregular task structure (e.g. tree traversal).
+    RECURSIVE = "recursive"
+    #: Dominated by scalar integer work (compression, state machines).
+    INTEGER_DOMINANT = "integer-dominant"
+    #: Uses atomics/critical sections under OpenMP.
+    ATOMICS = "atomics"
+    #: Kernel time dominated by I/O (excluded from ROI by the harness,
+    #: kept for completeness of app descriptions).
+    IO_BOUND = "io-bound"
+    #: Source carries vendor tuning (Fujitsu OCL pragmas, hand-placed
+    #: prefetch distances) that only the vendor compiler honours — true
+    #: for the RIKEN micro kernels, which were co-designed with A64FX.
+    VENDOR_TUNED = "vendor-tuned"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Feature.{self.name}"
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A compilable kernel: loop nests + language + feature tags."""
+
+    name: str
+    nests: tuple[LoopNest, ...]
+    language: "Language"
+    features: frozenset[Feature] = frozenset()
+    #: Free-text provenance note (e.g. "PolyBench 4.2.1 LARGE").
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("kernel must be named")
+        if not self.nests:
+            raise IRError(f"kernel {self.name!r} has no loop nests")
+        object.__setattr__(self, "nests", tuple(self.nests))
+        object.__setattr__(self, "features", frozenset(self.features))
+
+    # -- aggregate queries --------------------------------------------------
+
+    @property
+    def arrays(self) -> tuple[Array, ...]:
+        seen: dict[str, Array] = {}
+        for nest in self.nests:
+            for arr in nest.arrays:
+                seen.setdefault(arr.name, arr)
+        return tuple(seen.values())
+
+    @property
+    def data_footprint_bytes(self) -> int:
+        """Total bytes of all distinct arrays the kernel references."""
+        return sum(a.nbytes for a in self.arrays)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(nest.iterations for nest in self.nests)
+
+    def total_flops(self) -> float:
+        return sum(nest.total_flops() for nest in self.nests)
+
+    def total_ops(self) -> OpCount:
+        """Aggregate operation counts over the whole kernel instance."""
+        acc = OpCount()
+        for nest in self.nests:
+            per_iter = OpCount()
+            for stmt in nest.body:
+                per_iter = per_iter + stmt.ops
+            acc = acc + per_iter.scaled(nest.iterations)
+        return acc
+
+    @property
+    def is_openmp(self) -> bool:
+        return Feature.OPENMP in self.features or any(
+            loop.parallel for nest in self.nests for loop in nest.loops
+        )
+
+    @property
+    def arithmetic_intensity_naive(self) -> float:
+        """Flops per byte assuming zero cache reuse (lower bound)."""
+        bytes_naive = sum(
+            nest.iterations * sum(s.bytes_moved_naive() for s in nest.body)
+            for nest in self.nests
+        )
+        if bytes_naive == 0:
+            return float("inf")
+        return self.total_flops() / bytes_naive
+
+    def has_feature(self, feature: Feature) -> bool:
+        return feature in self.features
+
+    # -- rewriting ------------------------------------------------------------
+
+    def with_nests(self, nests: tuple[LoopNest, ...]) -> "Kernel":
+        return replace(self, nests=tuple(nests))
+
+    def with_features(self, *extra: Feature) -> "Kernel":
+        return replace(self, features=self.features | frozenset(extra))
+
+    def replace_nest(self, index: int, nest: LoopNest) -> "Kernel":
+        nests = list(self.nests)
+        nests[index] = nest
+        return self.with_nests(tuple(nests))
+
+    def __str__(self) -> str:
+        head = f"kernel {self.name} [{self.language.value}]"
+        if self.features:
+            head += " {" + ",".join(sorted(f.value for f in self.features)) + "}"
+        bodies = "\n".join(str(n) for n in self.nests)
+        return head + "\n" + bodies

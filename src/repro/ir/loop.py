@@ -1,0 +1,176 @@
+"""Loops and loop nests.
+
+A :class:`Loop` binds one iteration variable with constant bounds; a
+:class:`LoopNest` is an ordered list of loops (outermost first) around a
+straight-line body of statements.  Kernels (see :mod:`repro.ir.kernel`)
+are sequences of nests, because real kernels such as PolyBench's ``2mm``
+contain several consecutive nests that compilers may fuse or reorder.
+
+Bounds are concrete integers: the IR describes a benchmark *instance*
+(e.g. PolyBench LARGE), which is what the measurement harness runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import IRError, UnknownLoopError
+from repro.ir.statement import Statement
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for var in range(lower, upper, step)``."""
+
+    var: str
+    lower: int
+    upper: int  # exclusive
+    step: int = 1
+    #: Marked parallel in the source (OpenMP ``parallel for`` / ``do``).
+    parallel: bool = False
+    #: Source-level annotation that iterations form a reduction.
+    reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise IRError("loop variable must be named")
+        if self.step == 0:
+            raise IRError(f"loop {self.var!r} has zero step")
+        if self.step < 0:
+            raise IRError(f"loop {self.var!r}: negative steps are not modelled")
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations (0 if the range is empty)."""
+        if self.upper <= self.lower:
+            return 0
+        return (self.upper - self.lower + self.step - 1) // self.step
+
+    def with_bounds(self, lower: int, upper: int, step: int | None = None) -> "Loop":
+        return replace(self, lower=lower, upper=upper, step=step if step else self.step)
+
+    def __str__(self) -> str:
+        tags = []
+        if self.parallel:
+            tags.append("parallel")
+        if self.reduction:
+            tags.append("reduction")
+        suffix = f" !{','.join(tags)}" if tags else ""
+        return f"for {self.var} in [{self.lower},{self.upper}):{self.step}{suffix}"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """An ordered loop nest (outermost first) with a straight-line body."""
+
+    loops: tuple[Loop, ...]
+    body: tuple[Statement, ...]
+    #: Optional label for diagnostics ("nest #k of kernel").
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise IRError("a loop nest needs at least one loop")
+        names = [l.var for l in self.loops]
+        if len(set(names)) != len(names):
+            raise IRError(f"duplicate loop variables in nest: {names}")
+        if not self.body:
+            raise IRError("a loop nest needs at least one statement")
+        bound = set(names)
+        for stmt in self.body:
+            free = stmt.variables - bound
+            if free:
+                raise UnknownLoopError(
+                    f"statement {stmt.name!r} references unbound variables {sorted(free)}"
+                )
+
+    # -- structure queries ----------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        return tuple(l.var for l in self.loops)
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    @property
+    def outermost(self) -> Loop:
+        return self.loops[0]
+
+    def loop_index(self, var: str) -> int:
+        """Position of loop ``var`` (0 = outermost)."""
+        for i, l in enumerate(self.loops):
+            if l.var == var:
+                return i
+        raise UnknownLoopError(f"no loop named {var!r} in nest {self.label or self.loop_vars}")
+
+    def find_loop(self, var: str) -> Loop:
+        return self.loops[self.loop_index(var)]
+
+    @property
+    def iterations(self) -> int:
+        """Total points in the iteration space."""
+        n = 1
+        for l in self.loops:
+            n *= l.trip_count
+        return n
+
+    def trip_counts(self) -> tuple[int, ...]:
+        return tuple(l.trip_count for l in self.loops)
+
+    # -- aggregate body queries -------------------------------------------
+
+    @property
+    def accesses(self):
+        """All accesses of all statements, flattened."""
+        out = []
+        for stmt in self.body:
+            out.extend(stmt.accesses)
+        return tuple(out)
+
+    @property
+    def arrays(self):
+        """Distinct arrays referenced, by first appearance."""
+        seen: dict[str, object] = {}
+        for acc in self.accesses:
+            seen.setdefault(acc.array.name, acc.array)
+        return tuple(seen.values())
+
+    def flops_per_iteration(self) -> float:
+        """Floating-point operations per innermost iteration point."""
+        return sum(s.ops.flops for s in self.body)
+
+    def total_flops(self) -> float:
+        return self.iterations * self.flops_per_iteration()
+
+    # -- transformation helpers (return new nests) -------------------------
+
+    def with_loops(self, loops: tuple[Loop, ...]) -> "LoopNest":
+        return replace(self, loops=loops)
+
+    def with_body(self, body: tuple[Statement, ...]) -> "LoopNest":
+        return replace(self, body=body)
+
+    def permuted(self, order: tuple[str, ...]) -> "LoopNest":
+        """Reorder loops to the given variable order (legality is the
+        caller's concern — passes check dependences first)."""
+        if sorted(order) != sorted(self.loop_vars):
+            raise IRError(
+                f"permutation {order} does not match nest variables {self.loop_vars}"
+            )
+        by_var = {l.var: l for l in self.loops}
+        return self.with_loops(tuple(by_var[v] for v in order))
+
+    def __str__(self) -> str:
+        lines = []
+        for d, loop in enumerate(self.loops):
+            lines.append("  " * d + str(loop))
+        pad = "  " * len(self.loops)
+        for stmt in self.body:
+            lines.append(pad + str(stmt))
+        return "\n".join(lines)

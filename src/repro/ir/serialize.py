@@ -1,0 +1,178 @@
+"""JSON (de)serialization for kernels.
+
+Enables tooling around the IR: export a kernel for inspection, share a
+kernel definition between scripts, or load user-authored kernels from
+files (the ``a64fx-campaign`` workflow for custom codes).  The format
+is a stable, human-readable dict schema; ``kernel_from_dict`` validates
+as it rebuilds (invalid documents raise :class:`~repro.errors.IRError`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import IRError
+from repro.ir.array import Access, Array
+from repro.ir.expr import AffineExpr
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.statement import OpCount, Statement
+from repro.ir.types import AccessKind, DType, Language, Layout
+
+SCHEMA_VERSION = 1
+
+
+# -- to dict -------------------------------------------------------------
+
+
+def _access_to_dict(acc: Access) -> dict:
+    return {
+        "array": acc.array.name,
+        "indices": [str(e) for e in acc.indices],
+        "kind": acc.kind.value,
+        "indirect": acc.indirect,
+    }
+
+
+def _statement_to_dict(stmt: Statement) -> dict:
+    ops = stmt.ops
+    op_fields = {
+        k: getattr(ops, k)
+        for k in ("fadd", "fmul", "fma", "fdiv", "fsqrt", "fspecial", "iops", "branches")
+        if getattr(ops, k)
+    }
+    out: dict[str, Any] = {
+        "name": stmt.name,
+        "accesses": [_access_to_dict(a) for a in stmt.accesses],
+        "ops": op_fields,
+    }
+    if stmt.reduction_over:
+        out["reduction_over"] = stmt.reduction_over
+    if stmt.predicated:
+        out["predicated"] = True
+    return out
+
+
+def _loop_to_dict(loop: Loop) -> dict:
+    out: dict[str, Any] = {"var": loop.var, "lower": loop.lower, "upper": loop.upper}
+    if loop.step != 1:
+        out["step"] = loop.step
+    if loop.parallel:
+        out["parallel"] = True
+    return out
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    """Serialize a kernel to a plain JSON-compatible dict."""
+    arrays = [
+        {
+            "name": a.name,
+            "shape": list(a.shape),
+            "dtype": a.dtype.label,
+            "layout": a.layout.value,
+        }
+        for a in kernel.arrays
+    ]
+    nests = [
+        {
+            "label": nest.label,
+            "loops": [_loop_to_dict(l) for l in nest.loops],
+            "body": [_statement_to_dict(s) for s in nest.body],
+        }
+        for nest in kernel.nests
+    ]
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": kernel.name,
+        "language": kernel.language.value,
+        "features": sorted(f.value for f in kernel.features),
+        "notes": kernel.notes,
+        "arrays": arrays,
+        "nests": nests,
+    }
+
+
+def kernel_to_json(kernel: Kernel, *, indent: int = 2) -> str:
+    return json.dumps(kernel_to_dict(kernel), indent=indent)
+
+
+# -- from dict ---------------------------------------------------------------
+
+
+def _dtype(label: str) -> DType:
+    for d in DType:
+        if d.label == label:
+            return d
+    raise IRError(f"unknown dtype {label!r}")
+
+
+def _enum_by_value(enum_cls, value: str):
+    for member in enum_cls:
+        if member.value == value:
+            return member
+    raise IRError(f"unknown {enum_cls.__name__} value {value!r}")
+
+
+def kernel_from_dict(doc: dict) -> Kernel:
+    """Rebuild a kernel from :func:`kernel_to_dict` output."""
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise IRError(f"unsupported kernel schema {doc.get('schema')!r}")
+    try:
+        language = _enum_by_value(Language, doc["language"])
+        arrays = {
+            a["name"]: Array(
+                a["name"],
+                tuple(a["shape"]),
+                _dtype(a["dtype"]),
+                _enum_by_value(Layout, a["layout"]),
+            )
+            for a in doc["arrays"]
+        }
+        nests = []
+        for nd in doc["nests"]:
+            loops = tuple(
+                Loop(
+                    l["var"],
+                    l["lower"],
+                    l["upper"],
+                    l.get("step", 1),
+                    parallel=l.get("parallel", False),
+                )
+                for l in nd["loops"]
+            )
+            body = []
+            for sd in nd["body"]:
+                accesses = tuple(
+                    Access(
+                        arrays[ad["array"]],
+                        tuple(AffineExpr.parse(e) for e in ad["indices"]),
+                        _enum_by_value(AccessKind, ad["kind"]),
+                        ad.get("indirect", False),
+                    )
+                    for ad in sd["accesses"]
+                )
+                body.append(
+                    Statement(
+                        sd["name"],
+                        accesses,
+                        OpCount(**sd.get("ops", {})),
+                        sd.get("reduction_over"),
+                        sd.get("predicated", False),
+                    )
+                )
+            nests.append(LoopNest(loops, tuple(body), nd.get("label", "")))
+        features = frozenset(_enum_by_value(Feature, f) for f in doc.get("features", []))
+        return Kernel(
+            name=doc["name"],
+            nests=tuple(nests),
+            language=language,
+            features=features,
+            notes=doc.get("notes", ""),
+        )
+    except KeyError as exc:
+        raise IRError(f"kernel document missing field {exc}") from exc
+
+
+def kernel_from_json(text: str) -> Kernel:
+    return kernel_from_dict(json.loads(text))

@@ -1,0 +1,184 @@
+"""Statements and operation counts.
+
+A :class:`Statement` is one assignment inside a loop nest body: a set of
+array accesses plus an :class:`OpCount` describing the arithmetic it
+performs per execution.  The operation mix drives the core pipeline
+model (FMA fusability, divide/sqrt throughput, integer vs. FP issue) and
+the language-correlated compiler strengths the paper reports (GNU wins
+integer-heavy codes; clang-based compilers win C/C++ FP codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import IRError
+from repro.ir.array import Access
+from repro.ir.types import AccessKind
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Arithmetic operations per statement execution.
+
+    ``fma`` counts fused multiply-add *opportunities* — pairs of
+    multiply+add that a compiler may or may not contract (contraction
+    requires ``-ffast-math``-style flags for some compilers).  ``fspecial``
+    covers exp/log/trig/pow calls, which hit either a vector math library
+    or serialize.
+    """
+
+    fadd: float = 0.0
+    fmul: float = 0.0
+    fma: float = 0.0
+    fdiv: float = 0.0
+    fsqrt: float = 0.0
+    fspecial: float = 0.0
+    iops: float = 0.0
+    #: Compare-and-branch operations (data-dependent control flow).
+    branches: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("fadd", "fmul", "fma", "fdiv", "fsqrt", "fspecial", "iops", "branches"):
+            if getattr(self, name) < 0:
+                raise IRError(f"OpCount.{name} must be non-negative")
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations (FMA counts as 2, the HPC convention)."""
+        return (
+            self.fadd
+            + self.fmul
+            + 2.0 * self.fma
+            + self.fdiv
+            + self.fsqrt
+            + self.fspecial
+        )
+
+    @property
+    def fp_instructions(self) -> float:
+        """FP instructions assuming full FMA contraction."""
+        return self.fadd + self.fmul + self.fma + self.fdiv + self.fsqrt + self.fspecial
+
+    @property
+    def fp_instructions_uncontracted(self) -> float:
+        """FP instructions when FMA pairs are NOT contracted."""
+        return self.fadd + self.fmul + 2.0 * self.fma + self.fdiv + self.fsqrt + self.fspecial
+
+    @property
+    def total(self) -> float:
+        return self.flops + self.iops + self.branches
+
+    @property
+    def is_fp_dominant(self) -> bool:
+        """True when FP work outweighs integer work."""
+        return self.flops >= self.iops
+
+    def scaled(self, factor: float) -> "OpCount":
+        """All counts multiplied by ``factor`` (used for weighting)."""
+        if factor < 0:
+            raise IRError("scale factor must be non-negative")
+        return OpCount(
+            self.fadd * factor,
+            self.fmul * factor,
+            self.fma * factor,
+            self.fdiv * factor,
+            self.fsqrt * factor,
+            self.fspecial * factor,
+            self.iops * factor,
+            self.branches * factor,
+        )
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            self.fadd + other.fadd,
+            self.fmul + other.fmul,
+            self.fma + other.fma,
+            self.fdiv + other.fdiv,
+            self.fsqrt + other.fsqrt,
+            self.fspecial + other.fspecial,
+            self.iops + other.iops,
+            self.branches + other.branches,
+        )
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One assignment statement inside a loop nest body."""
+
+    name: str
+    accesses: tuple[Access, ...]
+    ops: OpCount = field(default_factory=OpCount)
+    #: The loop variable this statement reduces over, if any (e.g. the
+    #: ``k`` loop of a dot product).  Reductions carry a dependence on
+    #: that loop which vectorizers must break with partial sums —
+    #: legality requires reassociation (fast-math) for FP types.
+    reduction_over: str | None = None
+    #: True when the statement sits under a data-dependent condition
+    #: (``if (a[i] > 0)``) — breaks SCoP-ness and forces predication.
+    predicated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("statement must be named")
+        if not self.accesses:
+            raise IRError(f"statement {self.name!r} has no accesses")
+        object.__setattr__(self, "accesses", tuple(self.accesses))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def variables(self) -> frozenset[str]:
+        vs: set[str] = set()
+        for acc in self.accesses:
+            vs |= acc.variables
+        if self.reduction_over:
+            vs.add(self.reduction_over)
+        return frozenset(vs)
+
+    @property
+    def reads(self) -> tuple[Access, ...]:
+        return tuple(a for a in self.accesses if a.kind.reads)
+
+    @property
+    def writes(self) -> tuple[Access, ...]:
+        return tuple(a for a in self.accesses if a.kind.writes)
+
+    @property
+    def has_indirect_access(self) -> bool:
+        return any(a.indirect for a in self.accesses)
+
+    @property
+    def is_reduction(self) -> bool:
+        return self.reduction_over is not None
+
+    def bytes_moved_naive(self) -> int:
+        """Bytes touched per execution with no cache reuse (upper bound)."""
+        total = 0
+        for acc in self.accesses:
+            width = acc.array.dtype.size
+            total += 2 * width if acc.kind is AccessKind.UPDATE else width
+        return total
+
+    # -- rewriting ---------------------------------------------------------
+
+    def rename(self, mapping: dict[str, str]) -> "Statement":
+        red = mapping.get(self.reduction_over, self.reduction_over) if self.reduction_over else None
+        return replace(
+            self,
+            accesses=tuple(a.rename(mapping) for a in self.accesses),
+            reduction_over=red,
+        )
+
+    def with_accesses(self, accesses: tuple[Access, ...]) -> "Statement":
+        return replace(self, accesses=accesses)
+
+    def __str__(self) -> str:
+        parts = " ".join(str(a) for a in self.accesses)
+        tags = []
+        if self.reduction_over:
+            tags.append(f"red({self.reduction_over})")
+        if self.predicated:
+            tags.append("pred")
+        suffix = f"  !{','.join(tags)}" if tags else ""
+        return f"{self.name}: {parts}{suffix}"

@@ -1,0 +1,106 @@
+"""Scalar types, source languages, and array layouts for the kernel IR.
+
+These enums carry the information the compiler and machine models need:
+element sizes (for traffic estimation), language (the paper's Figure 2
+annotates every benchmark with its language because compiler strengths
+split along C/C++ vs. Fortran lines), and storage layout (row- vs.
+column-major — the crux of the ``2mm`` loop-interchange anomaly that
+motivated the study).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DType(enum.Enum):
+    """Element type of an array or scalar operand."""
+
+    F64 = ("f64", 8, True)
+    F32 = ("f32", 4, True)
+    I64 = ("i64", 8, False)
+    I32 = ("i32", 4, False)
+    I16 = ("i16", 2, False)
+    I8 = ("i8", 1, False)
+
+    def __init__(self, label: str, size: int, is_float: bool) -> None:
+        self.label = label
+        #: Element size in bytes.
+        self.size = size
+        #: True for floating-point types.
+        self.is_float = is_float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+class Language(enum.Enum):
+    """Implementation language of a benchmark or kernel.
+
+    The paper tags each Figure 2 row with its language; Section 3.3
+    concludes "Fujitsu for Fortran codes, GNU for integer-intensive
+    apps, and any clang-based compilers for C/C++".
+    """
+
+    C = "C"
+    CXX = "C++"
+    FORTRAN = "Fortran"
+    MIXED = "Mixed"
+
+    @property
+    def default_layout(self) -> "Layout":
+        """Default multidimensional array layout for the language."""
+        if self is Language.FORTRAN:
+            return Layout.COL_MAJOR
+        return Layout.ROW_MAJOR
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Language.{self.name}"
+
+
+class Layout(enum.Enum):
+    """Storage order of a multidimensional array."""
+
+    ROW_MAJOR = "row-major"
+    COL_MAJOR = "col-major"
+
+    def linear_strides(self, shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Element-stride of each dimension in the linearized array.
+
+        For ``ROW_MAJOR`` the last index is contiguous; for
+        ``COL_MAJOR`` the first is.  An empty shape (scalar) yields an
+        empty stride tuple.
+        """
+        if not shape:
+            return ()
+        strides = [1] * len(shape)
+        if self is Layout.ROW_MAJOR:
+            for i in range(len(shape) - 2, -1, -1):
+                strides[i] = strides[i + 1] * shape[i + 1]
+        else:
+            for i in range(1, len(shape)):
+                strides[i] = strides[i - 1] * shape[i - 1]
+        return tuple(strides)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Layout.{self.name}"
+
+
+class AccessKind(enum.Enum):
+    """How a statement touches an array reference."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Read-modify-write (e.g. ``C[i][j] += ...``).
+    UPDATE = "update"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessKind.READ, AccessKind.UPDATE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.UPDATE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessKind.{self.name}"

@@ -1,0 +1,78 @@
+"""Whole-kernel structural validation.
+
+Construction-time checks in the dataclasses catch local errors; this
+module adds the cross-cutting checks (consistent array declarations
+across nests, subscripts within bounds at the extreme loop values,
+reduction annotations referring to real loops) that suite definitions
+occasionally get wrong.  The suite registry validates every kernel at
+import time in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRValidationError
+from repro.ir.kernel import Kernel
+from repro.ir.loop import LoopNest
+
+
+def validate_nest(nest: LoopNest) -> list[str]:
+    """Return a list of problems found in one nest (empty = valid)."""
+    problems: list[str] = []
+    bounds = {l.var: (l.lower, l.upper - 1) for l in nest.loops if l.trip_count > 0}
+    for stmt in nest.body:
+        if stmt.reduction_over is not None and stmt.reduction_over not in {
+            l.var for l in nest.loops
+        }:
+            problems.append(
+                f"statement {stmt.name!r}: reduction over unknown loop "
+                f"{stmt.reduction_over!r}"
+            )
+        for acc in stmt.accesses:
+            if acc.indirect:
+                continue
+            for pos, expr in enumerate(acc.indices):
+                lo = expr.const + sum(
+                    c * (bounds[v][0] if c > 0 else bounds[v][1])
+                    for v, c in expr.coeffs.items()
+                    if v in bounds
+                )
+                hi = expr.const + sum(
+                    c * (bounds[v][1] if c > 0 else bounds[v][0])
+                    for v, c in expr.coeffs.items()
+                    if v in bounds
+                )
+                extent = acc.array.shape[pos]
+                if lo < 0 or hi >= extent:
+                    problems.append(
+                        f"statement {stmt.name!r}: subscript {pos} of "
+                        f"{acc.array.name!r} spans [{lo},{hi}] outside "
+                        f"[0,{extent - 1}]"
+                    )
+    return problems
+
+
+def validate_kernel(kernel: Kernel) -> list[str]:
+    """Return a list of problems found in a kernel (empty = valid)."""
+    problems: list[str] = []
+    declared: dict[str, tuple] = {}
+    for nest in kernel.nests:
+        for arr in nest.arrays:
+            sig = (arr.shape, arr.dtype, arr.layout)
+            prev = declared.get(arr.name)
+            if prev is not None and prev != sig:
+                problems.append(
+                    f"array {arr.name!r} used with inconsistent signatures "
+                    f"{prev} vs {sig}"
+                )
+            declared[arr.name] = sig
+        problems.extend(validate_nest(nest))
+    return problems
+
+
+def check_kernel(kernel: Kernel) -> None:
+    """Raise :class:`IRValidationError` when a kernel is malformed."""
+    problems = validate_kernel(kernel)
+    if problems:
+        raise IRValidationError(
+            f"kernel {kernel.name!r} failed validation:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,10 @@
+"""Math-library models (SSL2 / BLAS / FFT).
+
+The paper links Fujitsu's SSL2 wherever linear algebra is needed; time
+spent inside such libraries is compiler-independent, which is why HPL
+only moves ~5% between compilers (Sec. 3.2).
+"""
+
+from repro.libs.mathlib import LibraryCall, LibraryKind, library_time_s
+
+__all__ = ["LibraryCall", "LibraryKind", "library_time_s"]

@@ -1,0 +1,78 @@
+"""Opaque math-library time model.
+
+Benchmarks declare the work they hand to vendor libraries (SSL2 BLAS,
+FFTW-style transforms, vendor RNGs) as :class:`LibraryCall` records —
+flops (or bytes for BLAS-1/2-ish levels) plus a kind.  Library code is
+pre-compiled: its efficiency depends on the *machine*, not the study
+compiler, which is exactly the paper's HPL/SSL2 observation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SuiteError
+from repro.machine.machine import Machine
+
+
+class LibraryKind(enum.Enum):
+    """What the library call is bound by."""
+
+    #: Dense matrix-matrix (DGEMM-class): near peak flops.
+    BLAS3 = "blas3"
+    #: Matrix-vector / vector-vector: bandwidth bound.
+    BLAS12 = "blas12"
+    #: FFTs: a blend (modelled as a fraction of peak).
+    FFT = "fft"
+    #: Vendor RNG / special functions.
+    RNG = "rng"
+
+
+#: Fraction of machine peak flop/s the library sustains, per kind.
+_FLOP_EFFICIENCY = {
+    LibraryKind.BLAS3: 0.88,
+    LibraryKind.FFT: 0.25,
+    LibraryKind.RNG: 0.10,
+}
+
+#: Fraction of sustained memory bandwidth BLAS-1/2 achieves.
+_BW_EFFICIENCY = {LibraryKind.BLAS12: 0.85}
+
+
+@dataclass(frozen=True)
+class LibraryCall:
+    """Work delegated to an opaque, pre-compiled library."""
+
+    kind: LibraryKind
+    #: Floating-point operations per invocation (BLAS3/FFT/RNG).
+    flops: float = 0.0
+    #: Bytes moved per invocation (BLAS12).
+    bytes_moved: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise SuiteError("library call work must be non-negative")
+        if self.kind is LibraryKind.BLAS12 and self.bytes_moved == 0:
+            raise SuiteError("BLAS12 calls are sized by bytes_moved")
+        if self.kind is not LibraryKind.BLAS12 and self.flops == 0:
+            raise SuiteError(f"{self.kind.value} calls are sized by flops")
+
+
+def library_time_s(
+    call: LibraryCall,
+    machine: Machine,
+    *,
+    threads: int,
+    domains: int = 1,
+    work_fraction: float = 1.0,
+) -> float:
+    """Wall-clock seconds for one library invocation on ``threads`` cores."""
+    threads = max(1, threads)
+    if call.kind is LibraryKind.BLAS12:
+        per_domain = machine.memory.bandwidth(max(1, threads // max(domains, 1)))
+        bw = per_domain * domains * _BW_EFFICIENCY[call.kind]
+        return call.bytes_moved * work_fraction / bw
+    eff = _FLOP_EFFICIENCY[call.kind]
+    rate = machine.core.peak_dp_flops * threads * eff
+    return call.flops * work_fraction / rate

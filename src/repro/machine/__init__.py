@@ -1,0 +1,51 @@
+"""Machine models: ISAs, caches, memory, topology, and the A64FX and
+Xeon node definitions used by the study."""
+
+from repro.machine.a64fx import A64FX_MEMORY_PER_CMG, a64fx
+from repro.machine.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    CacheStats,
+    SetAssociativeCache,
+)
+from repro.machine.core import CoreModel
+from repro.machine.isa import (
+    ALL_ISAS,
+    AVX2,
+    AVX512,
+    NEON,
+    SCALAR,
+    SVE512,
+    VectorISA,
+    isa_by_name,
+)
+from repro.machine.machine import Machine
+from repro.machine.memory import MemorySystem
+from repro.machine.topology import Placement, Topology, candidate_placements
+from repro.machine.thunderx2 import thunderx2
+from repro.machine.xeon import xeon
+
+__all__ = [
+    "A64FX_MEMORY_PER_CMG",
+    "ALL_ISAS",
+    "AVX2",
+    "AVX512",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheStats",
+    "CoreModel",
+    "Machine",
+    "MemorySystem",
+    "NEON",
+    "Placement",
+    "SCALAR",
+    "SVE512",
+    "SetAssociativeCache",
+    "Topology",
+    "VectorISA",
+    "a64fx",
+    "candidate_placements",
+    "isa_by_name",
+    "thunderx2",
+    "xeon",
+]

@@ -1,0 +1,78 @@
+"""The composite machine model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineConfigError
+from repro.machine.cache import CacheLevel
+from repro.machine.core import CoreModel
+from repro.machine.isa import VectorISA
+from repro.machine.memory import MemorySystem
+from repro.machine.topology import Placement, Topology
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A compute node: core model, caches, memory, topology, ISAs."""
+
+    name: str
+    core: CoreModel
+    #: Data-cache levels, innermost (L1) first.
+    cache_levels: tuple[CacheLevel, ...]
+    memory: MemorySystem
+    topology: Topology
+    #: Vector ISAs available on this machine, best (widest) first.
+    isas: tuple[VectorISA, ...]
+    #: Fraction of :attr:`MemorySystem.latency` hidden by the hardware
+    #: prefetchers on a regular (contiguous/small-stride) stream.
+    hw_prefetch_quality: float = 0.8
+    #: Page size used when hugepages are NOT enabled; TLB pressure on
+    #: large-stride streams is modelled relative to this.
+    base_page_bytes: int = 65536
+
+    def __post_init__(self) -> None:
+        if not self.cache_levels:
+            raise MachineConfigError(f"{self.name}: need at least one cache level")
+        if not self.isas:
+            raise MachineConfigError(f"{self.name}: need at least one vector ISA")
+        if not 0 <= self.hw_prefetch_quality <= 1:
+            raise MachineConfigError(f"{self.name}: prefetch quality must be in [0,1]")
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def line_bytes(self) -> int:
+        return self.cache_levels[0].line_bytes
+
+    @property
+    def widest_isa(self) -> VectorISA:
+        return max(self.isas, key=lambda i: i.vector_bits)
+
+    @property
+    def total_cores(self) -> int:
+        return self.topology.total_cores
+
+    @property
+    def peak_dp_flops_node(self) -> float:
+        return self.core.peak_dp_flops * self.total_cores
+
+    @property
+    def peak_bandwidth_node(self) -> float:
+        return self.memory.peak_bandwidth * self.topology.numa_domains
+
+    def supports(self, isa: VectorISA) -> bool:
+        return isa in self.isas or isa.name == "scalar"
+
+    def recommended_placement(self) -> Placement:
+        """The vendor-recommended MPI x OMP configuration (for A64FX:
+        one rank per CMG, 12 threads — the paper's Section 2.4)."""
+        return Placement(self.topology.numa_domains, self.topology.cores_per_domain)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.total_cores} cores "
+            f"({self.topology.numa_domains}x{self.topology.cores_per_domain}), "
+            f"{self.core}, peak {self.peak_dp_flops_node / 1e12:.2f} TF/s, "
+            f"{self.peak_bandwidth_node / 1e9:.0f} GB/s"
+        )

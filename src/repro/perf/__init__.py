@@ -1,0 +1,52 @@
+"""Performance models: traffic, ECM costing, scaling, noise, and the
+top-level benchmark cost model."""
+
+from repro.perf.cost import (
+    CompilationCache,
+    ModelResult,
+    UnitBreakdown,
+    benchmark_model,
+)
+from repro.perf.ecm import NestTime, cycles_per_iteration, nest_time
+from repro.perf.energy import (
+    POWER_MODELS,
+    EnergyReport,
+    PowerModel,
+    benchmark_energy,
+    power_model_for,
+)
+from repro.perf.noise import noise_multiplier, timer_resolution_floor
+from repro.perf.roofline import (
+    RooflinePoint,
+    machine_balance,
+    roofline_point,
+    roofline_table,
+)
+from repro.perf.scaling import numa_spill_penalty, omp_region_overhead_s
+from repro.perf.traffic import BoundaryTraffic, TrafficReport, nest_traffic
+
+__all__ = [
+    "BoundaryTraffic",
+    "EnergyReport",
+    "POWER_MODELS",
+    "PowerModel",
+    "benchmark_energy",
+    "power_model_for",
+    "CompilationCache",
+    "ModelResult",
+    "NestTime",
+    "RooflinePoint",
+    "TrafficReport",
+    "UnitBreakdown",
+    "benchmark_model",
+    "cycles_per_iteration",
+    "nest_time",
+    "nest_traffic",
+    "machine_balance",
+    "roofline_point",
+    "roofline_table",
+    "noise_multiplier",
+    "numa_spill_penalty",
+    "omp_region_overhead_s",
+    "timer_resolution_floor",
+]

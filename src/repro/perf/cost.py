@@ -1,0 +1,222 @@
+"""Top-level benchmark cost model.
+
+Takes a :class:`~repro.suites.base.Benchmark`, a compiler variant, a
+machine, and a :class:`~repro.machine.topology.Placement`, and produces
+the *ideal* (noise-free) region-of-interest time plus a breakdown.  The
+harness (:mod:`repro.harness`) layers the measurement methodology —
+exploration sweeps, repeated runs, noise — on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compilers.base import CompiledKernel, CompileStatus
+from repro.compilers.flags import CompilerFlags
+from repro.compilers.registry import compile_kernel
+from repro.errors import HarnessError
+from repro.libs.mathlib import library_time_s
+from repro.machine.machine import Machine
+from repro.machine.topology import Placement
+from repro.perf.ecm import NestTime, nest_time
+from repro.perf.scaling import numa_spill_penalty, omp_region_overhead_s
+from repro.suites.base import Benchmark, ParallelKind, ScalingKind
+
+
+@dataclass(frozen=True)
+class UnitBreakdown:
+    """Timing detail for one work unit."""
+
+    kernel_name: str
+    kernel_s: float
+    library_s: float
+    omp_overhead_s: float
+    nest_times: tuple[NestTime, ...] = ()
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Noise-free model output for one (benchmark, variant, placement)."""
+
+    benchmark: str
+    variant: str
+    placement: Placement
+    status: CompileStatus
+    #: Ideal ROI time in seconds (inf for failed builds/runs).
+    time_s: float
+    compute_s: float = 0.0
+    memory_s: float = 0.0
+    comm_s: float = 0.0
+    units: tuple[UnitBreakdown, ...] = ()
+    diagnostics: tuple[str, ...] = ()
+
+    @property
+    def valid(self) -> bool:
+        return self.status is CompileStatus.OK
+
+
+class CompilationCache:
+    """Memoizes (variant, kernel, machine, flags) -> CompiledKernel.
+
+    A campaign compiles each kernel once per variant but costs it under
+    dozens of placements; this cache keeps the exploration phase fast.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, CompiledKernel] = {}
+
+    def get(
+        self,
+        variant: str,
+        kernel: object,
+        machine: Machine,
+        flags: CompilerFlags | None,
+    ) -> CompiledKernel:
+        key = (variant, id(kernel), machine.name, flags)
+        if key not in self._cache:
+            self._cache[key] = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
+        return self._cache[key]
+
+
+def _rank_geometry(bench: Benchmark, machine: Machine, placement: Placement) -> tuple[int, int, float]:
+    """(threads per rank, domains per rank, bandwidth share per rank)."""
+    topo = machine.topology
+    placement.validate(topo)
+    threads = placement.threads
+    if bench.max_useful_threads is not None:
+        threads = min(threads, bench.max_useful_threads)
+    domains_used = placement.domains_used(topo)
+    # A rank spans ceil(threads / cores_per_domain) domains.
+    rank_domains = min(topo.numa_domains, -(-placement.threads // topo.cores_per_domain))
+    # Ranks sharing a domain split its bandwidth.
+    ranks_per_domain = placement.ranks * rank_domains / domains_used
+    share = 1.0 / ranks_per_domain
+    return threads, rank_domains, share
+
+
+def benchmark_model(
+    bench: Benchmark,
+    variant: str,
+    machine: Machine,
+    placement: Placement,
+    *,
+    flags: CompilerFlags | None = None,
+    cache: CompilationCache | None = None,
+) -> ModelResult:
+    """Ideal ROI time for one benchmark/variant/placement combination."""
+    if bench.parallel is ParallelKind.SERIAL and placement.total_cores_used > 1:
+        raise HarnessError(f"{bench.full_name} is serial; placement {placement} invalid")
+    if not bench.parallel.uses_mpi and placement.ranks > 1:
+        raise HarnessError(f"{bench.full_name} has no MPI; placement {placement} invalid")
+    if bench.pow2_ranks and placement.ranks & (placement.ranks - 1):
+        raise HarnessError(f"{bench.full_name} requires power-of-two ranks")
+
+    cache = cache if cache is not None else CompilationCache()
+    threads, rank_domains, bw_share = _rank_geometry(bench, machine, placement)
+    work_fraction = (
+        1.0 / placement.ranks
+        if bench.parallel.uses_mpi and bench.scaling is ScalingKind.STRONG
+        else 1.0
+    )
+    # Memory saturation is driven by ALL cores active on a domain (ranks
+    # co-located on a CMG saturate it together; bw_share then splits it).
+    domains_used = placement.domains_used(machine.topology)
+    acpd = max(1, min(
+        machine.topology.cores_per_domain,
+        -(-placement.total_cores_used // domains_used),
+    ))
+    spill = numa_spill_penalty(placement, machine.topology)
+
+    total = 0.0
+    compute_total = 0.0
+    memory_total = 0.0
+    units: list[UnitBreakdown] = []
+    diagnostics: list[str] = []
+
+    for unit in bench.units:
+        kernel_s = 0.0
+        library_s = 0.0
+        omp_s = 0.0
+        nest_times: list[NestTime] = []
+        if unit.kernel is not None:
+            compiled = cache.get(variant, unit.kernel, machine, flags)
+            diagnostics.extend(compiled.diagnostics)
+            if compiled.status is not CompileStatus.OK:
+                return ModelResult(
+                    benchmark=bench.full_name,
+                    variant=variant,
+                    placement=placement,
+                    status=compiled.status,
+                    time_s=float("inf"),
+                    diagnostics=tuple(diagnostics),
+                )
+            for info in compiled.nest_infos:
+                nest_threads = threads if info.parallel else 1
+                nt = nest_time(
+                    info,
+                    machine,
+                    threads=nest_threads,
+                    active_cores_per_domain=acpd if info.parallel else 1,
+                    domains=rank_domains if info.parallel else 1,
+                    work_fraction=work_fraction,
+                    bandwidth_share=bw_share,
+                    numa_penalty=spill if info.parallel else 1.0,
+                )
+                kernel_s += nt.total_s
+                nest_times.append(nt)
+                compute_total += nt.compute_s * unit.invocations
+                memory_total += nt.memory_s * unit.invocations
+                if info.parallel and nest_threads > 1:
+                    omp_s += omp_region_overhead_s(
+                        info.omp_fork_us,
+                        info.omp_barrier_us,
+                        nest_threads,
+                        bench.barriers_per_invocation,
+                    ) / max(info.omp_scaling_quality, 1e-9)
+            kernel_s *= compiled.anomaly_multiplier
+        if unit.library is not None:
+            library_s = library_time_s(
+                unit.library,
+                machine,
+                threads=placement.threads,
+                domains=rank_domains,
+                work_fraction=work_fraction,
+            )
+        unit_total = (kernel_s + library_s + omp_s) * unit.invocations
+        total += unit_total
+        units.append(
+            UnitBreakdown(
+                kernel_name=unit.kernel.name if unit.kernel else "<library>",
+                kernel_s=kernel_s * unit.invocations,
+                library_s=library_s * unit.invocations,
+                omp_overhead_s=omp_s * unit.invocations,
+                nest_times=tuple(nest_times),
+            )
+        )
+
+    # A fully dead-code-eliminated ROI still measures the timer call and
+    # loop shell; the paper's mvt cell is ">250,000x", not infinity.
+    total = max(total, 2e-6)
+
+    comm_s = 0.0
+    if bench.parallel.uses_mpi and placement.ranks > 1:
+        # The communication fraction is quoted against the full-node
+        # work time; normalize this placement's per-rank work time to
+        # node core-seconds so the reference does not depend on the
+        # thread count chosen here.
+        t_node_work = total * placement.total_cores_used / machine.total_cores
+        comm_s = bench.mpi.comm_time_s(t_node_work, placement.ranks)
+        total += comm_s
+
+    return ModelResult(
+        benchmark=bench.full_name,
+        variant=variant,
+        placement=placement,
+        status=CompileStatus.OK,
+        time_s=total,
+        compute_s=compute_total,
+        memory_s=memory_total,
+        comm_s=comm_s,
+        units=tuple(units),
+        diagnostics=tuple(diagnostics),
+    )

@@ -1,0 +1,52 @@
+"""Deterministic run-to-run variability model.
+
+The paper reports very low variability on A64FX (AMG's runtime CV below
+0.114%) with BabelStream the outlier at up to 22% CV (Sec. 2.4); ten
+performance runs with fastest-time reporting is its answer.  We
+reproduce the *measurement procedure* faithfully, so the harness needs
+noise: a deterministic lognormal multiplier seeded from the run's
+identity, giving reproducible "measurements" with a controlled
+coefficient of variation per benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+def _unit_uniform(*key_parts: object) -> float:
+    """Deterministic U(0,1) from a hashable identity tuple."""
+    digest = hashlib.sha256("|".join(str(p) for p in key_parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _unit_normal(*key_parts: object) -> float:
+    """Deterministic standard normal via Box-Muller."""
+    u1 = _unit_uniform(*key_parts, "u1")
+    u2 = _unit_uniform(*key_parts, "u2")
+    u1 = max(u1, 1e-12)
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
+def noise_multiplier(cv: float, *key_parts: object) -> float:
+    """A lognormal multiplier with mean ~1 and coefficient of variation
+    ``cv``, deterministic in the key.
+
+    The multiplier is floored at 1.0 minus a small epsilon — system
+    noise makes runs *slower* than the model's ideal time, never faster
+    (the fastest-of-10 reporting then recovers a value close to the
+    ideal, as on the real machine).
+    """
+    if cv < 0:
+        raise ValueError("cv must be non-negative")
+    if cv == 0:
+        return 1.0
+    sigma = math.sqrt(math.log(1.0 + cv * cv))
+    z = abs(_unit_normal(*key_parts))
+    return math.exp(sigma * z)
+
+
+def timer_resolution_floor(t: float, resolution: float = 1e-6) -> float:
+    """Clamp a model time to the harness clock resolution."""
+    return max(t, resolution)

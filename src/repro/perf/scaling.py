@@ -1,0 +1,48 @@
+"""Parallel-overhead models: OpenMP regions and MPI communication.
+
+These supply the costs that make the exploration phase (Sec. 2.4)
+meaningful: more ranks shrink per-rank work but grow communication;
+more threads amortize compute but saturate a CMG's bandwidth and pay
+fork/barrier costs — and the best trade-off genuinely differs between
+compilers because their OpenMP runtimes differ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machine.topology import Placement, Topology
+
+
+def omp_region_overhead_s(
+    fork_us: float, barrier_us: float, threads: int, barriers_per_invocation: float = 1.0
+) -> float:
+    """Fork/join plus barrier cost of one parallel-region invocation.
+
+    Fork/barrier latencies grow roughly logarithmically with the team
+    size (tree barriers); the reference values are quoted at 12 threads.
+    """
+    if threads <= 1:
+        return 0.0
+    scale = math.log2(threads + 1) / math.log2(13)
+    return (fork_us + barriers_per_invocation * barrier_us) * scale * 1e-6
+
+
+def numa_spill_penalty(placement: Placement, topo: Topology) -> float:
+    """Multiplier >= 1 when a rank's threads straddle NUMA domains.
+
+    First-touch pages land on one domain; threads on other domains pull
+    data across the ring.  This is the mechanism behind the paper's
+    observation that "legacy" flat-OpenMP runs (1 rank x 48 threads) are
+    usually slower than 4x12 on A64FX.
+    """
+    if not placement.spans_domains(topo):
+        return 1.0
+    domains = min(
+        topo.numa_domains, -(-placement.threads // topo.cores_per_domain)
+    )
+    # Remote traffic share grows with the spanned domains; the ring
+    # sustains a fraction of local HBM2 bandwidth.
+    remote_share = (domains - 1) / domains
+    return 1.0 + remote_share * 0.9

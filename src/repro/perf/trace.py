@@ -1,0 +1,125 @@
+"""Trace-based traffic measurement (ground truth for the analytic model).
+
+Executes a loop nest's exact address stream through the reference
+set-associative simulators of :mod:`repro.machine.cache` and reports
+the bytes crossing each hierarchy boundary.  This is O(iterations) and
+only practical for small kernel instances; the test suite uses it to
+cross-validate :func:`repro.perf.traffic.nest_traffic`, and it is part
+of the public API for users studying individual loops.
+
+Indirect accesses are materialized with a deterministic pseudo-random
+permutation (seeded by the array name), matching the "random gather"
+assumption of the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loop import LoopNest
+from repro.machine.cache import CacheHierarchy, CacheLevel
+
+#: Refuse traces above this many iterations (keeps tests honest).
+MAX_TRACE_ITERATIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class TraceTraffic:
+    """Measured bytes crossing each boundary (line granularity)."""
+
+    #: bytes fetched from each source, innermost boundary first; the
+    #: last entry is memory.
+    boundary_bytes: tuple[float, ...]
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.boundary_bytes[-1]
+
+
+def _array_bases(nest: LoopNest, alignment: int = 4096) -> dict[str, int]:
+    """Assign each array a disjoint, aligned base address."""
+    bases: dict[str, int] = {}
+    cursor = alignment
+    for arr in nest.arrays:
+        bases[arr.name] = cursor
+        cursor += ((arr.nbytes + alignment - 1) // alignment + 1) * alignment
+    return bases
+
+
+def _indirect_target(array_elements: int, key: int) -> int:
+    """Deterministic pseudo-random element index for indirect accesses."""
+    # SplitMix64-style mixing, cheap and reproducible.
+    z = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) % array_elements
+
+
+def iterate_addresses(nest: LoopNest):
+    """Yield (byte_address, nbytes, is_write) for the nest's full
+    execution, in program order."""
+    if nest.iterations > MAX_TRACE_ITERATIONS:
+        raise ValueError(
+            f"trace of {nest.iterations} iterations exceeds "
+            f"MAX_TRACE_ITERATIONS={MAX_TRACE_ITERATIONS}"
+        )
+    bases = _array_bases(nest)
+    loops = nest.loops
+    trip_ranges = [range(l.lower, l.upper, l.step) for l in loops]
+
+    # Pre-linearize the accesses once.
+    prepared = []
+    for stmt in nest.body:
+        for acc in stmt.accesses:
+            prepared.append(
+                (
+                    acc,
+                    bases[acc.array.name],
+                    acc.array.dtype.size,
+                    None if acc.indirect else acc.linearized(),
+                )
+            )
+
+    def rec(depth: int, env: dict[str, int], serial: int):
+        if depth == len(loops):
+            for acc, base, width, linear in prepared:
+                if linear is None:
+                    elem = _indirect_target(acc.array.elements, serial[0] * 1031 + base)
+                else:
+                    elem = linear.evaluate(env)
+                addr = base + elem * width
+                if acc.kind.reads:
+                    yield (addr, width, False)
+                if acc.kind.writes:
+                    yield (addr, width, True)
+            serial[0] += 1
+            return
+        var = loops[depth].var
+        for value in trip_ranges[depth]:
+            env[var] = value
+            yield from rec(depth + 1, env, serial)
+
+    yield from rec(0, {}, [0])
+
+
+def trace_traffic(nest: LoopNest, levels: "tuple[CacheLevel, ...] | list[CacheLevel]") -> TraceTraffic:
+    """Run the nest's address stream through reference caches.
+
+    Returns per-boundary byte counts at line granularity.  Writes are
+    modelled write-allocate (a store miss fetches the line) — matching
+    the analytic model's non-streaming-store path.
+    """
+    hierarchy = CacheHierarchy(list(levels))
+    line = levels[0].line_bytes
+    n_levels = len(levels)
+    boundary_bytes = [0.0] * n_levels
+    for addr, width, _is_write in iterate_addresses(nest):
+        first = addr // line
+        last = (addr + width - 1) // line
+        for ln in range(first, last + 1):
+            served_by = hierarchy.access(ln * line)
+            # A fetch served by level k crosses boundaries 0..k-1
+            # (boundary i sits between level i and level i+1).
+            for b in range(min(served_by, n_levels)):
+                boundary_bytes[b] += line
+    return TraceTraffic(tuple(boundary_bytes))

@@ -1,0 +1,45 @@
+"""The seven benchmark suites of the study (108 benchmarks total)."""
+
+from repro.suites.base import (
+    Benchmark,
+    MpiModel,
+    ParallelKind,
+    ScalingKind,
+    Suite,
+    WorkUnit,
+)
+from repro.suites.ecp import ecp_suite
+from repro.suites.fiber import fiber_suite
+from repro.suites.microkernels import micro_suite
+from repro.suites.polybench import polybench_suite
+from repro.suites.registry import (
+    EXPECTED_TOTAL,
+    all_benchmarks,
+    all_suites,
+    get_benchmark,
+    get_suite,
+)
+from repro.suites.spec_cpu import spec_cpu_suite
+from repro.suites.spec_omp import spec_omp_suite
+from repro.suites.top500 import top500_suite
+
+__all__ = [
+    "Benchmark",
+    "EXPECTED_TOTAL",
+    "MpiModel",
+    "ParallelKind",
+    "ScalingKind",
+    "Suite",
+    "WorkUnit",
+    "all_benchmarks",
+    "all_suites",
+    "ecp_suite",
+    "fiber_suite",
+    "get_benchmark",
+    "get_suite",
+    "micro_suite",
+    "polybench_suite",
+    "spec_cpu_suite",
+    "spec_omp_suite",
+    "top500_suite",
+]

@@ -1,0 +1,174 @@
+"""Benchmark and suite descriptors.
+
+A :class:`Benchmark` is what the harness runs: one or more
+:class:`WorkUnit` s (an IR kernel and/or an opaque library call, with an
+invocation count covering the region of interest), plus the metadata
+the measurement methodology needs — language, parallel structure,
+scaling behaviour, placement constraints (PolyBench is pinned to one
+core; SWFFT wants power-of-two ranks; SPEC imagick tops out at 8
+threads), an MPI communication shape, and the empirical run-to-run
+noise level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import math
+
+from repro.errors import SuiteError
+from repro.ir.kernel import Kernel
+from repro.ir.types import Language
+from repro.libs.mathlib import LibraryCall
+
+
+class ParallelKind(enum.Enum):
+    """How the benchmark exploits a node."""
+
+    SERIAL = "serial"
+    OPENMP = "openmp"
+    MPI = "mpi"
+    MPI_OPENMP = "mpi+openmp"
+
+    @property
+    def uses_mpi(self) -> bool:
+        return self in (ParallelKind.MPI, ParallelKind.MPI_OPENMP)
+
+    @property
+    def uses_threads(self) -> bool:
+        return self in (ParallelKind.OPENMP, ParallelKind.MPI_OPENMP)
+
+
+class ScalingKind(enum.Enum):
+    """Strong (fixed total problem) vs. weak (fixed per-rank problem)."""
+
+    STRONG = "strong"
+    WEAK = "weak"
+
+
+@dataclass(frozen=True)
+class MpiModel:
+    """Per-benchmark MPI communication shape.
+
+    ``comm_fraction`` — fraction of the single-rank ROI time the code
+    would spend communicating when run at the *reference* 4 ranks;
+    0 for non-MPI codes.  ``pattern`` selects the rank-count scaling:
+
+    * ``halo``      — nearest-neighbour exchange: volume per rank falls
+      with per-rank domain size (strong scaling) -> comm roughly flat;
+    * ``allreduce`` — collective: grows with log2(ranks);
+    * ``alltoall``  — transpose-style (FFTs): grows with ranks.
+    """
+
+    comm_fraction: float = 0.0
+    pattern: str = "halo"
+
+    def comm_time_s(self, t_single_rank_s: float, ranks: int) -> float:
+        """Communication seconds at ``ranks`` given the 1-rank ROI time."""
+        if self.comm_fraction <= 0 or ranks <= 1:
+            return 0.0
+        base = self.comm_fraction * t_single_rank_s
+        if self.pattern == "halo":
+            # Strong scaling shrinks each rank's halo surface
+            # (volume term ~ (1/r)^(2/3)) while message count and
+            # latency grow mildly; mix the two.
+            factor = 0.5 * (4.0 / ranks) ** (2.0 / 3.0) + 0.5 * (
+                1.0 + 0.08 * math.log2(ranks)
+            )
+        elif self.pattern == "allreduce":
+            factor = math.log2(ranks + 1) / math.log2(5)
+        elif self.pattern == "alltoall":
+            factor = ranks / 4.0
+        else:
+            raise ValueError(f"unknown MPI pattern {self.pattern!r}")
+        # Reference fraction is quoted at 4 ranks.
+        ref = {"halo": 1.08, "allreduce": 1.0, "alltoall": 1.0}[self.pattern]
+        return base * factor / ref
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One weighted piece of a benchmark's region of interest."""
+
+    kernel: Kernel | None = None
+    #: Times the kernel (and library call) executes during the ROI.
+    invocations: float = 1.0
+    library: LibraryCall | None = None
+
+    def __post_init__(self) -> None:
+        if self.kernel is None and self.library is None:
+            raise SuiteError("a work unit needs a kernel or a library call")
+        if self.invocations <= 0:
+            raise SuiteError("invocations must be positive")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of the paper's Figure 2."""
+
+    name: str
+    suite: str
+    language: Language
+    units: tuple[WorkUnit, ...]
+    parallel: ParallelKind
+    scaling: ScalingKind = ScalingKind.STRONG
+    #: PolyBench-style: pinned to one core, no placement exploration.
+    pinned_single_core: bool = False
+    #: Requires power-of-two MPI ranks (e.g. SWFFT).
+    pow2_ranks: bool = False
+    #: Thread count beyond which the code stops scaling (e.g. SPEC
+    #: imagick's sweet spot of 8 threads, Sec. 2.4).
+    max_useful_threads: int | None = None
+    mpi: MpiModel = field(default_factory=MpiModel)
+    #: Run-to-run coefficient of variation (Sec. 2.4: ~0.1% typical,
+    #: BabelStream up to 22%).
+    noise_cv: float = 0.005
+    #: Average barriers per parallel-region invocation (implicit one at
+    #: region end plus any inner barriers).
+    barriers_per_invocation: float = 1.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise SuiteError(f"benchmark {self.name!r} has no work units")
+        if self.pinned_single_core and self.parallel is not ParallelKind.SERIAL:
+            raise SuiteError(f"benchmark {self.name!r}: pinned implies serial")
+        if self.noise_cv < 0:
+            raise SuiteError(f"benchmark {self.name!r}: negative noise")
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.suite}.{self.name}"
+
+    def kernels(self) -> tuple[Kernel, ...]:
+        return tuple(u.kernel for u in self.units if u.kernel is not None)
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of benchmarks (one Figure 2 row group)."""
+
+    name: str
+    display: str
+    benchmarks: tuple[Benchmark, ...]
+
+    def __post_init__(self) -> None:
+        names = [b.name for b in self.benchmarks]
+        if len(set(names)) != len(names):
+            raise SuiteError(f"suite {self.name!r} has duplicate benchmark names")
+        for b in self.benchmarks:
+            if b.suite != self.name:
+                raise SuiteError(
+                    f"benchmark {b.name!r} claims suite {b.suite!r}, "
+                    f"registered under {self.name!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def get(self, name: str) -> Benchmark:
+        for b in self.benchmarks:
+            if b.name == name:
+                return b
+        raise SuiteError(f"no benchmark {name!r} in suite {self.name!r}")

@@ -1,0 +1,197 @@
+"""The eight RIKEN Fiber mini-apps (Section 2.2).
+
+Japanese production proxies, co-designed alongside Fugaku — most carry
+Fujitsu OCL tuning, and Section 3.2 finds Fujitsu "dominates the other
+compilers on Fiber mini-apps", with FFB and mVMC the exceptions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import Language
+from repro.libs.mathlib import LibraryCall, LibraryKind
+from repro.suites.base import Benchmark, MpiModel, ParallelKind, Suite, WorkUnit
+from repro.suites.kernels_common import (
+    dense_matmul,
+    divsqrt_physics,
+    fft_stride_pass,
+    int_scan,
+    monte_carlo,
+    particle_force,
+    spmv_csr,
+    stencil3d7,
+    stencil3d27,
+    stream_dot,
+    transcendental_map,
+    tridiag_sweep,
+)
+
+SUITE_NAME = "fiber"
+
+C = Language.C
+F = Language.FORTRAN
+
+
+def _tuned(kernel: Kernel) -> Kernel:
+    return kernel.with_features(Feature.VENDOR_TUNED)
+
+
+def _ccs_qcd() -> Benchmark:
+    return Benchmark(
+        name="ccs_qcd",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(kernel=_tuned(stencil3d7("qcd_clover", 192, F)), invocations=150),
+            WorkUnit(kernel=_tuned(stream_dot("qcd_norm", 1 << 24, F)), invocations=300),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.08, pattern="halo"),
+        noise_cv=0.003,
+        notes="CCS QCD: clover-fermion lattice solver",
+    )
+
+
+def _ffb() -> Benchmark:
+    # FrontFlow/blue: unstructured FEM fluid solver.  One of the paper's
+    # two named exceptions where Fujitsu loses — its hot loops are
+    # untuned indirect/streaming sweeps (no OCL decoration).
+    return Benchmark(
+        name="ffb",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(kernel=spmv_csr("ffb_fem", 1 << 22, 28, F), invocations=200),
+            WorkUnit(kernel=stream_dot("ffb_dot", 1 << 22, F), invocations=400),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.06, pattern="halo"),
+        noise_cv=0.004,
+        notes="FFB: unstructured FEM LES (untuned hot loops)",
+    )
+
+
+def _ffvc() -> Benchmark:
+    return Benchmark(
+        name="ffvc",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(kernel=_tuned(stencil3d7("ffvc_poisson", 288, F)), invocations=200),
+            WorkUnit(kernel=_tuned(divsqrt_physics("ffvc_flux", 1 << 23, F)), invocations=100),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.05, pattern="halo"),
+        noise_cv=0.003,
+        notes="FFVC: structured-grid incompressible CFD",
+    )
+
+
+def _mvmc() -> Benchmark:
+    # Variational Monte Carlo (C): the other named Fujitsu exception.
+    return Benchmark(
+        name="mvmc",
+        suite=SUITE_NAME,
+        language=C,
+        units=(
+            # The sampler calls amplitude-evaluation routines per sample:
+            # inliner-dependent (mVMC's hot loop is call-heavy C).
+            WorkUnit(
+                kernel=monte_carlo("mvmc_sample", 1 << 22, C).with_features(
+                    Feature.NEEDS_INLINING
+                ),
+                invocations=60,
+            ),
+            WorkUnit(
+                kernel=dense_matmul("mvmc_pfaffian", 2048, 96, 96, C, parallel=True),
+                invocations=120,
+            ),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.04, pattern="allreduce"),
+        noise_cv=0.005,
+        notes="mVMC: variational Monte Carlo (C)",
+    )
+
+
+def _ngsa() -> Benchmark:
+    return Benchmark(
+        name="ngsa",
+        suite=SUITE_NAME,
+        language=C,
+        units=(
+            WorkUnit(kernel=int_scan("ngsa_align", 96 << 20, C, iops=12, branches=4, parallel=True), invocations=20),
+        ),
+        parallel=ParallelKind.MPI,
+        mpi=MpiModel(comm_fraction=0.02, pattern="halo"),
+        noise_cv=0.006,
+        notes="NGS Analyzer: genome alignment (integer/branch)",
+    )
+
+
+def _nicam() -> Benchmark:
+    return Benchmark(
+        name="nicam",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(kernel=_tuned(stencil3d27("nicam_dyn", 256, F)), invocations=80),
+            WorkUnit(kernel=_tuned(tridiag_sweep("nicam_vi", 32768, 96, F)), invocations=160),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.06, pattern="halo"),
+        noise_cv=0.003,
+        notes="NICAM-DC: icosahedral atmosphere dynamical core",
+    )
+
+
+def _ntchem() -> Benchmark:
+    return Benchmark(
+        name="ntchem",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(library=LibraryCall(LibraryKind.BLAS3, flops=6.0e13)),
+            WorkUnit(kernel=_tuned(transcendental_map("ntchem_eri", 1 << 22, F, fspecial=3)), invocations=100),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.05, pattern="allreduce"),
+        noise_cv=0.003,
+        notes="NTChem: RI-MP2 quantum chemistry (SSL2-heavy)",
+    )
+
+
+def _modylas() -> Benchmark:
+    return Benchmark(
+        name="modylas",
+        suite=SUITE_NAME,
+        language=F,
+        units=(
+            WorkUnit(kernel=_tuned(particle_force("modylas_pp", 1 << 21, 48, F)), invocations=80),
+            WorkUnit(kernel=_tuned(fft_stride_pass("modylas_fft", 1 << 23, 512, F)), invocations=160),
+        ),
+        parallel=ParallelKind.MPI_OPENMP,
+        mpi=MpiModel(comm_fraction=0.07, pattern="alltoall"),
+        noise_cv=0.004,
+        notes="MODYLAS: FMM molecular dynamics",
+    )
+
+
+@lru_cache(maxsize=1)
+def fiber_suite() -> Suite:
+    return Suite(
+        name=SUITE_NAME,
+        display="RIKEN Fiber mini-apps",
+        benchmarks=(
+            _ccs_qcd(),
+            _ffb(),
+            _ffvc(),
+            _mvmc(),
+            _ngsa(),
+            _nicam(),
+            _ntchem(),
+            _modylas(),
+        ),
+    )

@@ -1,0 +1,659 @@
+"""Reusable kernel templates for the benchmark suites.
+
+Each function returns a fully-built :class:`~repro.ir.kernel.Kernel`
+describing a canonical HPC loop pattern.  The templates are chosen so
+that every *mechanism* the compiler study exercises has a
+representative: contiguous streams, strided streams, dense linear
+algebra, stencils, sparse/indirect access, particle interactions,
+table lookups, integer/branch-dominated scans, pointer chasing,
+transcendental maps, divide/sqrt-heavy physics, recurrences that defeat
+vectorization, and FP reductions (whose vectorizability hinges on
+fast-math — the GNU discriminator).
+
+``parallel=True`` marks the outermost loop OpenMP-parallel.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder, read, update, write
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import DType, Language, Layout
+
+
+def _par(parallel: bool) -> tuple[str, ...]:
+    return ("i",) if parallel else ()
+
+
+def _layout_order(lang: Language, loops: list, parallel: bool) -> tuple[list, tuple[str, ...]]:
+    """Order a loop list for the language's array layout.
+
+    Templates write their subscripts C-style (last subscript fastest);
+    real Fortran codes iterate the *first* subscript innermost, so for
+    column-major languages the loop list is reversed.  The OpenMP
+    parallel annotation follows the new outermost loop.
+    """
+    if lang.default_layout is Layout.COL_MAJOR:
+        loops = list(reversed(loops))
+    par = (loops[0][0] if isinstance(loops[0], tuple) else loops[0].var,) if parallel else ()
+    return loops, par
+
+
+# ---------------------------------------------------------------------------
+# streaming kernels (BabelStream and friends)
+# ---------------------------------------------------------------------------
+
+
+def stream_copy(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """``c[i] = a[i]`` — pure bandwidth, no arithmetic."""
+    b = KernelBuilder(name, lang, notes="stream copy")
+    b.array("a", (n,))
+    b.array("c", (n,))
+    b.nest([("i", n)], [b.stmt(write("c", "i"), read("a", "i"))], parallel=_par(parallel))
+    return b.build()
+
+
+def stream_scale(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """``b[i] = s * c[i]``."""
+    b = KernelBuilder(name, lang, notes="stream scale")
+    b.array("bb", (n,))
+    b.array("c", (n,))
+    b.nest([("i", n)], [b.stmt(write("bb", "i"), read("c", "i"), fmul=1)], parallel=_par(parallel))
+    return b.build()
+
+
+def stream_add(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """``c[i] = a[i] + b[i]``."""
+    b = KernelBuilder(name, lang, notes="stream add")
+    b.array("a", (n,))
+    b.array("bb", (n,))
+    b.array("c", (n,))
+    b.nest(
+        [("i", n)],
+        [b.stmt(write("c", "i"), read("a", "i"), read("bb", "i"), fadd=1)],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def stream_triad(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """``a[i] = b[i] + s * c[i]`` — the STREAM headline kernel."""
+    b = KernelBuilder(name, lang, notes="stream triad")
+    b.array("a", (n,))
+    b.array("bb", (n,))
+    b.array("c", (n,))
+    b.nest(
+        [("i", n)],
+        [b.stmt(write("a", "i"), read("bb", "i"), read("c", "i"), fma=1)],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def stream_dot(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """``sum += a[i] * b[i]`` — FP reduction: vectorizing it requires
+    reassociation (fast-math), the GNU-at-``-O3`` discriminator."""
+    b = KernelBuilder(name, lang, notes="stream dot")
+    b.array("a", (n,))
+    b.array("bb", (n,))
+    b.array("s", (1,))
+    b.nest(
+        [("i", n)],
+        [b.stmt(update("s", 0), read("a", "i"), read("bb", "i"), fma=1, reduction="i")],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# stencils
+# ---------------------------------------------------------------------------
+
+
+def jacobi2d(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """One 5-point Jacobi sweep plus copy-back (two nests)."""
+    b = KernelBuilder(name, lang, notes="5-point Jacobi 2D sweep")
+    b.array("A", (n, n))
+    b.array("B", (n, n))
+    loops, par = _layout_order(lang, [("i", 1, n - 1), ("j", 1, n - 1)], parallel)
+    b.nest(
+        list(loops),
+        [
+            b.stmt(
+                write("B", "i", "j"),
+                read("A", "i", "j"),
+                read("A", "i", "j-1"),
+                read("A", "i", "j+1"),
+                read("A", "i-1", "j"),
+                read("A", "i+1", "j"),
+                fadd=4,
+                fmul=1,
+            )
+        ],
+        parallel=par,
+    )
+    b.nest(
+        list(loops),
+        [b.stmt(write("A", "i", "j"), read("B", "i", "j"))],
+        parallel=par,
+    )
+    return b.build()
+
+
+def stencil3d7(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """7-point 3D stencil sweep (heat/diffusion)."""
+    b = KernelBuilder(name, lang, notes="7-point 3D stencil")
+    b.array("A", (n, n, n))
+    b.array("B", (n, n, n))
+    loops, par = _layout_order(
+        lang, [("i", 1, n - 1), ("j", 1, n - 1), ("k", 1, n - 1)], parallel
+    )
+    b.nest(
+        list(loops),
+        [
+            b.stmt(
+                write("B", "i", "j", "k"),
+                read("A", "i", "j", "k"),
+                read("A", "i", "j", "k-1"),
+                read("A", "i", "j", "k+1"),
+                read("A", "i", "j-1", "k"),
+                read("A", "i", "j+1", "k"),
+                read("A", "i-1", "j", "k"),
+                read("A", "i+1", "j", "k"),
+                fadd=6,
+                fmul=2,
+            )
+        ],
+        parallel=par,
+    )
+    return b.build()
+
+
+def stencil3d27(name: str, n: int, lang: Language = Language.C, *, parallel: bool = True) -> Kernel:
+    """27-point 3D stencil — compute-rich (SW4lite/seismic flavour).
+
+    The 27 neighbour reads are summarized by the nine distinct
+    (i, j)-plane streams; per-point arithmetic keeps the full 27-point
+    cost so the kernel lands compute-bound when vectorized well.
+    """
+    b = KernelBuilder(name, lang, notes="27-point 3D stencil")
+    b.array("A", (n, n, n))
+    b.array("B", (n, n, n))
+    reads = [read("A", f"i{di:+d}" if di else "i", f"j{dj:+d}" if dj else "j", "k")
+             for di in (-1, 0, 1) for dj in (-1, 0, 1)]
+    loops, par = _layout_order(
+        lang, [("i", 1, n - 1), ("j", 1, n - 1), ("k", 1, n - 1)], parallel
+    )
+    b.nest(
+        list(loops),
+        [b.stmt(write("B", "i", "j", "k"), *reads, fma=26, fmul=1)],
+        parallel=par,
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# dense linear algebra
+# ---------------------------------------------------------------------------
+
+
+def dense_matmul(
+    name: str,
+    ni: int,
+    nj: int,
+    nk: int,
+    lang: Language = Language.C,
+    *,
+    parallel: bool = False,
+) -> Kernel:
+    """``C[i][j] += A[i][k] * B[k][j]`` in the textbook i-j-k order.
+
+    In C (row-major) the k-inner order streams B at stride ``nj`` —
+    interchange-capable compilers fix it, FJtrad does not (Figure 1).
+    In Fortran (column-major) the same subscripts make A the strided
+    stream, and Fujitsu's Fortran optimizer does interchange.
+    """
+    b = KernelBuilder(name, lang, notes="dense matmul, naive order")
+    b.array("A", (ni, nk))
+    b.array("B", (nk, nj))
+    b.array("C", (ni, nj))
+    b.nest(
+        [("i", ni), ("j", nj), ("k", nk)],
+        [b.stmt(update("C", "i", "j"), read("A", "i", "k"), read("B", "k", "j"), fma=1, reduction="k")],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def matvec(name: str, n: int, m: int, lang: Language = Language.C, *, parallel: bool = False) -> Kernel:
+    """``y[i] += A[i][j] * x[j]`` (GEMV)."""
+    b = KernelBuilder(name, lang, notes="dense matvec")
+    b.array("A", (n, m))
+    b.array("x", (m,))
+    b.array("y", (n,))
+    b.nest(
+        [("i", n), ("j", m)],
+        [b.stmt(update("y", "i"), read("A", "i", "j"), read("x", "j"), fma=1, reduction="j")],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def rank1_update(name: str, n: int, lang: Language = Language.C, *, parallel: bool = False) -> Kernel:
+    """``A[i][j] += u[i] * v[j]`` (GER) — pure streaming over A."""
+    b = KernelBuilder(name, lang, notes="rank-1 update")
+    b.array("A", (n, n))
+    b.array("u", (n,))
+    b.array("v", (n,))
+    b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(update("A", "i", "j"), read("u", "i"), read("v", "j"), fma=1)],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# sparse / indirect
+# ---------------------------------------------------------------------------
+
+
+def spmv_csr(
+    name: str,
+    rows: int,
+    nnz_per_row: int,
+    lang: Language = Language.C,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """CSR sparse matrix-vector product: ``y[i] += val[..] * x[col[..]]``.
+
+    The ``x`` gather is the discriminator: SVE-gather-capable
+    vectorizers keep it vector, GNU 10 drops to scalar.
+    """
+    b = KernelBuilder(name, lang, notes=f"CSR SpMV, {nnz_per_row} nnz/row")
+    nnz = rows * nnz_per_row
+    b.array("val", (nnz,))
+    b.array("col", (nnz,), dtype=DType.I32)
+    b.array("x", (rows,))
+    b.array("y", (rows,))
+    b.nest(
+        [("i", rows), ("j", nnz_per_row)],
+        [
+            b.stmt(
+                update("y", "i"),
+                read("val", f"{nnz_per_row}*i+j"),
+                read("col", f"{nnz_per_row}*i+j"),
+                read("x", "j", indirect=True),
+                fma=1,
+                iops=1,
+                reduction="j",
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def particle_force(
+    name: str,
+    nparticles: int,
+    neighbors: int,
+    lang: Language = Language.C,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """Short-range pair force (CoMD/MD flavour): indirect neighbour
+    loads, a distance sqrt and a divide per pair."""
+    b = KernelBuilder(name, lang, notes=f"pair force, {neighbors} neighbours")
+    b.array("pos", (nparticles, 3))
+    b.array("force", (nparticles, 3))
+    b.array("nbr", (nparticles, neighbors), dtype=DType.I32)
+    b.nest(
+        [("i", nparticles), ("j", neighbors)],
+        [
+            b.stmt(
+                update("force", "i", 0),
+                read("pos", "i", 0),
+                read("nbr", "i", "j"),
+                read("pos", "j", 0, indirect=True),
+                fma=6,
+                fadd=3,
+                fdiv=1,
+                fsqrt=1,
+                iops=2,
+                reduction="j",
+                predicated=True,  # cutoff test
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def table_lookup(
+    name: str,
+    lookups: int,
+    table: int,
+    lang: Language = Language.C,
+    *,
+    parallel: bool = True,
+    interp_fma: int = 5,
+    search_iops: int = 24,
+    serial_search: bool = True,
+) -> Kernel:
+    """XSBench-style cross-section lookup: a binary search (integer ops
+    and branches) followed by gathered interpolation.
+
+    With ``serial_search`` (the default, matching the reference codes)
+    the search is a dependent-load chain — tagged
+    :data:`Feature.POINTER_CHASING` so it is latency-serialized and
+    unvectorizable.  ``serial_search=False`` models a restructured
+    lookup whose searches proceed independently per lane (what an
+    aggressive optimizer can make of it).
+    """
+    b = KernelBuilder(name, lang, notes="binary search + gathered interpolation")
+    b.array("grid", (table,))
+    b.array("xs", (table, 6))
+    b.array("out", (lookups,))
+    b.nest(
+        [("i", lookups)],
+        [
+            b.stmt(
+                write("out", "i"),
+                read("grid", "i", indirect=True),
+                read("xs", "i", 0, indirect=True),
+                read("xs", "i", 1, indirect=True),
+                fma=interp_fma,
+                iops=search_iops,
+                branches=int(search_iops / 2),
+                predicated=True,
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    features = [Feature.BRANCH_HEAVY]
+    if serial_search:
+        features.append(Feature.POINTER_CHASING)
+    return b.build(*features)
+
+
+def pointer_chase(
+    name: str, n: int, lang: Language = Language.C, *, node_iops: int = 2
+) -> Kernel:
+    """Serial linked-list walk with ``node_iops`` integer operations per
+    node — latency-bound, with the per-node work a scalar-integer
+    codegen contest."""
+    b = KernelBuilder(name, lang, notes="linked-list traversal")
+    b.array("next", (n,), dtype=DType.I64)
+    b.array("acc", (1,))
+    b.nest(
+        [("i", n)],
+        [b.stmt(update("acc", 0), read("next", "i", indirect=True), iops=node_iops, reduction="i")],
+    )
+    return b.build(Feature.POINTER_CHASING, Feature.INTEGER_DOMINANT)
+
+
+# ---------------------------------------------------------------------------
+# integer / branch dominated
+# ---------------------------------------------------------------------------
+
+
+def int_scan(
+    name: str,
+    n: int,
+    lang: Language = Language.C,
+    *,
+    iops: int = 10,
+    branches: int = 3,
+    parallel: bool = False,
+) -> Kernel:
+    """Byte-stream state machine (compression/parsing flavour) —
+    integer-dominant with a loop-carried state recurrence, so no
+    compiler can vectorize it: a pure scalar-integer-codegen contest,
+    the GNU-vs-FJtrad discriminator of Sec. 3.3."""
+    b = KernelBuilder(name, lang, notes="integer state machine scan")
+    b.array("buf", (n,), dtype=DType.I8)
+    b.array("out", (n,), dtype=DType.I8)
+    b.nest(
+        [("i", 1, n)],
+        [
+            b.stmt(
+                write("out", "i"),
+                read("out", "i-1"),  # carried state: defeats vectorization
+                read("buf", "i"),
+                iops=iops,
+                branches=branches,
+                predicated=True,
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build(Feature.INTEGER_DOMINANT, Feature.BRANCH_HEAVY)
+
+
+def graph_traversal(
+    name: str,
+    nodes: int,
+    degree: int,
+    lang: Language = Language.CXX,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """Irregular neighbour expansion (miniTri/graph flavour): indirect
+    integer loads, branches, and a *scattered* counter update — the
+    histogram-conflict hazard that stops every auto-vectorizer."""
+    b = KernelBuilder(name, lang, notes="graph neighbour expansion")
+    b.array("adj", (nodes, degree), dtype=DType.I32)
+    b.array("mark", (nodes,), dtype=DType.I32)
+    b.nest(
+        [("i", nodes), ("j", degree)],
+        [
+            b.stmt(
+                update("mark", "j", indirect=True),  # scatter with conflicts
+                read("adj", "i", "j"),
+                read("mark", "i"),
+                iops=6,
+                branches=2,
+                predicated=True,
+                reduction="j",
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build(Feature.INTEGER_DOMINANT, Feature.BRANCH_HEAVY)
+
+
+# ---------------------------------------------------------------------------
+# transcendental / divide-heavy physics
+# ---------------------------------------------------------------------------
+
+
+def transcendental_map(
+    name: str,
+    n: int,
+    lang: Language = Language.C,
+    *,
+    fspecial: int = 1,
+    parallel: bool = True,
+) -> Kernel:
+    """``b[i] = exp(a[i])``-style map — vector math library quality."""
+    b = KernelBuilder(name, lang, notes="transcendental map")
+    b.array("a", (n,))
+    b.array("bb", (n,))
+    b.nest(
+        [("i", n)],
+        [b.stmt(write("bb", "i"), read("a", "i"), fspecial=fspecial, fmul=2, fadd=1)],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def divsqrt_physics(
+    name: str,
+    n: int,
+    lang: Language = Language.FORTRAN,
+    *,
+    parallel: bool = True,
+    body_fma: int = 8,
+) -> Kernel:
+    """EOS/Riemann-solver flavour: divides and square roots dominate."""
+    b = KernelBuilder(name, lang, notes="divide/sqrt-heavy pointwise physics")
+    b.array("r", (n,))
+    b.array("p", (n,))
+    b.array("e", (n,))
+    b.array("o", (n,))
+    b.nest(
+        [("i", n)],
+        [
+            b.stmt(
+                write("o", "i"),
+                read("r", "i"),
+                read("p", "i"),
+                read("e", "i"),
+                fma=body_fma,
+                fdiv=2,
+                fsqrt=1,
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# recurrences and solvers
+# ---------------------------------------------------------------------------
+
+
+def tridiag_sweep(
+    name: str,
+    systems: int,
+    n: int,
+    lang: Language = Language.FORTRAN,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """Thomas-algorithm forward sweep over many independent systems:
+    the inner recurrence is unvectorizable; parallelism and
+    vectorization live across systems only (outer loop)."""
+    b = KernelBuilder(name, lang, notes="tridiagonal forward sweep")
+    if lang.default_layout is Layout.COL_MAJOR:
+        # Fortran solvers dimension the arrays d(level, column) so the
+        # recurrence walks contiguously down a column.
+        b.array("d", (n, systems))
+        b.array("c", (n, systems))
+        sub = lambda i, s: (i, s)
+    else:
+        b.array("d", (systems, n))
+        b.array("c", (systems, n))
+        sub = lambda i, s: (s, i)
+    b.nest(
+        [("s", systems), ("i", 1, n)],
+        [
+            b.stmt(
+                write("d", *sub("i", "s")),
+                read("d", *sub("i-1", "s")),
+                read("c", *sub("i", "s")),
+                fma=2,
+                fdiv=1,
+            )
+        ],
+        parallel=("s",) if parallel else (),
+    )
+    return b.build()
+
+
+def seidel_sweep(name: str, n: int, lang: Language = Language.C) -> Kernel:
+    """Gauss-Seidel 2D sweep, 9-point (PolyBench seidel-2d shape).
+
+    The diagonal neighbours create a ``(<,>)`` dependence
+    (``A[i+1][j-1]`` is read before the next row writes it), which makes
+    both interchange and innermost vectorization illegal — a pure
+    scalar-quality test for every compiler.
+    """
+    b = KernelBuilder(name, lang, notes="Gauss-Seidel 9-point in-place sweep")
+    b.array("A", (n, n))
+    b.nest(
+        [("i", 1, n - 1), ("j", 1, n - 1)],
+        [
+            b.stmt(
+                write("A", "i", "j"),
+                read("A", "i-1", "j-1"),
+                read("A", "i-1", "j"),
+                read("A", "i-1", "j+1"),
+                read("A", "i", "j-1"),
+                read("A", "i", "j+1"),
+                read("A", "i+1", "j-1"),
+                read("A", "i+1", "j"),
+                read("A", "i+1", "j+1"),
+                fadd=8,
+                fmul=1,
+            )
+        ],
+    )
+    return b.build()
+
+
+def fft_stride_pass(
+    name: str,
+    n: int,
+    stride: int,
+    lang: Language = Language.C,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """One FFT butterfly pass: two contiguous streams ``stride`` apart.
+
+    Butterfly passes stream contiguously but touch two widely-separated
+    regions per iteration (and the surrounding transform does strided
+    twiddle access, summarized in the op counts) — bandwidth-bound with
+    moderate FMA density.
+    """
+    b = KernelBuilder(name, lang, notes=f"FFT butterfly pass, stride {stride}")
+    b.array("re", (n,))
+    b.array("im", (n,))
+    half = n // (2 * stride)
+    b.nest(
+        [("i", half), ("j", stride)],
+        [
+            b.stmt(
+                update("re", f"{2 * stride}*i+j"),
+                read("re", f"{2 * stride}*i+j+{stride}"),
+                read("im", f"{2 * stride}*i+j+{stride}"),
+                fma=4,
+                fadd=2,
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build()
+
+
+def monte_carlo(
+    name: str,
+    samples: int,
+    lang: Language = Language.CXX,
+    *,
+    parallel: bool = True,
+) -> Kernel:
+    """Monte-Carlo sampling: RNG-ish integer mixing, transcendentals,
+    and data-dependent branches (mVMC/QMC flavour)."""
+    b = KernelBuilder(name, lang, notes="Monte-Carlo sampling loop")
+    b.array("state", (samples,), dtype=DType.I64)
+    b.array("acc", (samples,))
+    b.nest(
+        [("i", samples)],
+        [
+            b.stmt(
+                update("acc", "i"),
+                read("state", "i"),
+                iops=8,
+                branches=2,
+                fspecial=1,
+                fma=4,
+                predicated=True,
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build(Feature.BRANCH_HEAVY)

@@ -1,0 +1,134 @@
+"""The 22 RIKEN micro kernels (fs2020-tapp-kernels snapshot).
+
+Extracted from RIKEN's priority applications and used during the
+Fugaku co-design; OpenMP-parallelized, primarily Fortran (five are C),
+sized for **one CMG** (12 cores, one 8 GiB HBM2 stack) — Section 2.2.
+The paper anonymizes them as Kernel 1..22; the themes below follow the
+public kernel collection's provenance (NICAM atmosphere, GENESIS MD,
+QCD, FrontFlow/blue, seismic stencils, spectral transforms, plus the
+integer-dominated genomics/analytics kernels that are written in C).
+
+Crucially these sources carry Fujitsu OCL tuning pragmas
+(``Feature.VENDOR_TUNED``), which is why FJtrad dominates here while
+losing the untuned BabelStream.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import Language
+from repro.suites.base import Benchmark, ParallelKind, Suite, WorkUnit
+from repro.suites.kernels_common import (
+    dense_matmul,
+    divsqrt_physics,
+    fft_stride_pass,
+    graph_traversal,
+    int_scan,
+    jacobi2d,
+    matvec,
+    monte_carlo,
+    particle_force,
+    pointer_chase,
+    spmv_csr,
+    stencil3d7,
+    stencil3d27,
+    stream_dot,
+    stream_triad,
+    table_lookup,
+    transcendental_map,
+    tridiag_sweep,
+)
+
+SUITE_NAME = "micro"
+
+F = Language.FORTRAN
+C = Language.C
+
+#: Cores in one CMG — the micro kernels' execution footprint.
+CMG_CORES = 12
+
+
+def _tuned(kernel: Kernel) -> Kernel:
+    """Mark a kernel as carrying Fujitsu OCL tuning (all Fortran micro
+    kernels do; the C ones came from analytics codes without OCLs)."""
+    return kernel.with_features(Feature.VENDOR_TUNED)
+
+
+def _kernels() -> tuple[tuple[Kernel, float], ...]:
+    """(kernel, invocations) for k01..k22."""
+    n1d = 32 * 1024 * 1024  # 256 MiB arrays: HBM2-resident streams
+    return (
+        # k01: NICAM-like 27-point atmosphere dynamics stencil.
+        (_tuned(stencil3d27("k01", 288, F)), 30),
+        # k02: NICAM vertical implicit solve (tridiagonal recurrences).
+        (_tuned(tridiag_sweep("k02", 16384, 96, F)), 60),
+        # k03: FEM strided matvec (ADVENTURE flavour).
+        (_tuned(matvec("k03", 8192, 2048, F, parallel=True)), 40),
+        # k04: stream triad (memory subsystem validation kernel).
+        (_tuned(stream_triad("k04", n1d, F)), 50),
+        # k05: GENESIS MD nonbonded pair force.
+        (_tuned(particle_force("k05", 262144, 64, F)), 40),
+        # k06: blocked dense matmul core.
+        (_tuned(dense_matmul("k06", 1536, 1536, 1536, F, parallel=True)), 4),
+        # k07: lattice-QCD even-odd stencil (complex arithmetic).
+        (_tuned(stencil3d7("k07", 224, F)), 60),
+        # k08: FrontFlow/blue flux accumulation (indirect FEM).
+        (_tuned(spmv_csr("k08", 1 << 20, 24, F)), 40),
+        # k09: ocean barotropic 2D stencil.
+        (_tuned(jacobi2d("k09", 4096, F)), 60),
+        # k10: equation-of-state pointwise physics (div/sqrt heavy).
+        (_tuned(divsqrt_physics("k10", 8 << 20, F)), 30),
+        # k11: spectral (Legendre) transform butterfly.
+        (_tuned(fft_stride_pass("k11", 1 << 24, 512, F)), 60),
+        # k12: global dot products (FP reduction).
+        (_tuned(stream_dot("k12", n1d, F)), 80),
+        # k13: radiation table map (exp/log heavy).
+        (_tuned(transcendental_map("k13", 4 << 20, F, fspecial=2)), 40),
+        # k14: particle-in-cell charge deposition (gather/scatter).
+        (_tuned(particle_force("k14", 1 << 20, 16, F)), 50),
+        # k15: seismic 7-point stencil (GAMERA flavour).
+        (_tuned(stencil3d7("k15", 320, F)), 40),
+        # k16: structured CFD smoother sweep.
+        (_tuned(jacobi2d("k16", 6144, F)), 40),
+        # k17: CSR SpMV (implicit solvers).
+        (_tuned(spmv_csr("k17", 2 << 20, 32, F)), 30),
+        # k18: cross-section table lookup (C, integer + dependent search
+        # over an L2-resident table).
+        (table_lookup("k18", 4 << 20, 1 << 16, C), 40),
+        # k19: genomics byte-stream state machine (C, integer/branch).
+        (int_scan("k19", 64 << 20, C, parallel=True), 30),
+        # k20: graph neighbour expansion (C, integer/indirect).
+        (graph_traversal("k20", 1 << 21, 24, C), 30),
+        # k21: Monte-Carlo sampling with branches (C).
+        (monte_carlo("k21", 16 << 20, C), 30),
+        # k22: integer merge/dedup scan (C; FJclang ICEs on it).
+        (int_scan("k22", 48 << 20, C, iops=14, branches=4, parallel=True), 30),
+    )
+
+
+@lru_cache(maxsize=1)
+def micro_suite() -> Suite:
+    """Build the 22-kernel micro suite (one benchmark per kernel)."""
+    benchmarks = []
+    for kernel, invocations in _kernels():
+        benchmarks.append(
+            Benchmark(
+                name=kernel.name,
+                suite=SUITE_NAME,
+                language=kernel.language,
+                units=(WorkUnit(kernel=kernel, invocations=invocations),),
+                parallel=ParallelKind.OPENMP
+                if kernel.is_openmp
+                else ParallelKind.SERIAL,
+                max_useful_threads=CMG_CORES,
+                noise_cv=0.003,
+                notes=kernel.notes,
+            )
+        )
+    return Suite(
+        name=SUITE_NAME,
+        display="RIKEN micro kernels (1 CMG)",
+        benchmarks=tuple(benchmarks),
+    )

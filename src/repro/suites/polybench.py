@@ -1,0 +1,40 @@
+"""The PolyBench/C suite: 30 single-threaded kernels, pinned to one
+core, LARGE inputs (floyd-warshall: MEDIUM) — Section 2.2 of the paper.
+
+PolyBench is the suite that motivated the whole study (Figure 1) and
+the one where LLVM+Polly dominates (median best-compiler speedup 3.8x,
+``mvt`` > 250 000x via dead-code elimination).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.types import Language
+from repro.suites.base import Benchmark, ParallelKind, Suite, WorkUnit
+from repro.suites.polybench_la import LA_KERNELS
+from repro.suites.polybench_stencils import STENCIL_KERNELS
+
+SUITE_NAME = "polybench"
+
+
+def _bench(kernel_factory, invocations: int = 1) -> Benchmark:
+    kernel = kernel_factory()
+    return Benchmark(
+        name=kernel.name,
+        suite=SUITE_NAME,
+        language=Language.C,
+        units=(WorkUnit(kernel=kernel, invocations=float(invocations)),),
+        parallel=ParallelKind.SERIAL,
+        pinned_single_core=True,
+        noise_cv=0.004,
+        notes=kernel.notes,
+    )
+
+
+@lru_cache(maxsize=1)
+def polybench_suite() -> Suite:
+    """Build the 30-kernel PolyBench suite."""
+    benchmarks = [_bench(f) for f in LA_KERNELS]
+    benchmarks += [_bench(f, invocations=t) for f, t in STENCIL_KERNELS]
+    return Suite(name=SUITE_NAME, display="PolyBench/C 4.2.1 [LARGE]", benchmarks=tuple(benchmarks))

@@ -1,0 +1,463 @@
+"""PolyBench/C 4.2.1 — linear-algebra and data-mining kernels (LARGE).
+
+Kernel structures follow the PolyBench sources: naive loop orders (the
+whole point — these orders are what compilers must fix), row-major C
+arrays, LARGE dataset extents.  Triangular iteration spaces (cholesky,
+lu, gramschmidt, ...) are approximated rectangularly with halved inner
+extents, preserving operation counts and stride structure; the IR does
+not carry affine loop bounds (documented deviation).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder, read, update, write
+from repro.ir.kernel import Kernel
+from repro.ir.types import Language
+
+C = Language.C
+
+
+def gemm() -> Kernel:
+    ni, nj, nk = 1000, 1100, 1200
+    b = KernelBuilder("gemm", C, notes="PolyBench gemm LARGE")
+    b.array("A", (ni, nk))
+    b.array("B", (nk, nj))
+    b.array("Cm", (ni, nj))
+    # C = beta*C
+    b.nest([("i", ni), ("j", nj)], [b.stmt(update("Cm", "i", "j"), fmul=1)])
+    # C += alpha*A*B (k innermost: B strided in C row-major)
+    b.nest(
+        [("i", ni), ("j", nj), ("k", nk)],
+        [b.stmt(update("Cm", "i", "j"), read("A", "i", "k"), read("B", "k", "j"), fma=1, fmul=1, reduction="k")],
+    )
+    return b.build()
+
+
+def two_mm() -> Kernel:
+    ni, nj, nk, nl = 800, 900, 1100, 1200
+    b = KernelBuilder("2mm", C, notes="PolyBench 2mm LARGE: D = alpha*A*B*C + beta*D")
+    b.array("A", (ni, nk))
+    b.array("B", (nk, nj))
+    b.array("Cm", (nj, nl))
+    b.array("D", (ni, nl))
+    b.array("tmp", (ni, nj))
+    b.nest(
+        [("i", ni), ("j", nj), ("k", nk)],
+        [b.stmt(update("tmp", "i", "j"), read("A", "i", "k"), read("B", "k", "j"), fma=1, fmul=1, reduction="k")],
+    )
+    b.nest(
+        [("i", ni), ("j", nl), ("k", nj)],
+        [b.stmt(update("D", "i", "j"), read("tmp", "i", "k"), read("Cm", "k", "j"), fma=1, reduction="k")],
+    )
+    return b.build()
+
+
+def three_mm() -> Kernel:
+    ni, nj, nk, nl, nm = 800, 900, 1000, 1100, 1200
+    b = KernelBuilder("3mm", C, notes="PolyBench 3mm LARGE: G = (A*B)*(C*D)")
+    b.array("A", (ni, nk))
+    b.array("B", (nk, nj))
+    b.array("Cm", (nj, nm))
+    b.array("D", (nm, nl))
+    b.array("E", (ni, nj))
+    b.array("F", (nj, nl))
+    b.array("G", (ni, nl))
+    b.nest(
+        [("i", ni), ("j", nj), ("k", nk)],
+        [b.stmt(update("E", "i", "j"), read("A", "i", "k"), read("B", "k", "j"), fma=1, reduction="k")],
+    )
+    b.nest(
+        [("i", nj), ("j", nl), ("k", nm)],
+        [b.stmt(update("F", "i", "j"), read("Cm", "i", "k"), read("D", "k", "j"), fma=1, reduction="k")],
+    )
+    b.nest(
+        [("i", ni), ("j", nl), ("k", nj)],
+        [b.stmt(update("G", "i", "j"), read("E", "i", "k"), read("F", "k", "j"), fma=1, reduction="k")],
+    )
+    return b.build()
+
+
+def atax() -> Kernel:
+    m, n = 1800, 2200
+    b = KernelBuilder("atax", C, notes="PolyBench atax LARGE: y = A^T (A x)")
+    b.array("A", (m, n))
+    b.array("x", (n,))
+    b.array("y", (n,))
+    b.array("tmp", (m,))
+    b.nest(
+        [("i", m), ("j", n)],
+        [b.stmt(update("tmp", "i"), read("A", "i", "j"), read("x", "j"), fma=1, reduction="j")],
+    )
+    # y[j] += A[i][j] * tmp[i]: j innermost is contiguous here, but the
+    # combined kernel's first nest dominates.
+    b.nest(
+        [("i", m), ("j", n)],
+        [b.stmt(update("y", "j"), read("A", "i", "j"), read("tmp", "i"), fma=1)],
+    )
+    return b.build()
+
+
+def bicg() -> Kernel:
+    m, n = 1900, 2100
+    b = KernelBuilder("bicg", C, notes="PolyBench bicg LARGE")
+    b.array("A", (n, m))
+    b.array("p", (m,))
+    b.array("q", (n,))
+    b.array("r", (n,))
+    b.array("s", (m,))
+    b.nest(
+        [("i", n), ("j", m)],
+        [
+            # s[j] += r[i]*A[i][j] ; q[i] += A[i][j]*p[j]
+            b.stmt(update("s", "j"), read("r", "i"), read("A", "i", "j"), fma=1),
+            b.stmt(update("q", "i"), read("A", "i", "j"), read("p", "j"), fma=1, reduction="j"),
+        ],
+    )
+    return b.build()
+
+
+def mvt() -> Kernel:
+    n = 2000
+    b = KernelBuilder("mvt", C, notes="PolyBench mvt LARGE: x1 += A y1; x2 += A^T y2")
+    b.array("A", (n, n))
+    b.array("x1", (n,))
+    b.array("x2", (n,))
+    b.array("y1", (n,))
+    b.array("y2", (n,))
+    b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(update("x1", "i"), read("A", "i", "j"), read("y1", "j"), fma=1, reduction="j")],
+    )
+    # The transposed product streams A at stride n.
+    b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(update("x2", "i"), read("A", "j", "i"), read("y2", "j"), fma=1, reduction="j")],
+    )
+    return b.build()
+
+
+def gemver() -> Kernel:
+    n = 2000
+    b = KernelBuilder("gemver", C, notes="PolyBench gemver LARGE")
+    b.array("A", (n, n))
+    b.array("u1", (n,))
+    b.array("v1", (n,))
+    b.array("u2", (n,))
+    b.array("v2", (n,))
+    b.array("x", (n,))
+    b.array("y", (n,))
+    b.array("w", (n,))
+    b.array("z", (n,))
+    b.nest(
+        [("i", n), ("j", n)],
+        [
+            b.stmt(
+                update("A", "i", "j"),
+                read("u1", "i"),
+                read("v1", "j"),
+                read("u2", "i"),
+                read("v2", "j"),
+                fma=2,
+            )
+        ],
+    )
+    b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(update("x", "i"), read("A", "j", "i"), read("y", "j"), fma=1, fmul=1, reduction="j")],
+    )
+    b.nest([("i", n)], [b.stmt(update("x", "i"), read("z", "i"), fadd=1)])
+    b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(update("w", "i"), read("A", "i", "j"), read("x", "j"), fma=1, fmul=1, reduction="j")],
+    )
+    return b.build()
+
+
+def gesummv() -> Kernel:
+    n = 1300
+    b = KernelBuilder("gesummv", C, notes="PolyBench gesummv LARGE")
+    b.array("A", (n, n))
+    b.array("B", (n, n))
+    b.array("x", (n,))
+    b.array("y", (n,))
+    b.array("tmp", (n,))
+    b.nest(
+        [("i", n), ("j", n)],
+        [
+            b.stmt(update("tmp", "i"), read("A", "i", "j"), read("x", "j"), fma=1, reduction="j"),
+            b.stmt(update("y", "i"), read("B", "i", "j"), read("x", "j"), fma=1, reduction="j"),
+        ],
+    )
+    return b.build()
+
+
+def symm() -> Kernel:
+    m, n = 1000, 1200
+    b = KernelBuilder("symm", C, notes="PolyBench symm LARGE (triangular approximated)")
+    b.array("A", (m, m))
+    b.array("B", (m, n))
+    b.array("Cm", (m, n))
+    b.nest(
+        [("i", m), ("j", n), ("k", m // 2)],
+        [
+            b.stmt(update("Cm", "k", "j"), read("A", "i", "k"), read("B", "i", "j"), fma=1, fmul=1),
+            b.stmt(update("Cm", "i", "j"), read("B", "k", "j"), read("A", "i", "k"), fma=1, reduction="k"),
+        ],
+    )
+    return b.build()
+
+
+def syrk() -> Kernel:
+    m, n = 1000, 1200
+    b = KernelBuilder("syrk", C, notes="PolyBench syrk LARGE (triangular approximated)")
+    b.array("A", (n, m))
+    b.array("Cm", (n, n))
+    b.nest([("i", n), ("j", n // 2)], [b.stmt(update("Cm", "i", "j"), fmul=1)])
+    b.nest(
+        [("i", n), ("k", m), ("j", n // 2)],
+        [b.stmt(update("Cm", "i", "j"), read("A", "i", "k"), read("A", "j", "k"), fma=1, fmul=1, reduction="k")],
+    )
+    return b.build()
+
+
+def syr2k() -> Kernel:
+    m, n = 1000, 1200
+    b = KernelBuilder("syr2k", C, notes="PolyBench syr2k LARGE (triangular approximated)")
+    b.array("A", (n, m))
+    b.array("B", (n, m))
+    b.array("Cm", (n, n))
+    b.nest([("i", n), ("j", n // 2)], [b.stmt(update("Cm", "i", "j"), fmul=1)])
+    b.nest(
+        [("i", n), ("k", m), ("j", n // 2)],
+        [
+            b.stmt(
+                update("Cm", "i", "j"),
+                read("A", "j", "k"),
+                read("B", "i", "k"),
+                read("A", "i", "k"),
+                read("B", "j", "k"),
+                fma=2,
+                fmul=2,
+                reduction="k",
+            )
+        ],
+    )
+    return b.build()
+
+
+def trmm() -> Kernel:
+    m, n = 1000, 1200
+    b = KernelBuilder("trmm", C, notes="PolyBench trmm LARGE (triangular approximated)")
+    b.array("A", (m, m))
+    b.array("B", (m, n))
+    b.nest(
+        [("i", m), ("j", n), ("k", m // 2)],
+        [b.stmt(update("B", "i", "j"), read("A", "k", "i"), read("B", "k", "j"), fma=1, reduction="k")],
+    )
+    return b.build()
+
+
+def cholesky() -> Kernel:
+    n = 2000
+    b = KernelBuilder("cholesky", C, notes="PolyBench cholesky LARGE (triangular approximated)")
+    b.array("A", (n, n))
+    # Dominant update: A[i][j] -= A[i][k]*A[j][k]
+    b.nest(
+        [("i", n), ("j", n // 2), ("k", n // 3)],
+        [b.stmt(update("A", "i", "j"), read("A", "i", "k"), read("A", "j", "k"), fma=1, reduction="k")],
+    )
+    # Diagonal sqrt/divide column scaling.
+    b.nest(
+        [("i", n), ("j", n // 2)],
+        [b.stmt(update("A", "j", "i"), read("A", "i", "i"), fdiv=1, fsqrt=0.001)],
+    )
+    return b.build()
+
+
+def lu() -> Kernel:
+    n = 2000
+    b = KernelBuilder("lu", C, notes="PolyBench lu LARGE (triangular approximated)")
+    b.array("A", (n, n))
+    b.nest(
+        [("i", n), ("j", n // 2), ("k", n // 3)],
+        [b.stmt(update("A", "i", "j"), read("A", "i", "k"), read("A", "k", "j"), fma=1, reduction="k")],
+    )
+    b.nest(
+        [("i", n), ("j", n // 2)],
+        [b.stmt(update("A", "j", "i"), read("A", "i", "i"), fdiv=1)],
+    )
+    return b.build()
+
+
+def ludcmp() -> Kernel:
+    n = 2000
+    b = KernelBuilder("ludcmp", C, notes="PolyBench ludcmp LARGE (lu + triangular solves)")
+    b.array("A", (n, n))
+    b.array("bv", (n,))
+    b.array("x", (n,))
+    b.array("y", (n,))
+    b.nest(
+        [("i", n), ("j", n // 2), ("k", n // 3)],
+        [b.stmt(update("A", "i", "j"), read("A", "i", "k"), read("A", "k", "j"), fma=1, reduction="k")],
+    )
+    # Forward/backward substitution: sequential recurrences.
+    b.nest(
+        [("i", n), ("j", n // 2)],
+        [b.stmt(update("y", "i"), read("A", "i", "j"), read("y", "j"), fma=1, reduction="j")],
+    )
+    b.nest(
+        [("i", n), ("j", n // 2)],
+        [b.stmt(update("x", "i"), read("A", "i", "j"), read("x", "j"), fma=1, fdiv=0.002, reduction="j")],
+    )
+    return b.build()
+
+
+def trisolv() -> Kernel:
+    n = 2000
+    b = KernelBuilder("trisolv", C, notes="PolyBench trisolv LARGE")
+    b.array("L", (n, n))
+    b.array("x", (n,))
+    b.array("bv", (n,))
+    # x[i] = (b[i] - sum_j L[i][j]*x[j]) / L[i][i]: the x[j] read with
+    # j < i makes the outer loop a true recurrence.
+    b.nest(
+        [("i", n), ("j", n // 2)],
+        [b.stmt(update("x", "i"), read("L", "i", "j"), read("x", "j"), fma=1, fdiv=0.002, reduction="j")],
+    )
+    return b.build()
+
+
+def durbin() -> Kernel:
+    n = 2000
+    b = KernelBuilder("durbin", C, notes="PolyBench durbin LARGE: Levinson-Durbin recursion")
+    b.array("r", (n,))
+    b.array("y", (n,))
+    b.array("z", (n,))
+    # Outer recurrence over k (approximated as invocations of the inner
+    # sweep); inner sweeps stream y/z.
+    b.nest(
+        [("k", n), ("i", n // 2)],
+        [
+            b.stmt(update("z", "i"), read("r", "i"), read("y", "i"), fma=2, fadd=1),
+        ],
+    )
+    return b.build()
+
+
+def gramschmidt() -> Kernel:
+    m, n = 1000, 1200
+    b = KernelBuilder("gramschmidt", C, notes="PolyBench gramschmidt LARGE (triangular approximated)")
+    b.array("A", (m, n))
+    b.array("R", (n, n))
+    b.array("Q", (m, n))
+    # norm: R[k][k] = sqrt(sum A[i][k]^2) — strided column reduction.
+    b.nest(
+        [("k", n), ("i", m)],
+        [b.stmt(update("R", "k", "k"), read("A", "i", "k"), fma=1, fsqrt=0.001, reduction="i")],
+    )
+    # Q[i][k] = A[i][k]/R[k][k]
+    b.nest(
+        [("k", n), ("i", m)],
+        [b.stmt(write("Q", "i", "k"), read("A", "i", "k"), fdiv=1)],
+    )
+    # Projection update: A[i][j] -= Q[i][k]*R[k][j]
+    b.nest(
+        [("k", n), ("j", n // 2), ("i", m)],
+        [
+            b.stmt(update("R", "k", "j"), read("Q", "i", "k"), read("A", "i", "j"), fma=1, reduction="i"),
+            b.stmt(update("A", "i", "j"), read("Q", "i", "k"), read("R", "k", "j"), fma=1),
+        ],
+    )
+    return b.build()
+
+
+def correlation() -> Kernel:
+    m, n = 1200, 1400
+    b = KernelBuilder("correlation", C, notes="PolyBench correlation LARGE")
+    b.array("data", (n, m))
+    b.array("mean", (m,))
+    b.array("stddev", (m,))
+    b.array("corr", (m, m))
+    # Column means and stddevs: strided column reductions.
+    b.nest(
+        [("j", m), ("i", n)],
+        [b.stmt(update("mean", "j"), read("data", "i", "j"), fadd=1, reduction="i")],
+    )
+    b.nest(
+        [("j", m), ("i", n)],
+        [b.stmt(update("stddev", "j"), read("data", "i", "j"), read("mean", "j"), fma=1, fsqrt=0.001, reduction="i")],
+    )
+    # Normalize, then corr = data^T data (gemm-like, triangular halved).
+    b.nest(
+        [("i", n), ("j", m)],
+        [b.stmt(update("data", "i", "j"), read("mean", "j"), read("stddev", "j"), fadd=1, fdiv=1)],
+    )
+    b.nest(
+        [("i", m), ("j", m // 2), ("k", n)],
+        [b.stmt(update("corr", "i", "j"), read("data", "k", "i"), read("data", "k", "j"), fma=1, reduction="k")],
+    )
+    return b.build()
+
+
+def covariance() -> Kernel:
+    m, n = 1200, 1400
+    b = KernelBuilder("covariance", C, notes="PolyBench covariance LARGE")
+    b.array("data", (n, m))
+    b.array("mean", (m,))
+    b.array("cov", (m, m))
+    b.nest(
+        [("j", m), ("i", n)],
+        [b.stmt(update("mean", "j"), read("data", "i", "j"), fadd=1, reduction="i")],
+    )
+    b.nest(
+        [("i", n), ("j", m)],
+        [b.stmt(update("data", "i", "j"), read("mean", "j"), fadd=1)],
+    )
+    b.nest(
+        [("i", m), ("j", m // 2), ("k", n)],
+        [b.stmt(update("cov", "i", "j"), read("data", "k", "i"), read("data", "k", "j"), fma=1, fdiv=0.001, reduction="k")],
+    )
+    return b.build()
+
+
+def doitgen() -> Kernel:
+    nq, nr, np_ = 140, 150, 160
+    b = KernelBuilder("doitgen", C, notes="PolyBench doitgen LARGE")
+    b.array("A", (nr, nq, np_))
+    b.array("C4", (np_, np_))
+    b.array("sum_", (np_,))
+    b.nest(
+        [("r", nr), ("q", nq), ("p", np_), ("s", np_)],
+        [b.stmt(update("sum_", "p"), read("A", "r", "q", "s"), read("C4", "s", "p"), fma=1, reduction="s")],
+    )
+    b.nest(
+        [("r", nr), ("q", nq), ("p", np_)],
+        [b.stmt(write("A", "r", "q", "p"), read("sum_", "p"))],
+    )
+    return b.build()
+
+
+#: All linear-algebra/data-mining kernels of the suite.
+LA_KERNELS = (
+    correlation,
+    covariance,
+    gemm,
+    gemver,
+    gesummv,
+    symm,
+    syr2k,
+    syrk,
+    trmm,
+    two_mm,
+    three_mm,
+    atax,
+    bicg,
+    doitgen,
+    mvt,
+    cholesky,
+    durbin,
+    gramschmidt,
+    lu,
+    ludcmp,
+    trisolv,
+)

@@ -1,0 +1,262 @@
+"""PolyBench/C 4.2.1 — stencil, solver, and medley kernels (LARGE;
+floyd-warshall at MEDIUM per the paper's Section 2.2).
+
+Time-stepped kernels (adi, fdtd-2d, heat-3d, jacobi-*, seidel-2d)
+describe one time step; the benchmark wrapper multiplies by TSTEPS via
+the work unit's invocation count.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder, read, update, write
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import Language
+
+from repro.suites.kernels_common import jacobi2d as _jacobi2d_template
+from repro.suites.kernels_common import seidel_sweep
+
+C = Language.C
+
+#: Time steps for the LARGE time-stepped kernels.
+TSTEPS = 500
+TSTEPS_HEAT = 500
+
+
+def deriche() -> Kernel:
+    w, h = 4096, 2160
+    b = KernelBuilder("deriche", C, notes="PolyBench deriche LARGE: recursive edge filter")
+    b.array("img", (w, h))
+    b.array("y1", (w, h))
+    b.array("y2", (w, h))
+    b.array("out", (w, h))
+    # Horizontal causal pass: recurrence along j (unvectorizable inner).
+    b.nest(
+        [("i", w), ("j", 2, h)],
+        [
+            b.stmt(
+                write("y1", "i", "j"),
+                read("img", "i", "j"),
+                read("y1", "i", "j-1"),
+                read("y1", "i", "j-2"),
+                fma=4,
+            )
+        ],
+    )
+    # Vertical causal pass: recurrence along i, stride-h streams.
+    b.nest(
+        [("j", h), ("i", 2, w)],
+        [
+            b.stmt(
+                write("y2", "i", "j"),
+                read("y1", "i", "j"),
+                read("y2", "i-1", "j"),
+                read("y2", "i-2", "j"),
+                fma=4,
+            )
+        ],
+    )
+    b.nest(
+        [("i", w), ("j", h)],
+        [b.stmt(write("out", "i", "j"), read("y1", "i", "j"), read("y2", "i", "j"), fadd=1, fmul=1)],
+    )
+    return b.build()
+
+
+def floyd_warshall() -> Kernel:
+    n = 500  # MEDIUM, per the paper
+    b = KernelBuilder("floyd-warshall", C, notes="PolyBench floyd-warshall MEDIUM")
+    b.array("path", (n, n))
+    # path[i][j] = min(path[i][j], path[i][k] + path[k][j]); the k loop
+    # carries a true dependence (must stay outermost).
+    b.nest(
+        [("k", n), ("i", n), ("j", n)],
+        [
+            b.stmt(
+                update("path", "i", "j"),
+                read("path", "i", "k"),
+                read("path", "k", "j"),
+                fadd=1,
+                branches=1,
+                predicated=True,
+            )
+        ],
+    )
+    return b.build(Feature.BRANCH_HEAVY)
+
+
+def nussinov() -> Kernel:
+    n = 2500
+    b = KernelBuilder("nussinov", C, notes="PolyBench nussinov LARGE: RNA-folding DP (triangular approximated)")
+    b.array("table", (n, n))
+    b.array("seq", (n,), )
+    b.nest(
+        [("i", n), ("j", n // 2), ("k", n // 4)],
+        [
+            b.stmt(
+                update("table", "i", "j"),
+                read("table", "i", "k"),
+                read("table", "k", "j"),
+                fadd=1,
+                iops=2,
+                branches=1,
+                predicated=True,
+            )
+        ],
+    )
+    return b.build(Feature.BRANCH_HEAVY)
+
+
+def adi() -> Kernel:
+    n = 1000
+    b = KernelBuilder("adi", C, notes="PolyBench adi LARGE: one ADI time step")
+    b.array("u", (n, n))
+    b.array("v", (n, n))
+    b.array("p", (n, n))
+    b.array("q", (n, n))
+    # Column sweep: recurrence along i, stride-n streams.
+    b.nest(
+        [("i", 1, n - 1), ("j", 1, n - 1)],
+        [
+            b.stmt(
+                write("p", "i", "j"),
+                read("p", "i", "j-1"),
+                fma=1,
+                fdiv=1,
+            ),
+            b.stmt(
+                write("q", "i", "j"),
+                read("u", "j", "i-1"),
+                read("u", "j", "i"),
+                read("u", "j", "i+1"),
+                read("q", "i", "j-1"),
+                fma=4,
+                fdiv=1,
+            ),
+        ],
+    )
+    # Back substitution, then the row sweep (mirrored structure).
+    b.nest(
+        [("i", 1, n - 1), ("j", 1, n - 1)],
+        [
+            b.stmt(
+                write("v", "j", "i"),
+                read("p", "i", "j"),
+                read("v", "j+1", "i"),
+                read("q", "i", "j"),
+                fma=1,
+            )
+        ],
+    )
+    b.nest(
+        [("i", 1, n - 1), ("j", 1, n - 1)],
+        [
+            b.stmt(
+                write("u", "i", "j"),
+                read("v", "j-1", "i"),
+                read("v", "j", "i"),
+                read("v", "j+1", "i"),
+                read("p", "i", "j-1"),
+                read("q", "i", "j-1"),
+                fma=5,
+                fdiv=1,
+            )
+        ],
+    )
+    return b.build()
+
+
+def fdtd_2d() -> Kernel:
+    nx, ny = 1000, 1200
+    b = KernelBuilder("fdtd-2d", C, notes="PolyBench fdtd-2d LARGE: one time step")
+    b.array("ex", (nx, ny))
+    b.array("ey", (nx, ny))
+    b.array("hz", (nx, ny))
+    b.nest(
+        [("i", 1, nx), ("j", ny)],
+        [b.stmt(update("ey", "i", "j"), read("hz", "i", "j"), read("hz", "i-1", "j"), fma=1, fadd=1)],
+    )
+    b.nest(
+        [("i", nx), ("j", 1, ny)],
+        [b.stmt(update("ex", "i", "j"), read("hz", "i", "j"), read("hz", "i", "j-1"), fma=1, fadd=1)],
+    )
+    b.nest(
+        [("i", nx - 1), ("j", ny - 1)],
+        [
+            b.stmt(
+                update("hz", "i", "j"),
+                read("ex", "i", "j+1"),
+                read("ex", "i", "j"),
+                read("ey", "i+1", "j"),
+                read("ey", "i", "j"),
+                fma=1,
+                fadd=3,
+            )
+        ],
+    )
+    return b.build()
+
+
+def heat_3d() -> Kernel:
+    n = 120
+    b = KernelBuilder("heat-3d", C, notes="PolyBench heat-3d LARGE: one time step (two sweeps)")
+    b.array("A", (n, n, n))
+    b.array("B", (n, n, n))
+    for src, dst in (("A", "B"), ("B", "A")):
+        b.nest(
+            [("i", 1, n - 1), ("j", 1, n - 1), ("k", 1, n - 1)],
+            [
+                b.stmt(
+                    write(dst, "i", "j", "k"),
+                    read(src, "i", "j", "k"),
+                    read(src, "i+1", "j", "k"),
+                    read(src, "i-1", "j", "k"),
+                    read(src, "i", "j+1", "k"),
+                    read(src, "i", "j-1", "k"),
+                    read(src, "i", "j", "k+1"),
+                    read(src, "i", "j", "k-1"),
+                    fma=3,
+                    fadd=6,
+                )
+            ],
+        )
+    return b.build()
+
+
+def jacobi_1d() -> Kernel:
+    n = 2000
+    b = KernelBuilder("jacobi-1d", C, notes="PolyBench jacobi-1d LARGE: one time step")
+    b.array("A", (n,))
+    b.array("B", (n,))
+    b.nest(
+        [("i", 1, n - 1)],
+        [b.stmt(write("B", "i"), read("A", "i-1"), read("A", "i"), read("A", "i+1"), fadd=2, fmul=1)],
+    )
+    b.nest(
+        [("i", 1, n - 1)],
+        [b.stmt(write("A", "i"), read("B", "i-1"), read("B", "i"), read("B", "i+1"), fadd=2, fmul=1)],
+    )
+    return b.build()
+
+
+def jacobi_2d() -> Kernel:
+    kernel = _jacobi2d_template("jacobi-2d", 1300, C, parallel=False)
+    return kernel
+
+
+def seidel_2d() -> Kernel:
+    return seidel_sweep("seidel-2d", 2000, C)
+
+
+#: All stencil/solver/medley kernels of the suite, with the time-step
+#: invocation count the benchmark wrapper should apply.
+STENCIL_KERNELS: tuple[tuple[object, int], ...] = (
+    (deriche, 1),
+    (floyd_warshall, 1),
+    (nussinov, 1),
+    (adi, TSTEPS),
+    (fdtd_2d, TSTEPS),
+    (heat_3d, TSTEPS_HEAT),
+    (jacobi_1d, TSTEPS),
+    (jacobi_2d, TSTEPS),
+    (seidel_2d, TSTEPS),
+)

@@ -1,0 +1,54 @@
+"""Suite registry: the seven suites and the full 108-benchmark study."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import SuiteError
+from repro.suites.base import Benchmark, Suite
+from repro.suites.ecp import ecp_suite
+from repro.suites.fiber import fiber_suite
+from repro.suites.microkernels import micro_suite
+from repro.suites.polybench import polybench_suite
+from repro.suites.spec_cpu import spec_cpu_suite
+from repro.suites.spec_omp import spec_omp_suite
+from repro.suites.top500 import top500_suite
+
+#: The paper's 108-benchmark count: 22 + 30 + 3 + 11 + 8 + 20 + 14.
+EXPECTED_TOTAL = 108
+
+
+@lru_cache(maxsize=1)
+def all_suites() -> tuple[Suite, ...]:
+    """The seven suites in the paper's Figure 2 row-group order."""
+    return (
+        micro_suite(),
+        polybench_suite(),
+        top500_suite(),
+        ecp_suite(),
+        fiber_suite(),
+        spec_cpu_suite(),
+        spec_omp_suite(),
+    )
+
+
+def all_benchmarks() -> tuple[Benchmark, ...]:
+    out: list[Benchmark] = []
+    for suite in all_suites():
+        out.extend(suite.benchmarks)
+    return tuple(out)
+
+
+def get_suite(name: str) -> Suite:
+    for suite in all_suites():
+        if suite.name == name:
+            return suite
+    raise SuiteError(f"unknown suite {name!r}")
+
+
+def get_benchmark(full_name: str) -> Benchmark:
+    """Look up by ``suite.name`` (e.g. ``"polybench.mvt"``)."""
+    if "." not in full_name:
+        raise SuiteError(f"benchmark names are 'suite.name', got {full_name!r}")
+    suite_name, bench_name = full_name.split(".", 1)
+    return get_suite(suite_name).get(bench_name)

@@ -1,0 +1,228 @@
+"""SPEC CPU 2017 [speed], train inputs, non-compliant runs (Sec. 2.2).
+
+Ten single-threaded integer codes and ten OpenMP floating-point codes.
+Section 3.3's structure: GNU almost universally beats FJtrad on the
+single-threaded integer half (while FJtrad still beats the clang-based
+compilers there); on the multi-threaded FP half GNU is the worst choice
+(libgomp costs + unvectorized reductions without fast-math), Fortran
+codes see little movement (frt underneath the LLVM configs), and the
+C/C++ FP codes reward clang-based compilers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import Language
+from repro.suites.base import Benchmark, ParallelKind, Suite, WorkUnit
+from repro.suites.kernels_common import (
+    dense_matmul,
+    divsqrt_physics,
+    graph_traversal,
+    int_scan,
+    jacobi2d,
+    monte_carlo,
+    particle_force,
+    pointer_chase,
+    spmv_csr,
+    stencil3d7,
+    stencil3d27,
+    stream_dot,
+    stream_triad,
+    table_lookup,
+    transcendental_map,
+    tridiag_sweep,
+)
+
+SUITE_NAME = "spec_cpu"
+
+C = Language.C
+CXX = Language.CXX
+F = Language.FORTRAN
+
+
+def _int(name: str, kernel: Kernel, invocations: float, notes: str) -> Benchmark:
+    """A single-threaded SPECspeed integer benchmark."""
+    return Benchmark(
+        name=name,
+        suite=SUITE_NAME,
+        language=kernel.language,
+        units=(WorkUnit(kernel=kernel, invocations=invocations),),
+        parallel=ParallelKind.SERIAL,
+        noise_cv=0.004,
+        notes=notes,
+    )
+
+
+def _fp(
+    name: str,
+    units: tuple[WorkUnit, ...],
+    language: Language,
+    notes: str,
+    max_threads: int | None = None,
+) -> Benchmark:
+    """A multi-threaded SPECspeed FP benchmark (OpenMP)."""
+    return Benchmark(
+        name=name,
+        suite=SUITE_NAME,
+        language=language,
+        units=units,
+        parallel=ParallelKind.OPENMP,
+        max_useful_threads=max_threads,
+        noise_cv=0.004,
+        notes=notes,
+    )
+
+
+def _intspeed() -> list[Benchmark]:
+    return [
+        _int(
+            "600.perlbench_s",
+            int_scan("perlbench_interp", 24 << 20, C, iops=14, branches=5),
+            8,
+            "Perl interpreter (bytecode dispatch)",
+        ),
+        _int(
+            "602.gcc_s",
+            graph_traversal("gcc_ir", 1 << 21, 12, C, parallel=False),
+            30,
+            "GCC compiling itself (IR graph walks)",
+        ),
+        _int(
+            "605.mcf_s",
+            pointer_chase("mcf_spanning", 1 << 23, C, node_iops=10),
+            10,
+            "Vehicle scheduling (network simplex, pointer-heavy)",
+        ),
+        _int(
+            "620.omnetpp_s",
+            pointer_chase("omnetpp_events", 1 << 22, CXX, node_iops=16),
+            12,
+            "Discrete event simulation (C++)",
+        ),
+        _int(
+            "623.xalancbmk_s",
+            int_scan("xalanc_xslt", 20 << 20, CXX, iops=12, branches=4),
+            10,
+            "XML/XSLT transformation (C++)",
+        ),
+        _int(
+            "625.x264_s",
+            int_scan("x264_me", 48 << 20, C, iops=16, branches=3),
+            10,
+            "Video encoding (motion estimation / SAD)",
+        ),
+        _int(
+            "631.deepsjeng_s",
+            int_scan("deepsjeng_search", 16 << 20, CXX, iops=15, branches=6),
+            12,
+            "Chess alpha-beta search (C++)",
+        ),
+        _int(
+            "641.leela_s",
+            graph_traversal("leela_mcts", 1 << 20, 16, CXX, parallel=False),
+            40,
+            "Go Monte-Carlo tree search (C++)",
+        ),
+        _int(
+            "648.exchange2_s",
+            int_scan("exchange2_puzzle", 24 << 20, F, iops=12, branches=4),
+            10,
+            "Sudoku-style puzzle generator (integer Fortran)",
+        ),
+        _int(
+            "657.xz_s",
+            int_scan("xz_lzma", 64 << 20, C, iops=13, branches=4),
+            8,
+            "LZMA compression",
+        ),
+    ]
+
+
+def _fpspeed() -> list[Benchmark]:
+    n3 = 1 << 23
+    return [
+        _fp(
+            "603.bwaves_s",
+            (WorkUnit(kernel=stencil3d7("bwaves_rhs", 288, F), invocations=200),),
+            F,
+            "Blast-wave CFD (Fortran)",
+        ),
+        _fp(
+            "607.cactuBSSN_s",
+            (WorkUnit(kernel=stencil3d27("cactu_bssn", 224, CXX), invocations=100),),
+            CXX,
+            "Numerical relativity (C++/Fortran core)",
+        ),
+        _fp(
+            "619.lbm_s",
+            (WorkUnit(kernel=stream_triad("lbm_collide", 1 << 26, C), invocations=400),),
+            C,
+            "Lattice Boltzmann (C, streaming)",
+        ),
+        _fp(
+            "621.wrf_s",
+            (
+                WorkUnit(kernel=stencil3d7("wrf_dyn", 256, F), invocations=150),
+                WorkUnit(kernel=transcendental_map("wrf_phys", n3, F, fspecial=2), invocations=150),
+            ),
+            F,
+            "Weather forecasting (Fortran)",
+        ),
+        _fp(
+            "627.cam4_s",
+            (
+                WorkUnit(kernel=stencil3d7("cam4_dyn", 224, F), invocations=120),
+                WorkUnit(kernel=divsqrt_physics("cam4_phys", n3, F), invocations=120),
+            ),
+            F,
+            "Community atmosphere model (Fortran)",
+        ),
+        _fp(
+            "628.pop2_s",
+            (
+                WorkUnit(kernel=jacobi2d("pop2_barotropic", 4096, F), invocations=200),
+                WorkUnit(kernel=tridiag_sweep("pop2_vmix", 16384, 64, F), invocations=200),
+            ),
+            F,
+            "Ocean circulation model (Fortran)",
+        ),
+        _fp(
+            "638.imagick_s",
+            (WorkUnit(kernel=transcendental_map("imagick_resize", 1 << 24, C, fspecial=1), invocations=120),),
+            C,
+            "Image processing; scales to ~8 threads only (Sec. 2.4)",
+            max_threads=8,
+        ),
+        _fp(
+            "644.nab_s",
+            (WorkUnit(kernel=particle_force("nab_nonbond", 1 << 20, 96, C), invocations=120),),
+            C,
+            "Molecular modelling (C)",
+        ),
+        _fp(
+            "649.fotonik3d_s",
+            (WorkUnit(kernel=stencil3d7("fotonik_fdtd", 288, F), invocations=250),),
+            F,
+            "FDTD electromagnetics (Fortran)",
+        ),
+        _fp(
+            "654.roms_s",
+            (
+                WorkUnit(kernel=jacobi2d("roms_2d", 4096, F), invocations=150),
+                WorkUnit(kernel=stencil3d7("roms_3d", 224, F), invocations=150),
+            ),
+            F,
+            "Regional ocean model (Fortran)",
+        ),
+    ]
+
+
+@lru_cache(maxsize=1)
+def spec_cpu_suite() -> Suite:
+    return Suite(
+        name=SUITE_NAME,
+        display="SPEC CPU 2017 [speed], train inputs",
+        benchmarks=tuple(_intspeed() + _fpspeed()),
+    )

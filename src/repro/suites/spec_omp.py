@@ -1,0 +1,192 @@
+"""SPEC OMP 2012, train inputs, non-compliant runs (Sec. 2.2).
+
+Fourteen OpenMP science workloads.  Section 3.3: best-compiler speedups
+up to 16.5x (376.kdtree, a recursive C++ tree search that trad-mode
+code generation handles disastrously), 2.5x on average; the Fortran
+codes barely move (frt underneath LLVM), and GNU suffers from libgomp
+overheads plus scalar FP reductions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.builder import KernelBuilder, read, update, write
+from repro.ir.kernel import Feature, Kernel
+from repro.ir.types import DType, Language
+from repro.suites.base import Benchmark, ParallelKind, Suite, WorkUnit
+from repro.suites.kernels_common import (
+    dense_matmul,
+    divsqrt_physics,
+    int_scan,
+    jacobi2d,
+    particle_force,
+    spmv_csr,
+    stencil3d7,
+    stencil3d27,
+    stream_dot,
+    stream_triad,
+    transcendental_map,
+    tridiag_sweep,
+)
+
+SUITE_NAME = "spec_omp"
+
+C = Language.C
+CXX = Language.CXX
+F = Language.FORTRAN
+
+
+def _kdtree_kernel() -> Kernel:
+    """376.kdtree: recursive k-d tree nearest-neighbour search (C++).
+
+    Recursion + virtual-call-free but deeply branchy traversal; tagged
+    RECURSIVE + NEEDS_INLINING + BRANCH_HEAVY so inliner and branch
+    quality dominate.  The tree walk itself is a dependent-load chain.
+    """
+    n = 1 << 22
+    b = KernelBuilder("kdtree_search", CXX, notes="k-d tree NN search")
+    b.array("nodes", (n, 4))
+    b.array("best", (1,))
+    b.nest(
+        [("i", n)],
+        [
+            b.stmt(
+                update("best", 0),
+                read("nodes", "i", 0, indirect=True),
+                read("nodes", "i", 1, indirect=True),
+                fma=3,
+                fadd=2,
+                iops=8,
+                branches=4,
+                predicated=True,
+                reduction="i",
+            )
+        ],
+        parallel=("i",),
+    )
+    return b.build(Feature.RECURSIVE, Feature.NEEDS_INLINING, Feature.BRANCH_HEAVY)
+
+
+def _bench(
+    name: str,
+    units: tuple[WorkUnit, ...],
+    language: Language,
+    notes: str,
+    *,
+    barriers: float = 1.0,
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        suite=SUITE_NAME,
+        language=language,
+        units=units,
+        parallel=ParallelKind.OPENMP,
+        noise_cv=0.004,
+        barriers_per_invocation=barriers,
+        notes=notes,
+    )
+
+
+@lru_cache(maxsize=1)
+def spec_omp_suite() -> Suite:
+    n1 = 1 << 23
+    benchmarks = (
+        _bench(
+            "350.md",
+            (WorkUnit(kernel=particle_force("md_force", 1 << 20, 128, F), invocations=100),),
+            F,
+            "Molecular dynamics (Fortran)",
+        ),
+        _bench(
+            "351.bwaves",
+            (WorkUnit(kernel=stencil3d7("bwaves_omp", 320, F), invocations=150),),
+            F,
+            "Blast-wave CFD (Fortran)",
+        ),
+        _bench(
+            "352.nab",
+            (WorkUnit(kernel=particle_force("nab_omp", 1 << 20, 80, C), invocations=150),),
+            C,
+            "Molecular modelling (C)",
+        ),
+        _bench(
+            "357.bt331",
+            (
+                WorkUnit(kernel=stencil3d7("bt_rhs", 256, F), invocations=120),
+                WorkUnit(kernel=tridiag_sweep("bt_solve", 65536, 64, F), invocations=360),
+            ),
+            F,
+            "NAS BT block-tridiagonal solver (Fortran)",
+            barriers=3.0,
+        ),
+        _bench(
+            "358.botsalgn",
+            (WorkUnit(kernel=int_scan("botsalgn_sw", 40 << 20, C, iops=10, branches=3, parallel=True), invocations=30),),
+            C,
+            "Protein alignment, OpenMP tasks (C)",
+        ),
+        _bench(
+            "359.botsspar",
+            (WorkUnit(kernel=spmv_csr("botsspar_lu", 1 << 21, 48, C), invocations=60),),
+            C,
+            "Sparse LU, OpenMP tasks (C)",
+        ),
+        _bench(
+            "360.ilbdc",
+            (WorkUnit(kernel=stream_triad("ilbdc_stream", 1 << 26, F), invocations=300),),
+            F,
+            "Lattice Boltzmann kernel (Fortran, streaming)",
+        ),
+        _bench(
+            "362.fma3d",
+            (
+                WorkUnit(kernel=stencil3d7("fma3d_elem", 224, F), invocations=100),
+                WorkUnit(kernel=divsqrt_physics("fma3d_mat", n1, F), invocations=100),
+            ),
+            F,
+            "Crash simulation FEM (Fortran)",
+        ),
+        _bench(
+            "363.swim",
+            (WorkUnit(kernel=jacobi2d("swim_sweep", 8192, F), invocations=200),),
+            F,
+            "Shallow water model (Fortran, streaming)",
+        ),
+        _bench(
+            "367.imagick",
+            (WorkUnit(kernel=transcendental_map("imagick_omp", 1 << 24, C, fspecial=1), invocations=100),),
+            C,
+            "Image processing (C)",
+        ),
+        _bench(
+            "370.mgrid331",
+            (WorkUnit(kernel=stencil3d7("mgrid_relax", 288, F), invocations=200),),
+            F,
+            "NAS MG multigrid (Fortran)",
+            barriers=2.0,
+        ),
+        _bench(
+            "371.applu331",
+            (
+                WorkUnit(kernel=stencil3d7("applu_rhs", 224, F), invocations=120),
+                WorkUnit(kernel=tridiag_sweep("applu_ssor", 65536, 64, F), invocations=240),
+            ),
+            F,
+            "NAS LU SSOR solver (Fortran)",
+            barriers=4.0,
+        ),
+        _bench(
+            "372.smithwa",
+            (WorkUnit(kernel=int_scan("smithwa_dp", 56 << 20, C, iops=12, branches=3, parallel=True), invocations=30),),
+            C,
+            "Smith-Waterman sequence alignment (C)",
+        ),
+        _bench(
+            "376.kdtree",
+            (WorkUnit(kernel=_kdtree_kernel(), invocations=80),),
+            CXX,
+            "k-d tree nearest-neighbour search (C++)",
+        ),
+    )
+    return Suite(name=SUITE_NAME, display="SPEC OMP 2012, train inputs", benchmarks=benchmarks)

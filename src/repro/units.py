@@ -1,0 +1,72 @@
+"""Small unit helpers used across the machine and performance models.
+
+The machine models are parameterized with datasheet quantities (GiB,
+GB/s, GHz, cycles).  Keeping the multipliers in one module avoids the
+classic off-by-1024 errors between binary and decimal prefixes:
+bandwidths are decimal (GB/s = 1e9 B/s, as vendors quote them), while
+capacities are binary (KiB/MiB/GiB), matching the A64FX datasheet.
+"""
+
+from __future__ import annotations
+
+#: Binary capacity prefixes (bytes).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Decimal rate prefixes.
+KILO: float = 1e3
+MEGA: float = 1e6
+GIGA: float = 1e9
+TERA: float = 1e12
+
+
+def ghz(value: float) -> float:
+    """Convert a clock quoted in GHz to Hz."""
+    return value * GIGA
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a bandwidth quoted in GB/s (decimal) to B/s."""
+    return value * GIGA
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Convert wall-clock seconds to core cycles at ``frequency_hz``."""
+    return seconds * frequency_hz
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Convert core cycles at ``frequency_hz`` to wall-clock seconds."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def pretty_bytes(n: float) -> str:
+    """Human-readable byte count (binary prefixes), e.g. ``'8.0 MiB'``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def pretty_seconds(t: float) -> str:
+    """Human-readable duration, scaling between ns and hours."""
+    if t < 0:
+        return "-" + pretty_seconds(-t)
+    if t == 0:
+        return "0 s"
+    if t < 1e-6:
+        return f"{t * 1e9:.1f} ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f} ms"
+    if t < 120.0:
+        return f"{t:.2f} s"
+    if t < 7200.0:
+        return f"{t / 60.0:.1f} min"
+    return f"{t / 3600.0:.1f} h"

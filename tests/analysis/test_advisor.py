@@ -1,0 +1,58 @@
+"""Tests for the compiler advisor — the paper's conclusion as data."""
+
+import pytest
+
+from repro.analysis.advisor import (
+    CLASS_C_FP,
+    CLASS_FORTRAN,
+    CLASS_INTEGER,
+    advice_report,
+    advise,
+    classify_benchmark,
+)
+
+
+class TestClassification:
+    def test_fortran(self):
+        assert classify_benchmark("micro.k01") == CLASS_FORTRAN
+        assert classify_benchmark("spec_cpu.603.bwaves_s") == CLASS_FORTRAN
+
+    def test_integer(self):
+        assert classify_benchmark("spec_cpu.657.xz_s") == CLASS_INTEGER
+        assert classify_benchmark("micro.k19") == CLASS_INTEGER
+
+    def test_c_fp(self):
+        assert classify_benchmark("polybench.gemm") == CLASS_C_FP
+        assert classify_benchmark("top500.babelstream") == CLASS_C_FP
+
+
+class TestAdvice:
+    """Sec. 5: 'Fujitsu for Fortran codes, GNU for integer-intensive
+    apps, and any clang-based compilers for C/C++'."""
+
+    @pytest.fixture(scope="class")
+    def advice(self, campaign_result):
+        return advise(campaign_result)
+
+    def test_three_classes_populated(self, advice):
+        assert set(advice) == {CLASS_FORTRAN, CLASS_INTEGER, CLASS_C_FP}
+        assert sum(a.count for a in advice.values()) == 108
+
+    def test_fortran_recommendation_is_fujitsu(self, advice):
+        assert advice[CLASS_FORTRAN].recommended == "FJtrad"
+
+    def test_integer_recommendation_is_gnu(self, advice):
+        assert advice[CLASS_INTEGER].recommended == "GNU"
+
+    def test_c_fp_recommendation_is_clang_based(self, advice):
+        assert advice[CLASS_C_FP].recommended_family() == "clang-based"
+
+    def test_no_silver_bullet(self, advice, campaign_result):
+        # no single variant wins 75%+ of everything
+        report = advice_report(campaign_result)
+        assert 'No "silver bullet"' in report
+
+    def test_report_mentions_all_classes(self, campaign_result):
+        report = advice_report(campaign_result)
+        for cls in (CLASS_FORTRAN, CLASS_INTEGER, CLASS_C_FP):
+            assert cls in report

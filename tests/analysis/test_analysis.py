@@ -1,0 +1,181 @@
+"""Tests for gains, heatmap, figures, and statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    benchmark_gains,
+    coefficient_of_variation,
+    figure1,
+    figure2,
+    gain_glyph,
+    geometric_mean,
+    overall_summary,
+    percent_improvement,
+    suite_summary,
+    summarize,
+    variability_report,
+)
+from repro.errors import AnalysisError
+from repro.harness import CampaignResult, RunRecord, STATUS_COMPILE_ERROR
+
+
+def _toy_campaign():
+    r = CampaignResult(machine="A64FX")
+    # bench1: LLVM 2x faster; bench2: FJtrad best; bench3: GNU fails
+    data = {
+        ("polybench.a", "FJtrad"): (2.0,),
+        ("polybench.a", "LLVM"): (1.0,),
+        ("polybench.a", "GNU"): (3.0,),
+        ("polybench.b", "FJtrad"): (1.0,),
+        ("polybench.b", "LLVM"): (1.5,),
+        ("polybench.b", "GNU"): (1.2,),
+        ("micro.c", "FJtrad"): (4.0,),
+        ("micro.c", "LLVM"): (4.4,),
+    }
+    for (bench, variant), runs in data.items():
+        r.add(RunRecord(bench, bench.split(".")[0], variant, 1, 1, runs))
+    r.add(RunRecord("micro.c", "micro", "GNU", 1, 1, (), status=STATUS_COMPILE_ERROR))
+    return r
+
+
+class TestGains:
+    def test_best_gain(self):
+        gains = {g.benchmark: g for g in benchmark_gains(_toy_campaign())}
+        assert gains["polybench.a"].best_gain == pytest.approx(2.0)
+        assert gains["polybench.a"].best_variant == "LLVM"
+        assert gains["polybench.b"].best_gain == pytest.approx(1.0)
+        assert gains["polybench.b"].best_variant == "FJtrad"
+
+    def test_failed_cells_excluded_from_best(self):
+        gains = {g.benchmark: g for g in benchmark_gains(_toy_campaign())}
+        assert gains["micro.c"].best_variant == "FJtrad"
+
+    def test_gain_per_variant(self):
+        gains = {g.benchmark: g for g in benchmark_gains(_toy_campaign())}
+        assert gains["polybench.a"].gain("GNU") == pytest.approx(2 / 3)
+
+    def test_missing_baseline_raises(self):
+        r = CampaignResult(machine="m")
+        r.add(RunRecord("s.a", "s", "LLVM", 1, 1, (1.0,)))
+        with pytest.raises(AnalysisError):
+            benchmark_gains(r)
+
+    def test_summarize(self):
+        summary = summarize(benchmark_gains(_toy_campaign()), "all")
+        assert summary.count == 3
+        assert summary.peak_gain == pytest.approx(2.0)
+        assert summary.wins == {"LLVM": 1, "FJtrad": 2}
+
+    def test_suite_summary_filters(self):
+        summary = suite_summary(_toy_campaign(), "polybench")
+        assert summary.count == 2
+
+    def test_overall_summary(self):
+        assert overall_summary(_toy_campaign()).count == 3
+
+
+class TestHeatmap:
+    def test_glyph_buckets(self):
+        assert gain_glyph(3.0) == "++"
+        assert gain_glyph(1.0) == "  "
+        assert gain_glyph(0.3) == "--"
+
+    def test_figure2_cells(self):
+        fig = figure2(_toy_campaign())
+        cell = fig.cell("polybench.a", "LLVM")
+        assert cell.gain == pytest.approx(2.0)
+        assert cell.status == "ok"
+        failed = fig.cell("micro.c", "GNU")
+        assert failed.status == "compiler error"
+        assert "compiler error" in failed.text
+
+    def test_render_contains_suites_and_variants(self):
+        text = figure2(_toy_campaign()).render()
+        assert "=== polybench ===" in text
+        assert "FJtrad" in text and "LLVM" in text
+
+    def test_csv_export(self):
+        csv = figure2(_toy_campaign()).to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("suite,benchmark")
+        assert len(lines) == 1 + 3 * 3  # header + 3 benchmarks x 3 variants
+
+
+class TestFigure1:
+    def test_figure1_from_campaigns(self, campaign_result, xeon_polybench_result):
+        fig = figure1(campaign_result, xeon_polybench_result)
+        assert len(fig.rows) == 30
+        assert fig.max_slowdown > 30
+        assert fig.row("2mm").slowdown > 5
+        text = fig.render()
+        assert "2mm" in text and "slowdown" in text
+
+    def test_missing_reference_raises(self, campaign_result):
+        empty = CampaignResult(machine="Xeon")
+        with pytest.raises(AnalysisError):
+            figure1(campaign_result, empty)
+
+
+class TestStats:
+    def test_cv(self):
+        assert coefficient_of_variation([1.0, 1.0]) == 0.0
+        assert coefficient_of_variation([1.0]) == 0.0
+        assert coefficient_of_variation([1.0, 2.0]) > 0
+
+    def test_geomean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(AnalysisError):
+            geometric_mean([])
+        with pytest.raises(AnalysisError):
+            geometric_mean([1.0, -1.0])
+
+    def test_percent_improvement(self):
+        assert percent_improvement(1.17) == pytest.approx(17.0)
+
+    def test_variability_report(self):
+        report = variability_report(_toy_campaign())
+        assert set(report) == {"polybench.a", "polybench.b", "micro.c"}
+
+
+class TestRunSummary:
+    def test_basic_summary(self):
+        from repro.analysis import run_summary
+
+        s = run_summary([1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9])
+        assert s.n == 10
+        assert s.min_s == 1.0 and s.max_s == 1.9
+        assert s.median_s == pytest.approx(1.45)
+        assert s.q1_s < s.median_s < s.q3_s
+        assert s.median_ci[0] <= s.median_s <= s.median_ci[1]
+
+    def test_ci_shrinks_with_samples(self):
+        from repro.analysis import run_summary
+
+        small = run_summary([1.0 + 0.01 * i for i in range(10)])
+        large = run_summary([1.0 + 0.001 * i for i in range(100)])
+        rel_small = (small.median_ci[1] - small.median_ci[0]) / small.median_s
+        rel_large = (large.median_ci[1] - large.median_ci[0]) / large.median_s
+        assert rel_large < rel_small
+
+    def test_from_record(self, campaign_result):
+        from repro.analysis import run_summary
+
+        record = campaign_result.get("top500.babelstream", "LLVM")
+        s = run_summary(record)
+        assert s.n == 10
+        assert s.cv > 0.01  # the noisy benchmark
+        assert str(s).startswith("n=10")
+
+    def test_empty_rejected(self):
+        from repro.analysis import run_summary
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            run_summary([])
+
+    def test_single_run(self):
+        from repro.analysis import run_summary
+
+        s = run_summary([2.0])
+        assert s.median_s == 2.0
+        assert s.median_ci == (2.0, 2.0)

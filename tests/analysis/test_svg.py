@@ -1,0 +1,58 @@
+"""Tests for the SVG figure renderers."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.analysis import figure1, figure1_svg, figure2, figure2_svg, gain_color
+
+
+class TestGainColor:
+    def test_parity_is_white(self):
+        assert gain_color(1.0) == "#ffffff"
+
+    def test_gain_is_green(self):
+        c = gain_color(4.0)
+        assert c.startswith("#") and c[3:5] == "ff"  # full green channel
+        assert c != "#ffffff"
+
+    def test_loss_is_red(self):
+        c = gain_color(0.25)
+        assert c[1:3] == "ff"  # full red channel
+        assert c != "#ffffff"
+
+    def test_failure_is_grey(self):
+        assert gain_color(0.0) == "#dddddd"
+
+    def test_saturates(self):
+        assert gain_color(4.0) == gain_color(400.0)
+
+
+class TestSvgDocuments:
+    def test_figure1_svg_well_formed(self, campaign_result, xeon_polybench_result):
+        fig = figure1(campaign_result, xeon_polybench_result)
+        svg = figure1_svg(fig)
+        doc = xml.dom.minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+        # one bar per kernel (plus the background rect)
+        rects = doc.getElementsByTagName("rect")
+        assert len(rects) == 1 + 30
+        assert "2mm" in svg and "mvt" in svg
+
+    def test_figure2_svg_well_formed(self, campaign_result):
+        fig = figure2(campaign_result)
+        svg = figure2_svg(fig)
+        doc = xml.dom.minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+        # one cell rect per (benchmark, variant) plus the background
+        rects = doc.getElementsByTagName("rect")
+        assert len(rects) == 1 + 108 * 5
+        # failure cells rendered as text
+        assert "compiler error" in svg
+        assert "runtime error" in svg
+
+    def test_figure2_svg_colors_follow_gains(self, campaign_result):
+        fig = figure2(campaign_result)
+        svg = figure2_svg(fig)
+        # the mvt Polly cell is a >4x gain: saturated green must appear
+        assert "#00ff00" in svg

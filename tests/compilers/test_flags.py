@@ -1,0 +1,94 @@
+"""Tests for the compiler-flag model."""
+
+import pytest
+
+from repro.compilers import (
+    FJTRAD_FLAGS,
+    GNU_FLAGS,
+    LLVM_FLAGS,
+    LLVM_POLLY_FLAGS,
+    CompilerFlags,
+    LtoMode,
+    parse_flags,
+)
+
+
+class TestParsing:
+    def test_o_levels(self):
+        assert parse_flags(["-O0"]).opt_level == 0
+        assert parse_flags(["-O3"]).opt_level == 3
+        assert parse_flags(["-O2"]).opt_level == 2
+
+    def test_ofast_implies_fastmath(self):
+        f = parse_flags(["-Ofast"])
+        assert f.opt_level == 3 and f.fast_math
+
+    def test_ffast_math(self):
+        assert parse_flags(["-O3", "-ffast-math"]).fast_math
+        assert not parse_flags(["-O3"]).fast_math
+
+    def test_fno_fast_math_wins(self):
+        assert not parse_flags(["-Ofast", "-fno-fast-math"]).fast_math
+
+    def test_lto_variants(self):
+        assert parse_flags(["-flto"]).lto is LtoMode.FULL
+        assert parse_flags(["-flto=thin"]).lto is LtoMode.THIN
+        assert parse_flags(["-ipo"]).lto is LtoMode.FULL
+        assert parse_flags([]).lto is LtoMode.OFF
+
+    def test_march_native_family(self):
+        for tok in ("-march=native", "-xHost", "-mcpu=native", "-mcpu=a64fx"):
+            assert parse_flags([tok]).march_native
+
+    def test_kfast_combined(self):
+        f = parse_flags(["-Kfast,ocl,largepage,lto"])
+        assert f.opt_level == 3
+        assert f.fast_math
+        assert f.march_native
+        assert f.ocl
+        assert f.largepage
+        assert f.lto is LtoMode.FULL
+
+    def test_polly(self):
+        f = parse_flags(["-mllvm", "-polly"])
+        assert f.polly
+
+    def test_other_mllvm_options_skipped(self):
+        f = parse_flags(["-mllvm", "-polly-vectorizer=polly"])
+        assert not f.polly
+
+    def test_unknown_flags_tolerated(self):
+        f = parse_flags(["-Wall", "-fstrict-aliasing", "-O2"])
+        assert f.opt_level == 2
+        assert "-Wall" in f.raw
+
+    def test_openmp_toggles(self):
+        assert parse_flags(["-fopenmp"]).openmp
+        assert not parse_flags(["-fno-openmp"]).openmp
+
+
+class TestPaperFlagSets:
+    def test_fjtrad(self):
+        assert FJTRAD_FLAGS.fast_math and FJTRAD_FLAGS.ocl and FJTRAD_FLAGS.largepage
+        assert FJTRAD_FLAGS.lto is LtoMode.FULL
+
+    def test_llvm_thin_lto_no_polly(self):
+        assert LLVM_FLAGS.lto is LtoMode.THIN
+        assert not LLVM_FLAGS.polly
+        assert LLVM_FLAGS.fast_math
+
+    def test_polly_config_uses_full_lto(self):
+        # "replacing the thin linker with the full linker, since thin
+        # interfered with polly" (Sec. 2.1)
+        assert LLVM_POLLY_FLAGS.polly
+        assert LLVM_POLLY_FLAGS.lto is LtoMode.FULL
+
+    def test_gnu_lacks_fast_math(self):
+        # The decisive difference for FP reductions (Sec. 3.3).
+        assert not GNU_FLAGS.fast_math
+        assert GNU_FLAGS.opt_level == 3
+        assert GNU_FLAGS.march_native
+
+    def test_with_override(self):
+        f = GNU_FLAGS.with_(fast_math=True)
+        assert f.fast_math and not GNU_FLAGS.fast_math

@@ -1,0 +1,184 @@
+"""Tests for results records, exploration, and the performance runner."""
+
+import pytest
+
+from repro.harness import (
+    EXPLORATION_TRIALS,
+    PERFORMANCE_RUNS,
+    STATUS_COMPILE_ERROR,
+    STATUS_OK,
+    STATUS_RUNTIME_ERROR,
+    CampaignResult,
+    RunRecord,
+    explore,
+    placement_candidates,
+    run_benchmark,
+    run_campaign,
+)
+from repro.errors import AnalysisError, HarnessError
+from repro.machine import Placement
+from repro.suites import get_benchmark, micro_suite, polybench_suite
+
+
+class TestRunRecord:
+    def _rec(self, runs=(1.2, 1.1, 1.3), status=STATUS_OK):
+        return RunRecord(
+            benchmark="s.b", suite="s", variant="LLVM", ranks=4, threads=12,
+            runs=runs, status=status,
+        )
+
+    def test_best_is_fastest(self):
+        assert self._rec().best_s == 1.1
+
+    def test_failure_is_infinite(self):
+        rec = self._rec(runs=(), status=STATUS_RUNTIME_ERROR)
+        assert not rec.valid
+        assert rec.best_s == float("inf")
+
+    def test_cv(self):
+        rec = self._rec(runs=(1.0, 1.0, 1.0))
+        assert rec.cv == 0.0
+        assert self._rec().cv > 0
+
+    def test_placement_roundtrip(self):
+        assert self._rec().placement == Placement(4, 12)
+
+
+class TestCampaignResult:
+    def test_duplicate_rejected(self):
+        result = CampaignResult(machine="A64FX")
+        rec = RunRecord("s.b", "s", "LLVM", 1, 1, (1.0,))
+        result.add(rec)
+        with pytest.raises(HarnessError):
+            result.add(rec)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(AnalysisError):
+            CampaignResult(machine="A64FX").get("s.b", "LLVM")
+
+    def test_json_roundtrip(self, tmp_path):
+        result = CampaignResult(machine="A64FX")
+        result.add(RunRecord("s.b", "s", "LLVM", 4, 12, (1.0, 1.5), exploration=((1, 1, 2.0),)))
+        result.add(RunRecord("s.b", "s", "GNU", 1, 48, (), status=STATUS_RUNTIME_ERROR))
+        path = tmp_path / "r.json"
+        result.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.machine == "A64FX"
+        assert loaded.get("s.b", "LLVM").best_s == 1.0
+        assert loaded.get("s.b", "LLVM").exploration == ((1, 1, 2.0),)
+        assert not loaded.get("s.b", "GNU").valid
+
+    def test_benchmarks_and_variants(self):
+        result = CampaignResult(machine="m")
+        result.add(RunRecord("s.a", "s", "LLVM", 1, 1, (1.0,)))
+        result.add(RunRecord("s.a", "s", "GNU", 1, 1, (1.0,)))
+        result.add(RunRecord("s.b", "s", "LLVM", 1, 1, (1.0,)))
+        assert result.benchmarks() == ("s.a", "s.b")
+        assert result.variants() == ("LLVM", "GNU")
+
+
+class TestPlacementCandidates:
+    def test_pinned_single_core(self, a64fx_machine):
+        b = polybench_suite().get("mvt")
+        assert placement_candidates(b, a64fx_machine) == (Placement(1, 1),)
+
+    def test_openmp_sweeps_threads(self, a64fx_machine):
+        b = micro_suite().get("k04")
+        cands = placement_candidates(b, a64fx_machine)
+        assert all(p.ranks == 1 for p in cands)
+        assert Placement(1, 12) in cands
+        assert Placement(1, 48) in cands
+
+    def test_weak_scaling_uses_recommended(self, a64fx_machine):
+        b = get_benchmark("ecp.xsbench")
+        assert placement_candidates(b, a64fx_machine) == (Placement(4, 12),)
+
+    def test_pow2_ranks_respected(self, a64fx_machine):
+        b = get_benchmark("ecp.swfft")
+        for p in placement_candidates(b, a64fx_machine):
+            assert p.ranks & (p.ranks - 1) == 0
+
+    def test_mpi_openmp_grid(self, a64fx_machine):
+        b = get_benchmark("ecp.amg")
+        cands = placement_candidates(b, a64fx_machine)
+        assert Placement(4, 12) in cands
+        assert len(cands) > 5
+
+
+class TestExploration:
+    def test_explore_returns_winner_and_log(self, a64fx_machine):
+        b = micro_suite().get("k04")
+        placement, log, model = explore(b, "FJtrad", a64fx_machine)
+        assert model.valid
+        assert len(log) >= 3
+        assert all(len(entry) == 3 for entry in log)
+        # the winner's logged trial is the minimum
+        best = min(t for _, _, t in log)
+        assert (placement.ranks, placement.threads) in {(r, t) for r, t, tt in log}
+
+    def test_explore_is_deterministic(self, a64fx_machine):
+        b = micro_suite().get("k04")
+        p1, log1, _ = explore(b, "LLVM", a64fx_machine)
+        p2, log2, _ = explore(b, "LLVM", a64fx_machine)
+        assert p1 == p2 and log1 == log2
+
+    def test_per_compiler_exploration_can_differ(self, a64fx_machine):
+        # Sec. 2.4: the final setting is individual per compiler.
+        b = get_benchmark("spec_omp.358.botsalgn")
+        pg, _, _ = explore(b, "GNU", a64fx_machine)
+        pf, _, _ = explore(b, "FJtrad", a64fx_machine)
+        # both valid placements, possibly different; just check types
+        assert pg.fits(a64fx_machine.topology) and pf.fits(a64fx_machine.topology)
+
+
+class TestRunner:
+    def test_ten_runs_recorded(self, a64fx_machine):
+        b = polybench_suite().get("gemm")
+        rec = run_benchmark(b, "LLVM", a64fx_machine)
+        assert len(rec.runs) == PERFORMANCE_RUNS == 10
+        assert rec.status == STATUS_OK
+        assert rec.best_s <= min(rec.runs) + 1e-12
+
+    def test_compile_error_recorded(self, a64fx_machine):
+        b = micro_suite().get("k22")
+        rec = run_benchmark(b, "FJclang", a64fx_machine)
+        assert rec.status == STATUS_COMPILE_ERROR
+        assert rec.runs == ()
+
+    def test_runtime_fault_recorded(self, a64fx_machine):
+        b = micro_suite().get("k03")
+        rec = run_benchmark(b, "GNU", a64fx_machine)
+        assert rec.status == STATUS_RUNTIME_ERROR
+
+    def test_noise_makes_runs_differ(self, a64fx_machine):
+        b = get_benchmark("top500.babelstream")
+        rec = run_benchmark(b, "LLVM", a64fx_machine)
+        assert len(set(rec.runs)) > 1
+
+    def test_runner_deterministic(self, a64fx_machine):
+        b = polybench_suite().get("gemm")
+        r1 = run_benchmark(b, "GNU", a64fx_machine)
+        r2 = run_benchmark(b, "GNU", a64fx_machine)
+        assert r1.runs == r2.runs
+
+
+class TestCampaignDriver:
+    def test_restricted_campaign(self, a64fx_machine):
+        suite = micro_suite()
+        result = run_campaign(
+            a64fx_machine,
+            variants=("FJtrad", "GNU"),
+            benchmarks=suite.benchmarks[:3],
+        )
+        assert len(result.records) == 6
+        assert result.machine == "A64FX"
+
+    def test_progress_callback(self, a64fx_machine):
+        seen = []
+        run_campaign(
+            a64fx_machine,
+            variants=("FJtrad",),
+            benchmarks=micro_suite().benchmarks[:2],
+            progress=lambda b, v: seen.append((b, v)),
+        )
+        assert len(seen) == 2

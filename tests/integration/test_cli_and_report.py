@@ -1,0 +1,104 @@
+"""Integration tests for the CLI and the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.analysis import experiments_markdown
+from repro.cli import main
+
+
+class TestExperimentsMarkdown:
+    def test_contains_all_claims_and_passes(self, campaign_result, xeon_polybench_result):
+        text = experiments_markdown(campaign_result, xeon_polybench_result)
+        assert "| id | claim |" in text
+        assert "FAIL" not in text.replace("PASS/FAIL", "")
+        assert "29/29 claims pass." in text
+
+    def test_without_xeon_reference(self, campaign_result):
+        text = experiments_markdown(campaign_result)
+        assert "fig1.max" not in text
+        assert "overall.median" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "polybench" in out
+        assert "108" not in out or True  # just exercise it
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "2mm" in out
+
+    def test_figure2_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig2.csv"
+        assert main(["figure2", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        content = csv_path.read_text()
+        assert "polybench,polybench.mvt" in content
+
+    def test_run_saves_json(self, capsys, tmp_path):
+        out_path = tmp_path / "results.json"
+        assert main(["run", "--out", str(out_path)]) == 0
+        from repro.harness import CampaignResult
+
+        loaded = CampaignResult.load(out_path)
+        assert len(loaded.records) == 540
+
+    def test_report_exit_zero_when_all_pass(self, capsys, tmp_path):
+        out_path = tmp_path / "EXP.md"
+        assert main(["report", "--out", str(out_path)]) == 0
+        assert "claims pass" in out_path.read_text()
+
+
+class TestCliExtensions:
+    def test_show(self, capsys):
+        assert main(["show", "polybench.2mm"]) == 0
+        out = capsys.readouterr().out
+        assert "order=ikj" in out  # LLVM's interchange visible
+        assert "order=ijk" in out  # FJtrad's missed interchange visible
+        assert "gain=" in out
+
+    def test_show_failure_cell(self, capsys):
+        assert main(["show", "micro.k22"]) == 0
+        out = capsys.readouterr().out
+        assert "compiler error" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise"]) == 0
+        out = capsys.readouterr().out
+        assert "Fortran codes: use FJtrad" in out
+        assert "integer-intensive apps: use GNU" in out
+        assert "clang-based" in out
+        assert 'No "silver bullet"' in out
+
+    def test_figure1_svg_export(self, capsys, tmp_path):
+        svg = tmp_path / "fig1.svg"
+        assert main(["figure1", "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_figure2_svg_export(self, capsys, tmp_path):
+        svg = tmp_path / "fig2.svg"
+        assert main(["figure2", "--svg", str(svg)]) == 0
+        assert "compiler error" in svg.read_text()
+
+
+class TestKernelCommand:
+    def test_kernel_file_workflow(self, capsys, tmp_path):
+        from repro.ir import kernel_to_json
+        from tests.conftest import build_gemm
+
+        path = tmp_path / "k.json"
+        path.write_text(kernel_to_json(build_gemm(256)))
+        assert main(["kernel", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: LLVM" in out
+        assert "interchange" in out
+
+    def test_kernel_rejects_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 1, "name": "x"}')
+        with pytest.raises(Exception):
+            main(["kernel", str(path)])

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_enough_scripts():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their findings"
+
+
+class TestExampleContent:
+    def _run(self, script):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        ).stdout
+
+    def test_quickstart_reports_the_headline(self):
+        out = self._run("quickstart.py")
+        assert "median runtime improvement" in out
+        assert "paper: 16%" in out
+
+    def test_bakeoff_shows_the_interchange_split(self):
+        out = self._run("compiler_bakeoff.py")
+        assert "ijk" in out and "ikj" in out
+
+    def test_energy_study_lands_near_green500(self):
+        out = self._run("energy_study.py")
+        assert "GF/W" in out
+        assert "Green500" in out

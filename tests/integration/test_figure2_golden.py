@@ -1,0 +1,153 @@
+"""Golden Figure 2 winners: regression lock for the calibration.
+
+Pins, for every benchmark, which compiler the campaign crowns
+("FJtrad~" = FJtrad best or everything within 5% — the white cells of
+Figure 2).  Any model or calibration change that flips a cell shows up
+here, so the suite-level statistics can't silently drift while still
+passing their aggregate bands.
+
+If an *intentional* model change alters winners, regenerate with:
+
+    python - <<'PY'
+    from repro.harness import run_campaign
+    from repro.analysis import benchmark_gains
+    for g in benchmark_gains(run_campaign()):
+        w = g.best_variant if g.best_gain > 1.05 else "FJtrad~"
+        print(f'    "{g.benchmark}": "{w}",')
+    PY
+"""
+
+import pytest
+
+GOLDEN_WINNERS = {
+    "micro.k01": "FJtrad~",
+    "micro.k02": "FJtrad~",
+    "micro.k03": "FJtrad~",
+    "micro.k04": "FJtrad~",
+    "micro.k05": "FJtrad~",
+    "micro.k06": "FJtrad~",
+    "micro.k07": "FJtrad~",
+    "micro.k08": "FJtrad~",
+    "micro.k09": "FJtrad~",
+    "micro.k10": "FJtrad~",
+    "micro.k11": "FJtrad~",
+    "micro.k12": "FJtrad~",
+    "micro.k13": "FJtrad~",
+    "micro.k14": "FJtrad~",
+    "micro.k15": "FJtrad~",
+    "micro.k16": "FJtrad~",
+    "micro.k17": "FJtrad~",
+    "micro.k18": "GNU",
+    "micro.k19": "GNU",
+    "micro.k20": "GNU",
+    "micro.k21": "FJtrad~",
+    "micro.k22": "GNU",
+    "polybench.correlation": "LLVM",
+    "polybench.covariance": "LLVM",
+    "polybench.gemm": "LLVM",
+    "polybench.gemver": "LLVM",
+    "polybench.gesummv": "LLVM",
+    "polybench.symm": "LLVM",
+    "polybench.syr2k": "LLVM",
+    "polybench.syrk": "LLVM",
+    "polybench.trmm": "LLVM",
+    "polybench.2mm": "LLVM",
+    "polybench.3mm": "LLVM",
+    "polybench.atax": "LLVM",
+    "polybench.bicg": "LLVM",
+    "polybench.doitgen": "LLVM",
+    "polybench.mvt": "LLVM+Polly",
+    "polybench.cholesky": "LLVM",
+    "polybench.durbin": "FJclang",
+    "polybench.gramschmidt": "LLVM",
+    "polybench.lu": "LLVM+Polly",
+    "polybench.ludcmp": "LLVM+Polly",
+    "polybench.trisolv": "LLVM",
+    "polybench.deriche": "GNU",
+    "polybench.floyd-warshall": "GNU",
+    "polybench.nussinov": "GNU",
+    "polybench.adi": "LLVM+Polly",
+    "polybench.fdtd-2d": "LLVM",
+    "polybench.heat-3d": "LLVM",
+    "polybench.jacobi-1d": "FJtrad~",
+    "polybench.jacobi-2d": "FJclang",
+    "polybench.seidel-2d": "GNU",
+    "top500.hpl": "LLVM",
+    "top500.hpcg": "LLVM+Polly",
+    "top500.babelstream": "FJclang",
+    "ecp.amg": "LLVM+Polly",
+    "ecp.candle": "FJtrad~",
+    "ecp.comd": "FJtrad~",
+    "ecp.laghos": "LLVM",
+    "ecp.miniamr": "FJtrad~",
+    "ecp.minife": "LLVM",
+    "ecp.minitri": "GNU",
+    "ecp.nekbone": "FJtrad~",
+    "ecp.sw4lite": "FJtrad~",
+    "ecp.swfft": "LLVM",
+    "ecp.xsbench": "LLVM+Polly",
+    "fiber.ccs_qcd": "FJtrad~",
+    "fiber.ffb": "FJclang",
+    "fiber.ffvc": "FJtrad~",
+    "fiber.mvmc": "LLVM",
+    "fiber.ngsa": "GNU",
+    "fiber.nicam": "FJtrad~",
+    "fiber.ntchem": "FJtrad~",
+    "fiber.modylas": "FJtrad~",
+    "spec_cpu.600.perlbench_s": "GNU",
+    "spec_cpu.602.gcc_s": "GNU",
+    "spec_cpu.605.mcf_s": "GNU",
+    "spec_cpu.620.omnetpp_s": "FJtrad~",
+    "spec_cpu.623.xalancbmk_s": "GNU",
+    "spec_cpu.625.x264_s": "GNU",
+    "spec_cpu.631.deepsjeng_s": "GNU",
+    "spec_cpu.641.leela_s": "GNU",
+    "spec_cpu.648.exchange2_s": "GNU",
+    "spec_cpu.657.xz_s": "GNU",
+    "spec_cpu.603.bwaves_s": "FJtrad~",
+    "spec_cpu.607.cactuBSSN_s": "FJtrad~",
+    "spec_cpu.619.lbm_s": "FJclang",
+    "spec_cpu.621.wrf_s": "FJtrad~",
+    "spec_cpu.627.cam4_s": "FJtrad~",
+    "spec_cpu.628.pop2_s": "FJtrad~",
+    "spec_cpu.638.imagick_s": "FJclang",
+    "spec_cpu.644.nab_s": "LLVM",
+    "spec_cpu.649.fotonik3d_s": "FJtrad~",
+    "spec_cpu.654.roms_s": "FJtrad~",
+    "spec_omp.350.md": "FJtrad~",
+    "spec_omp.351.bwaves": "FJtrad~",
+    "spec_omp.352.nab": "LLVM+Polly",
+    "spec_omp.357.bt331": "FJtrad~",
+    "spec_omp.358.botsalgn": "GNU",
+    "spec_omp.359.botsspar": "LLVM",
+    "spec_omp.360.ilbdc": "FJtrad~",
+    "spec_omp.362.fma3d": "FJtrad~",
+    "spec_omp.363.swim": "FJtrad~",
+    "spec_omp.367.imagick": "FJclang",
+    "spec_omp.370.mgrid331": "FJtrad~",
+    "spec_omp.371.applu331": "FJtrad~",
+    "spec_omp.372.smithwa": "GNU",
+    "spec_omp.376.kdtree": "LLVM+Polly",
+}
+
+
+@pytest.fixture(scope="module")
+def winners(campaign_result):
+    from repro.analysis import benchmark_gains
+
+    out = {}
+    for g in benchmark_gains(campaign_result):
+        out[g.benchmark] = g.best_variant if g.best_gain > 1.05 else "FJtrad~"
+    return out
+
+
+def test_golden_covers_all_benchmarks(winners):
+    assert set(winners) == set(GOLDEN_WINNERS)
+
+
+@pytest.mark.parametrize("bench", sorted(GOLDEN_WINNERS))
+def test_winner_cell(winners, bench):
+    assert winners[bench] == GOLDEN_WINNERS[bench], (
+        f"{bench}: calibration drift — expected {GOLDEN_WINNERS[bench]}, "
+        f"got {winners[bench]} (regenerate the golden table if intentional)"
+    )

@@ -1,0 +1,170 @@
+"""Integration: every quantitative claim of the paper's evaluation
+section must hold on the full simulated campaign.
+
+These are the reproduction's acceptance tests — one parametrized test
+per claim in :mod:`repro.analysis.report`, plus structural assertions
+about Figure 2's failure cells and the per-compiler exploration.
+"""
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.analysis.report import SPEC_INT
+
+
+@pytest.fixture(scope="module")
+def claims(campaign_result, xeon_polybench_result):
+    checks = evaluate(campaign_result, xeon_polybench_result)
+    return {c.claim_id: c for c in checks}
+
+
+# The claim ids encoded in the report module; keep in sync.
+CLAIM_IDS = [
+    "fig1.max",
+    "fig1.2mm",
+    "fig1.3mm",
+    "s31.micro.mean",
+    "s31.micro.median",
+    "s31.micro.peak",
+    "s31.micro.gnu_wins",
+    "s31.micro.gnu_faults",
+    "s31.micro.k22",
+    "s31.pb.median",
+    "s31.pb.mvt",
+    "s31.pb.llvm_wins",
+    "s32.hpl",
+    "s32.stream",
+    "s32.ecp.mean",
+    "s32.ecp.median",
+    "s32.xsbench",
+    "s32.fiber.fj",
+    "s32.fiber.ffb",
+    "s32.fiber.mvmc",
+    "s33.cpu.mean",
+    "s33.int.gnu",
+    "s33.int.fj_vs_clang",
+    "s33.omp.mean",
+    "s33.kdtree",
+    "s33.spec.median",
+    "overall.median",
+    "s24.amg_cv",
+    "s24.stream_cv",
+]
+
+
+@pytest.mark.parametrize("claim_id", CLAIM_IDS)
+def test_paper_claim(claims, claim_id):
+    claim = claims[claim_id]
+    assert claim.passed, str(claim)
+
+
+def test_no_unexpected_claims(claims):
+    assert set(claims) == set(CLAIM_IDS)
+
+
+class TestCampaignShape:
+    def test_540_cells(self, campaign_result):
+        # 108 benchmarks x 5 compilers
+        assert len(campaign_result.records) == 540
+
+    def test_every_cell_present(self, campaign_result):
+        for bench in campaign_result.benchmarks():
+            for variant in campaign_result.variants():
+                assert campaign_result.has(bench, variant)
+
+    def test_failure_cells(self, campaign_result):
+        from repro.harness import STATUS_COMPILE_ERROR, STATUS_RUNTIME_ERROR
+
+        failures = [
+            (b, v, r.status)
+            for (b, v), r in campaign_result.records.items()
+            if r.status != "ok"
+        ]
+        # exactly: 6 GNU runtime errors + 1 FJclang compiler error
+        assert len(failures) == 7
+        assert sum(1 for *_, s in failures if s == STATUS_RUNTIME_ERROR) == 6
+        assert sum(1 for *_, s in failures if s == STATUS_COMPILE_ERROR) == 1
+
+    def test_recommended_placement_often_suboptimal(self, campaign_result):
+        """The paper's conclusion: 4 ranks x 12 threads 'results in
+        suboptimal time-to-solution more often than not' for the
+        explored MPI+OpenMP codes."""
+        from repro.suites import get_benchmark
+        from repro.suites.base import ParallelKind, ScalingKind
+
+        divergent = 0
+        total = 0
+        for bench_name in campaign_result.benchmarks():
+            bench = get_benchmark(bench_name)
+            if not (
+                bench.parallel is ParallelKind.MPI_OPENMP
+                and bench.scaling is ScalingKind.STRONG
+            ):
+                continue
+            for variant in campaign_result.variants():
+                rec = campaign_result.get(bench_name, variant)
+                if not rec.valid:
+                    continue
+                total += 1
+                if (rec.ranks, rec.threads) != (4, 12):
+                    divergent += 1
+        assert total > 0
+        assert divergent / total > 0.5
+
+    def test_polybench_runs_single_core(self, campaign_result):
+        for bench in campaign_result.benchmarks():
+            if bench.startswith("polybench."):
+                for variant in campaign_result.variants():
+                    rec = campaign_result.get(bench, variant)
+                    assert (rec.ranks, rec.threads) == (1, 1)
+
+    def test_spec_int_ordering_full(self, campaign_result):
+        """GNU > FJtrad > clang-based on single-threaded integer codes."""
+        for bench in SPEC_INT:
+            fj = campaign_result.get(bench, "FJtrad").best_s
+            llvm = campaign_result.get(bench, "LLVM").best_s
+            fjclang = campaign_result.get(bench, "FJclang").best_s
+            assert fj <= llvm * 1.02, bench
+            assert fj <= fjclang * 1.02, bench
+
+    def test_fortran_codes_barely_move_under_llvm(self, campaign_result):
+        """Sec. 3.3: 'many applications are written in Fortran, and
+        hence there is little benefit ... switching to LLVM'."""
+        from repro.ir import Language
+        from repro.suites import get_benchmark
+
+        for bench_name in campaign_result.benchmarks():
+            bench = get_benchmark(bench_name)
+            if bench.language is not Language.FORTRAN:
+                continue
+            if not bench_name.startswith(("spec_", "fiber.", "micro.")):
+                continue
+            if bench_name == "fiber.ffb":
+                continue  # the paper's named exception (FJtrad pathology)
+            fj = campaign_result.get(bench_name, "FJtrad").best_s
+            llvm = campaign_result.get(bench_name, "LLVM").best_s
+            if fj == float("inf") or llvm == float("inf"):
+                continue
+            ratio = fj / llvm
+            assert 0.8 < ratio < 1.25, (bench_name, ratio)
+
+    def test_gnu_is_worst_on_multithreaded_fp(self, campaign_result):
+        """Sec. 3.3: GNU 'is currently the worst choice' for
+        multi-threaded FP workloads — it must be the slowest valid
+        variant on a majority of SPEC OMP FP-heavy codes."""
+        fp_omp = [
+            b
+            for b in campaign_result.benchmarks()
+            if b.startswith("spec_omp.3")
+            and b.split(".")[-1]
+            not in ("botsalgn", "smithwa", "kdtree")  # integer/C++ cases
+        ]
+        worst_count = 0
+        for bench in fp_omp:
+            times = {
+                v: campaign_result.get(bench, v).best_s
+                for v in campaign_result.variants()
+            }
+            if max(times, key=times.get) == "GNU":
+                worst_count += 1
+        assert worst_count / len(fp_omp) > 0.5

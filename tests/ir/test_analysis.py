@@ -1,0 +1,130 @@
+"""Tests for stride classification, working sets, SCoP detection."""
+
+import pytest
+
+from repro.ir import (
+    Feature,
+    KernelBuilder,
+    Language,
+    StrideClass,
+    classify_access,
+    contiguous_fraction,
+    is_scop,
+    nest_access_patterns,
+    read,
+    reuse_potential,
+    update,
+    working_set_bytes,
+    working_set_profile,
+    write,
+)
+from tests.conftest import build_gemm
+
+
+class TestStrideClassification:
+    def test_gemm_patterns(self):
+        nest = build_gemm(64).nests[0]
+        by_array = {p.access.array.name: p for p in nest_access_patterns(nest)}
+        assert by_array["C"].stride_class is StrideClass.INVARIANT
+        assert by_array["A"].stride_class is StrideClass.CONTIGUOUS
+        assert by_array["B"].stride_class is StrideClass.STRIDED
+        assert by_array["B"].element_stride == 64
+
+    def test_interchanged_gemm_becomes_contiguous(self):
+        nest = build_gemm(64).nests[0].permuted(("i", "k", "j"))
+        by_array = {p.access.array.name: p for p in nest_access_patterns(nest)}
+        assert by_array["B"].stride_class is StrideClass.CONTIGUOUS
+        assert by_array["C"].stride_class is StrideClass.CONTIGUOUS
+        assert by_array["A"].stride_class is StrideClass.INVARIANT
+
+    def test_indirect_classified(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("x", (32,))
+        nest = b.nest([("i", 32)], [b.stmt(read("x", "i", indirect=True), write("x", "i"))])
+        patterns = nest_access_patterns(nest)
+        assert any(p.stride_class is StrideClass.INDIRECT for p in patterns)
+
+    def test_contiguous_fraction(self):
+        nest = build_gemm(64).nests[0]
+        assert contiguous_fraction(nest) == pytest.approx(2 / 3)
+        assert contiguous_fraction(nest.permuted(("i", "k", "j"))) == 1.0
+
+
+class TestWorkingSets:
+    def test_profile_monotone_decreasing(self):
+        nest = build_gemm(64).nests[0]
+        profile = working_set_profile(nest)
+        assert len(profile) == 3
+        assert profile[0] >= profile[1] >= profile[2]
+
+    def test_whole_nest_ws_is_footprint(self):
+        n = 64
+        nest = build_gemm(n).nests[0]
+        assert working_set_bytes(nest, 0) == 3 * n * n * 8
+
+    def test_innermost_ws(self):
+        n = 64
+        nest = build_gemm(n).nests[0]
+        # k loop touches: one row of A (n), one column of B (n), one C elt.
+        assert working_set_bytes(nest, 2) == (n + n + 1) * 8
+
+    def test_level_out_of_range(self):
+        nest = build_gemm(8).nests[0]
+        with pytest.raises(ValueError):
+            working_set_bytes(nest, 3)
+
+    def test_indirect_charged_full_array(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("x", (1000,))
+        b.array("y", (10,))
+        nest = b.nest(
+            [("i", 10)],
+            [b.stmt(write("y", "i"), read("x", "i", indirect=True), fadd=1)],
+        )
+        assert working_set_bytes(nest, 0) == 1000 * 8 + 10 * 8
+
+
+class TestScop:
+    def test_gemm_is_scop(self):
+        assert is_scop(build_gemm(16))
+
+    def test_indirect_breaks_scop(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("x", (32,))
+        b.array("y", (32,))
+        b.nest([("i", 32)], [b.stmt(write("y", "i"), read("x", "i", indirect=True))])
+        assert not is_scop(b.build())
+
+    def test_predication_breaks_scop(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("y", (32,))
+        b.nest([("i", 32)], [b.stmt(update("y", "i"), predicated=True, fadd=1)])
+        assert not is_scop(b.build())
+
+    @pytest.mark.parametrize(
+        "feature",
+        [Feature.NON_AFFINE, Feature.RECURSIVE, Feature.POINTER_CHASING, Feature.BRANCH_HEAVY],
+    )
+    def test_breaker_features(self, feature):
+        b = KernelBuilder("t", Language.C)
+        b.array("y", (32,))
+        b.nest([("i", 32)], [b.stmt(update("y", "i"), fadd=1)])
+        assert not is_scop(b.build(feature))
+
+    def test_needs_inlining_does_not_break_scop(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("y", (32,))
+        b.nest([("i", 32)], [b.stmt(update("y", "i"), fadd=1)])
+        assert is_scop(b.build(Feature.NEEDS_INLINING))
+
+
+class TestReusePotential:
+    def test_matmul_has_high_reuse(self):
+        assert reuse_potential(build_gemm(64).nests[0]) > 0.9
+
+    def test_stream_has_low_reuse(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("a", (1024,))
+        b.array("bb", (1024,))
+        nest = b.nest([("i", 1024)], [b.stmt(write("a", "i"), read("bb", "i"), fadd=1)])
+        assert reuse_potential(nest) < 0.4

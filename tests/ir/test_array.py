@@ -1,0 +1,115 @@
+"""Tests for arrays and accesses."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Access, AccessKind, AffineExpr, Array, DType, Layout, footprint_bytes
+
+
+def _acc(array, *idx, kind=AccessKind.READ, indirect=False):
+    return Access(array, tuple(AffineExpr.parse(i) for i in idx), kind, indirect)
+
+
+class TestArray:
+    def test_basic(self):
+        a = Array("A", (10, 20))
+        assert a.rank == 2
+        assert a.elements == 200
+        assert a.nbytes == 1600
+
+    def test_scalar(self):
+        s = Array("s", ())
+        assert s.rank == 0
+        assert s.elements == 1
+        assert s.nbytes == 8
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(IRError):
+            Array("", (4,))
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(IRError):
+            Array("A", (4, 0))
+
+    def test_linear_strides_follow_layout(self):
+        assert Array("A", (3, 4)).linear_strides == (4, 1)
+        assert Array("A", (3, 4), layout=Layout.COL_MAJOR).linear_strides == (1, 3)
+
+    def test_dtype_bytes(self):
+        assert Array("c", (10,), DType.I32).nbytes == 40
+
+
+class TestAccess:
+    def test_subscript_arity_checked(self):
+        a = Array("A", (4, 4))
+        with pytest.raises(IRError):
+            _acc(a, "i")
+
+    def test_row_major_stride(self):
+        a = Array("A", (100, 50))
+        acc = _acc(a, "i", "j")
+        assert acc.element_stride("j") == 1
+        assert acc.element_stride("i") == 50
+        assert acc.byte_stride("i") == 400
+
+    def test_col_major_stride(self):
+        a = Array("A", (100, 50), layout=Layout.COL_MAJOR)
+        acc = _acc(a, "i", "j")
+        assert acc.element_stride("i") == 1
+        assert acc.element_stride("j") == 100
+
+    def test_coefficient_scales_stride(self):
+        a = Array("A", (100,))
+        assert _acc(a, "2*i").element_stride("i") == 2
+
+    def test_transposed_access_stride(self):
+        a = Array("A", (64, 64))
+        acc = _acc(a, "j", "i")  # A[j][i]
+        assert acc.element_stride("i") == 1
+        assert acc.element_stride("j") == 64
+
+    def test_invariant(self):
+        a = Array("A", (8, 8))
+        acc = _acc(a, "i", "j")
+        assert acc.is_invariant("k")
+        assert not acc.is_invariant("i")
+
+    def test_indirect_never_invariant(self):
+        a = Array("x", (128,))
+        acc = _acc(a, "i", indirect=True)
+        assert not acc.is_invariant("k")
+
+    def test_indirect_pessimistic_stride(self):
+        a = Array("A", (16, 16))
+        acc = _acc(a, "i", "j", indirect=True)
+        assert acc.element_stride("j") == 16  # leading extent proxy
+
+    def test_linearized(self):
+        a = Array("A", (10, 4))
+        acc = _acc(a, "i", "j+1")
+        assert acc.linearized() == AffineExpr.parse("4*i + j + 1")
+
+    def test_rename(self):
+        a = Array("A", (10, 4))
+        acc = _acc(a, "i", "j").rename({"i": "x"})
+        assert acc.indices[0] == AffineExpr.var("x")
+
+    def test_substitute(self):
+        a = Array("A", (10,))
+        acc = _acc(a, "i").substitute("i", AffineExpr.parse("2*k"))
+        assert acc.element_stride("k") == 2
+
+    def test_with_kind(self):
+        a = Array("A", (10,))
+        assert _acc(a, "i").with_kind(AccessKind.WRITE).kind is AccessKind.WRITE
+
+
+class TestFootprint:
+    def test_distinct_arrays_counted_once(self):
+        a = Array("A", (100,))
+        b = Array("B", (50,))
+        accesses = [_acc(a, "i"), _acc(a, "i+1"), _acc(b, "i")]
+        assert footprint_bytes(accesses) == 100 * 8 + 50 * 8
+
+    def test_empty(self):
+        assert footprint_bytes([]) == 0

@@ -1,0 +1,183 @@
+"""Tests for the kernel builder and whole-kernel validation."""
+
+import pytest
+
+from repro.errors import IRError, IRValidationError
+from repro.ir import (
+    DType,
+    Feature,
+    Kernel,
+    KernelBuilder,
+    Language,
+    Layout,
+    check_kernel,
+    read,
+    update,
+    validate_kernel,
+    write,
+)
+
+
+class TestBuilder:
+    def test_simple_kernel(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i"), fadd=1)])
+        k = b.build()
+        assert k.name == "k"
+        assert len(k.nests) == 1
+
+    def test_undeclared_array_rejected(self):
+        b = KernelBuilder("k", Language.C)
+        with pytest.raises(IRError):
+            b.stmt(read("missing", "i"))
+
+    def test_array_redeclaration_conflict(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        with pytest.raises(IRError):
+            b.array("A", (9,))
+
+    def test_array_redeclaration_identical_ok(self):
+        b = KernelBuilder("k", Language.C)
+        a1 = b.array("A", (8,))
+        a2 = b.array("A", (8,))
+        assert a1 == a2
+
+    def test_fortran_defaults_col_major(self):
+        b = KernelBuilder("k", Language.FORTRAN)
+        a = b.array("A", (4, 4))
+        assert a.layout is Layout.COL_MAJOR
+
+    def test_parallel_marks_loop_and_feature(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        nest = b.nest([("i", 8)], [b.stmt(update("A", "i"))], parallel=("i",))
+        assert nest.loops[0].parallel
+        assert Feature.OPENMP in b.build().features
+
+    def test_parallel_unknown_loop_rejected(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        with pytest.raises(IRError):
+            b.nest([("i", 8)], [b.stmt(update("A", "i"))], parallel=("z",))
+
+    def test_indirect_access_adds_feature(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i", indirect=True))])
+        assert Feature.INDIRECT in b.build().features
+
+    def test_build_without_nests_rejected(self):
+        with pytest.raises(IRError):
+            KernelBuilder("k", Language.C).build()
+
+    def test_loop_spec_forms(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (20,))
+        nest = b.nest(
+            [("i", 2, 18, 2)],
+            [b.stmt(update("A", "i"))],
+        )
+        assert nest.loops[0].trip_count == 8
+
+    def test_bad_loop_spec_rejected(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        with pytest.raises(IRError):
+            b.nest(["not-a-loop"], [b.stmt(update("A", "i"))])
+
+    def test_statement_autonaming(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        s0 = b.stmt(update("A", "i"))
+        s1 = b.stmt(update("A", "i"))
+        assert (s0.name, s1.name) == ("S0", "S1")
+
+    def test_dtype_propagates(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("c", (8,), dtype=DType.I32)
+        nest = b.nest([("i", 8)], [b.stmt(update("c", "i"), iops=1)])
+        assert nest.accesses[0].array.dtype is DType.I32
+
+
+class TestValidation:
+    def test_out_of_bounds_flagged(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i+1"))])
+        problems = validate_kernel(b.build())
+        assert problems and "spans" in problems[0]
+
+    def test_in_bounds_passes(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (9,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i+1"))])
+        assert validate_kernel(b.build()) == []
+
+    def test_negative_subscript_flagged(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i-1"))])
+        assert validate_kernel(b.build())
+
+    def test_indirect_skips_bounds(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (4,))
+        b.nest([("i", 100)], [b.stmt(update("A", "i", indirect=True))])
+        assert validate_kernel(b.build()) == []
+
+    def test_check_kernel_raises(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (4,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i"))])
+        with pytest.raises(IRValidationError):
+            check_kernel(b.build())
+
+    def test_reduction_over_unknown_loop_rejected_at_construction(self):
+        from repro.errors import UnknownLoopError
+
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        with pytest.raises(UnknownLoopError):
+            b.nest([("i", 8)], [b.stmt(update("A", "i"), reduction="zz")])
+
+
+class TestKernelQueries:
+    def test_total_flops_and_ops(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (10,))
+        b.nest([("i", 10)], [b.stmt(update("A", "i"), fma=2, iops=1)])
+        k = b.build()
+        assert k.total_flops() == 10 * 4
+        assert k.total_ops().iops == 10
+
+    def test_data_footprint(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (10,))
+        b.array("B", (5,))
+        b.nest([("i", 5)], [b.stmt(update("A", "i"), read("B", "i"), fadd=1)])
+        assert b.build().data_footprint_bytes == 15 * 8
+
+    def test_arithmetic_intensity(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("a", (64,))
+        b.array("bb", (64,))
+        b.nest([("i", 64)], [b.stmt(write("a", "i"), read("bb", "i"), fma=1)])
+        k = b.build()
+        assert k.arithmetic_intensity_naive == pytest.approx(2 / 16)
+
+    def test_replace_nest(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8, 8))
+        b.nest([("i", 8), ("j", 8)], [b.stmt(update("A", "i", "j"))])
+        k = b.build()
+        k2 = k.replace_nest(0, k.nests[0].permuted(("j", "i")))
+        assert k2.nests[0].loop_vars == ("j", "i")
+        assert k.nests[0].loop_vars == ("i", "j")  # original untouched
+
+    def test_is_openmp_from_loop_flag(self):
+        b = KernelBuilder("k", Language.C)
+        b.array("A", (8,))
+        b.nest([("i", 8)], [b.stmt(update("A", "i"))], parallel=("i",))
+        assert b.build().is_openmp

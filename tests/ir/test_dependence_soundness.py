@@ -1,0 +1,190 @@
+"""Soundness of the dependence analysis against brute-force enumeration.
+
+For randomly generated small affine nests, enumerate every pair of
+iterations, detect actual memory conflicts (same address, at least one
+write), and verify each one is *covered* by some computed dependence:
+a dependence whose direction vector admits the observed iteration
+delta.  The analysis may over-approximate (report dependences that
+never materialize — that is its conservative licence) but must never
+miss a real one, because a missed dependence means an illegal compiler
+transformation would be declared legal.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    AccessKind,
+    AffineExpr,
+    Direction,
+    KernelBuilder,
+    Language,
+    nest_dependences,
+)
+from repro.ir.builder import AccessSpec
+
+
+def _admits(direction: Direction, delta: int) -> bool:
+    if direction is Direction.ANY:
+        return True
+    if direction is Direction.EQ:
+        return delta == 0
+    if direction is Direction.LT:
+        return delta > 0
+    return delta < 0
+
+
+def _covered(deps, src_name, dst_name, array, delta: tuple) -> bool:
+    """Is the observed (src stmt -> dst stmt, delta) conflict covered?
+
+    Deltas are normalized by the analysis (lexicographically negative
+    vectors describe the mirrored pair), so check both orientations.
+    """
+    neg = tuple(-d for d in delta)
+    for dep in deps:
+        if dep.array != array:
+            continue
+        pairs = {(dep.src.name, dep.dst.name), (dep.dst.name, dep.src.name)}
+        if (src_name, dst_name) not in pairs:
+            continue
+        if all(_admits(dv, d) for dv, d in zip(dep.directions, delta)):
+            return True
+        if all(_admits(dv, d) for dv, d in zip(dep.directions, neg)):
+            return True
+    return False
+
+
+def _brute_force_check(nest) -> None:
+    """Assert every actual conflict in ``nest`` is covered."""
+    deps = nest_dependences(nest)
+    loops = nest.loops
+    spaces = [range(l.lower, l.upper, l.step) for l in loops]
+    names = [l.var for l in loops]
+
+    # Materialize every access of every iteration: (stmt, array, addr, writes)
+    touched: list[tuple[tuple, str, str, int, bool]] = []
+    for point in itertools.product(*spaces):
+        env = dict(zip(names, point))
+        for stmt in nest.body:
+            for acc in stmt.accesses:
+                if acc.indirect:
+                    continue
+                addr = acc.linearized().evaluate(env)
+                touched.append((point, stmt.name, acc.array.name, addr, acc.kind.writes))
+
+    for (p1, s1, a1, addr1, w1), (p2, s2, a2, addr2, w2) in itertools.combinations(touched, 2):
+        if a1 != a2 or addr1 != addr2 or not (w1 or w2):
+            continue
+        if p1 == p2 and s1 == s2:
+            continue  # same statement instance
+        delta = tuple(b - a for a, b in zip(p1, p2))
+        assert _covered(deps, s1, s2, a1, delta), (
+            f"uncovered conflict on {a1}@{addr1}: {s1}{p1} vs {s2}{p2}"
+        )
+
+
+# -- deterministic regression nests -----------------------------------------
+
+
+class TestKnownNests:
+    def test_inplace_shift(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (12,))
+        nest = b.nest([("i", 1, 11)], [b.stmt(AccessSpec("A", ("i",), AccessKind.WRITE), AccessSpec("A", ("i-1",), AccessKind.READ))])
+        _brute_force_check(nest)
+
+    def test_two_statement_pipeline(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (10,))
+        b.array("B", (10,))
+        nest = b.nest(
+            [("i", 10)],
+            [
+                b.stmt(AccessSpec("A", ("i",), AccessKind.WRITE), AccessSpec("B", ("i",), AccessKind.READ)),
+                b.stmt(AccessSpec("B", ("i",), AccessKind.WRITE), AccessSpec("A", ("i",), AccessKind.READ)),
+            ],
+        )
+        _brute_force_check(nest)
+
+    def test_2d_diagonal(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (8, 8))
+        nest = b.nest(
+            [("i", 1, 7), ("j", 1, 7)],
+            [
+                b.stmt(
+                    AccessSpec("A", ("i", "j"), AccessKind.WRITE),
+                    AccessSpec("A", ("i+1", "j-1"), AccessKind.READ),
+                )
+            ],
+        )
+        _brute_force_check(nest)
+
+    def test_coupled_subscripts(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (20,))
+        nest = b.nest(
+            [("i", 6), ("j", 3)],
+            [
+                b.stmt(
+                    AccessSpec("A", ("2*i+j",), AccessKind.WRITE),
+                    AccessSpec("A", ("i+2*j",), AccessKind.READ),
+                )
+            ],
+        )
+        _brute_force_check(nest)
+
+    def test_reduction_scalar(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("s", (1,))
+        b.array("x", (9,))
+        nest = b.nest(
+            [("i", 9)],
+            [
+                b.stmt(
+                    AccessSpec("s", (0,), AccessKind.UPDATE),
+                    AccessSpec("x", ("i",), AccessKind.READ),
+                    reduction="i",
+                    fadd=1,
+                )
+            ],
+        )
+        _brute_force_check(nest)
+
+
+# -- randomized nests ----------------------------------------------------------
+
+_coeff = st.integers(-2, 2)
+_const = st.integers(-2, 4)
+
+
+@st.composite
+def random_1d_nest(draw):
+    """A 1-2 deep nest with 2 statements over one shared array."""
+    depth = draw(st.integers(1, 2))
+    trips = [draw(st.integers(2, 5)) for _ in range(depth)]
+    loop_vars = ["i", "j"][:depth]
+    b = KernelBuilder("rand", Language.C)
+    extent = 64
+    b.array("A", (extent,))
+    stmts = []
+    for s in range(2):
+        coeffs = {v: draw(_coeff) for v in loop_vars}
+        const = draw(st.integers(8, 16))
+        expr = AffineExpr(coeffs, const)
+        kind = draw(st.sampled_from([AccessKind.READ, AccessKind.WRITE, AccessKind.UPDATE]))
+        stmts.append(b.stmt(AccessSpec("A", (expr,), kind), iops=1))
+    loops = [(v, 0, t) for v, t in zip(loop_vars, trips)]
+    return b.nest(loops, stmts)
+
+
+class TestRandomizedSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(random_1d_nest())
+    def test_all_conflicts_covered(self, nest):
+        _brute_force_check(nest)

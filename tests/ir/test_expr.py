@@ -1,0 +1,168 @@
+"""Unit and property tests for affine index expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IRError
+from repro.ir import AffineExpr
+
+
+class TestConstruction:
+    def test_var(self):
+        e = AffineExpr.var("i")
+        assert e.coefficient("i") == 1
+        assert e.const == 0
+
+    def test_constant(self):
+        e = AffineExpr.constant(7)
+        assert e.is_constant
+        assert e.const == 7
+
+    def test_zero_coefficients_dropped(self):
+        e = AffineExpr({"i": 0, "j": 2}, 1)
+        assert "i" not in e.coeffs
+        assert e.coefficient("j") == 2
+
+    def test_invalid_var_name(self):
+        with pytest.raises(IRError):
+            AffineExpr.var("1abc")
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,coeffs,const",
+        [
+            ("i", {"i": 1}, 0),
+            ("i+1", {"i": 1}, 1),
+            ("i-1", {"i": 1}, -1),
+            ("2*i", {"i": 2}, 0),
+            ("i*3", {"i": 3}, 0),
+            ("2*i - j + 3", {"i": 2, "j": -1}, 3),
+            ("-i", {"i": -1}, 0),
+            ("5", {}, 5),
+            ("-5", {}, -5),
+            ("i + i", {"i": 2}, 0),
+            ("i - i", {}, 0),
+            ("k+1-1", {"k": 1}, 0),
+        ],
+    )
+    def test_parse_cases(self, text, coeffs, const):
+        e = AffineExpr.parse(text)
+        assert dict(e.coeffs) == coeffs
+        assert e.const == const
+
+    def test_parse_int_passthrough(self):
+        assert AffineExpr.parse(4) == AffineExpr.constant(4)
+
+    def test_parse_expr_passthrough(self):
+        e = AffineExpr.var("i")
+        assert AffineExpr.parse(e) is e
+
+    @pytest.mark.parametrize("bad", ["", "i j", "i +", "* i", "i ** 2"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(IRError):
+            AffineExpr.parse(bad)
+
+    def test_str_parse_roundtrip(self):
+        e = AffineExpr({"i": 2, "j": -1, "k": 5}, -7)
+        assert AffineExpr.parse(str(e)) == e
+
+
+class TestAlgebra:
+    def test_add(self):
+        e = AffineExpr.parse("i+1") + AffineExpr.parse("j-2")
+        assert e == AffineExpr.parse("i+j-1")
+
+    def test_add_int(self):
+        assert AffineExpr.var("i") + 3 == AffineExpr.parse("i+3")
+
+    def test_sub(self):
+        assert AffineExpr.parse("2*i") - AffineExpr.var("i") == AffineExpr.var("i")
+
+    def test_rsub(self):
+        assert 5 - AffineExpr.var("i") == AffineExpr.parse("-i+5")
+
+    def test_mul(self):
+        assert AffineExpr.parse("i+1") * 3 == AffineExpr.parse("3*i+3")
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(IRError):
+            AffineExpr.var("i") * 1.5  # type: ignore[operator]
+
+    def test_neg(self):
+        assert -AffineExpr.parse("i-2") == AffineExpr.parse("-i+2")
+
+
+class TestQueries:
+    def test_evaluate(self):
+        e = AffineExpr.parse("2*i + j - 3")
+        assert e.evaluate({"i": 5, "j": 1}) == 8
+
+    def test_evaluate_unbound(self):
+        with pytest.raises(IRError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_substitute(self):
+        e = AffineExpr.parse("2*i + j")
+        assert e.substitute("i", AffineExpr.parse("k+1")) == AffineExpr.parse("2*k + j + 2")
+
+    def test_substitute_absent_var(self):
+        e = AffineExpr.var("i")
+        assert e.substitute("z", 5) == e
+
+    def test_rename(self):
+        e = AffineExpr.parse("i + 2*j")
+        assert e.rename({"i": "x"}) == AffineExpr.parse("x + 2*j")
+
+    def test_rename_merging(self):
+        e = AffineExpr.parse("i + j")
+        assert e.rename({"j": "i"}) == AffineExpr.parse("2*i")
+
+    def test_variables(self):
+        assert AffineExpr.parse("i+j-j").variables == frozenset({"i"})
+
+    def test_hashable(self):
+        assert len({AffineExpr.var("i"), AffineExpr.var("i"), AffineExpr.var("j")}) == 2
+
+
+# -- property-based tests ----------------------------------------------------
+
+_vars = st.sampled_from(["i", "j", "k", "l"])
+_exprs = st.builds(
+    AffineExpr,
+    st.dictionaries(_vars, st.integers(-8, 8), max_size=4),
+    st.integers(-100, 100),
+)
+_envs = st.fixed_dictionaries(
+    {v: st.integers(-50, 50) for v in ["i", "j", "k", "l"]}
+)
+
+
+class TestProperties:
+    @given(_exprs, _exprs, _envs)
+    def test_addition_is_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(_exprs, st.integers(-5, 5), _envs)
+    def test_scaling_is_pointwise(self, a, c, env):
+        assert (a * c).evaluate(env) == c * a.evaluate(env)
+
+    @given(_exprs, _envs)
+    def test_negation_is_pointwise(self, a, env):
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    @given(_exprs)
+    def test_roundtrip_through_str(self, a):
+        assert AffineExpr.parse(str(a)) == a
+
+    @given(_exprs, _exprs)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(_exprs, _envs)
+    def test_substitution_matches_evaluation(self, a, env):
+        # Substituting i := <const> then evaluating equals evaluating directly.
+        sub = a.substitute("i", env["i"])
+        assert not sub.depends_on("i")
+        assert sub.evaluate(env) == a.evaluate(env)

@@ -1,0 +1,103 @@
+"""Tests for loops and loop nests."""
+
+import pytest
+
+from repro.errors import IRError, UnknownLoopError
+from repro.ir import KernelBuilder, Language, Loop, LoopNest, read, update, write
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 0, 10).trip_count == 10
+        assert Loop("i", 2, 10).trip_count == 8
+        assert Loop("i", 0, 10, 3).trip_count == 4
+
+    def test_empty_range(self):
+        assert Loop("i", 5, 5).trip_count == 0
+        assert Loop("i", 7, 3).trip_count == 0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(IRError):
+            Loop("i", 0, 4, 0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(IRError):
+            Loop("i", 4, 0, -1)
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(IRError):
+            Loop("", 0, 4)
+
+    def test_with_bounds(self):
+        l = Loop("i", 0, 10).with_bounds(2, 6)
+        assert (l.lower, l.upper) == (2, 6)
+
+    def test_str_shows_parallel(self):
+        assert "parallel" in str(Loop("i", 0, 4, parallel=True))
+
+
+def _nest(n=8):
+    b = KernelBuilder("t", Language.C)
+    b.array("A", (n, n))
+    b.array("B", (n, n))
+    return b.nest(
+        [("i", n), ("j", n)],
+        [b.stmt(write("A", "i", "j"), read("B", "i", "j"), fadd=1)],
+    )
+
+
+class TestLoopNest:
+    def test_depth_and_vars(self):
+        nest = _nest()
+        assert nest.depth == 2
+        assert nest.loop_vars == ("i", "j")
+        assert nest.innermost.var == "j"
+        assert nest.outermost.var == "i"
+
+    def test_iterations(self):
+        assert _nest(8).iterations == 64
+
+    def test_loop_index(self):
+        nest = _nest()
+        assert nest.loop_index("j") == 1
+        with pytest.raises(UnknownLoopError):
+            nest.loop_index("z")
+
+    def test_duplicate_vars_rejected(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (4, 4))
+        with pytest.raises(IRError):
+            b.nest([("i", 4), ("i", 4)], [b.stmt(write("A", "i", "i"))])
+
+    def test_unbound_statement_var_rejected(self):
+        b = KernelBuilder("t", Language.C)
+        b.array("A", (4, 4))
+        with pytest.raises(UnknownLoopError):
+            b.nest([("i", 4)], [b.stmt(write("A", "i", "j"))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(IRError):
+            LoopNest((Loop("i", 0, 4),), ())
+
+    def test_permuted(self):
+        nest = _nest()
+        p = nest.permuted(("j", "i"))
+        assert p.loop_vars == ("j", "i")
+        # body untouched
+        assert p.body == nest.body
+
+    def test_permuted_rejects_wrong_vars(self):
+        with pytest.raises(IRError):
+            _nest().permuted(("i", "z"))
+
+    def test_flops(self):
+        nest = _nest(8)
+        assert nest.flops_per_iteration() == 1
+        assert nest.total_flops() == 64
+
+    def test_arrays_deduplicated(self):
+        nest = _nest()
+        assert sorted(a.name for a in nest.arrays) == ["A", "B"]
+
+    def test_accesses_flattened(self):
+        assert len(_nest().accesses) == 2

@@ -1,0 +1,83 @@
+"""Tests for kernel JSON serialization."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Feature,
+    kernel_from_dict,
+    kernel_from_json,
+    kernel_to_dict,
+    kernel_to_json,
+)
+from repro.suites.kernels_common import particle_force, spmv_csr, stream_triad
+from repro.suites.polybench_la import two_mm
+from tests.conftest import build_gemm
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "kernel_factory",
+        [
+            lambda: build_gemm(64),
+            lambda: two_mm(),
+            lambda: stream_triad("rt_triad", 128),
+            lambda: spmv_csr("rt_spmv", 64, 4),
+            lambda: particle_force("rt_force", 64, 8),
+        ],
+    )
+    def test_roundtrip_preserves_semantics(self, kernel_factory):
+        kernel = kernel_factory()
+        rebuilt = kernel_from_json(kernel_to_json(kernel))
+        assert rebuilt.name == kernel.name
+        assert rebuilt.language == kernel.language
+        assert rebuilt.features == kernel.features
+        assert len(rebuilt.nests) == len(kernel.nests)
+        for a, b in zip(kernel.nests, rebuilt.nests):
+            assert a.loop_vars == b.loop_vars
+            assert a.trip_counts() == b.trip_counts()
+            assert len(a.body) == len(b.body)
+        assert rebuilt.total_flops() == kernel.total_flops()
+        assert rebuilt.data_footprint_bytes == kernel.data_footprint_bytes
+
+    def test_roundtrip_preserves_compilation(self, a64fx_machine):
+        from repro.compilers import compile_kernel
+
+        kernel = build_gemm(128)
+        rebuilt = kernel_from_json(kernel_to_json(kernel))
+        a = compile_kernel("LLVM", kernel, a64fx_machine)
+        b = compile_kernel("LLVM", rebuilt, a64fx_machine)
+        assert a.nest_infos[0].nest.loop_vars == b.nest_infos[0].nest.loop_vars
+        assert a.nest_infos[0].vec_efficiency == b.nest_infos[0].vec_efficiency
+
+    def test_parallel_flag_survives(self):
+        kernel = stream_triad("rt_par", 64)
+        rebuilt = kernel_from_json(kernel_to_json(kernel))
+        assert rebuilt.nests[0].loops[0].parallel
+        assert Feature.OPENMP in rebuilt.features
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        doc = kernel_to_dict(build_gemm(16))
+        doc["schema"] = 99
+        with pytest.raises(IRError):
+            kernel_from_dict(doc)
+
+    def test_missing_field_rejected(self):
+        doc = kernel_to_dict(build_gemm(16))
+        del doc["arrays"]
+        with pytest.raises(IRError):
+            kernel_from_dict(doc)
+
+    def test_bad_dtype_rejected(self):
+        doc = kernel_to_dict(build_gemm(16))
+        doc["arrays"][0]["dtype"] = "f128"
+        with pytest.raises(IRError):
+            kernel_from_dict(doc)
+
+    def test_bad_language_rejected(self):
+        doc = kernel_to_dict(build_gemm(16))
+        doc["language"] = "COBOL"
+        with pytest.raises(IRError):
+            kernel_from_dict(doc)

@@ -1,0 +1,100 @@
+"""Tests for statements and operation counts."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Access, AccessKind, AffineExpr, Array, OpCount, Statement
+
+
+def _stmt(name="S", reduction=None, predicated=False, **ops):
+    a = Array("A", (16,))
+    acc = Access(a, (AffineExpr.var("i"),), AccessKind.UPDATE)
+    return Statement(name, (acc,), OpCount(**ops), reduction, predicated)
+
+
+class TestOpCount:
+    def test_fma_counts_two_flops(self):
+        assert OpCount(fma=3).flops == 6
+
+    def test_flops_sum(self):
+        ops = OpCount(fadd=1, fmul=2, fma=1, fdiv=1, fsqrt=1, fspecial=1)
+        assert ops.flops == 1 + 2 + 2 + 1 + 1 + 1
+
+    def test_fp_instructions_contracted_vs_not(self):
+        ops = OpCount(fadd=1, fma=2)
+        assert ops.fp_instructions == 3
+        assert ops.fp_instructions_uncontracted == 5
+
+    def test_fp_dominance(self):
+        assert OpCount(fma=2, iops=3).is_fp_dominant
+        assert not OpCount(fadd=1, iops=3).is_fp_dominant
+
+    def test_scaled(self):
+        assert OpCount(fadd=2, iops=4).scaled(0.5) == OpCount(fadd=1, iops=2)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(IRError):
+            OpCount(fadd=1).scaled(-1)
+
+    def test_add(self):
+        assert OpCount(fadd=1, branches=1) + OpCount(fmul=2) == OpCount(fadd=1, fmul=2, branches=1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(IRError):
+            OpCount(fdiv=-1)
+
+    def test_total_includes_branches(self):
+        assert OpCount(iops=2, branches=3).total == 5
+
+
+class TestStatement:
+    def test_requires_accesses(self):
+        with pytest.raises(IRError):
+            Statement("S", (), OpCount())
+
+    def test_requires_name(self):
+        a = Array("A", (4,))
+        acc = Access(a, (AffineExpr.var("i"),))
+        with pytest.raises(IRError):
+            Statement("", (acc,))
+
+    def test_variables_include_reduction(self):
+        s = _stmt(reduction="k", fma=1)
+        assert "k" in s.variables
+        assert "i" in s.variables
+
+    def test_reads_writes_split(self):
+        a = Array("A", (8,))
+        b = Array("B", (8,))
+        s = Statement(
+            "S",
+            (
+                Access(a, (AffineExpr.var("i"),), AccessKind.WRITE),
+                Access(b, (AffineExpr.var("i"),), AccessKind.READ),
+            ),
+        )
+        assert len(s.reads) == 1 and s.reads[0].array.name == "B"
+        assert len(s.writes) == 1 and s.writes[0].array.name == "A"
+
+    def test_update_counts_in_both(self):
+        s = _stmt()
+        assert len(s.reads) == 1 and len(s.writes) == 1
+
+    def test_is_reduction(self):
+        assert _stmt(reduction="i").is_reduction
+        assert not _stmt().is_reduction
+
+    def test_bytes_moved_naive_update_doubles(self):
+        s = _stmt()  # one F64 UPDATE access
+        assert s.bytes_moved_naive() == 16
+
+    def test_rename_remaps_reduction(self):
+        s = _stmt(reduction="i").rename({"i": "x"})
+        assert s.reduction_over == "x"
+        assert s.accesses[0].indices[0] == AffineExpr.var("x")
+
+    def test_has_indirect(self):
+        a = Array("A", (4,))
+        acc = Access(a, (AffineExpr.var("i"),), AccessKind.READ, indirect=True)
+        s = Statement("S", (acc,))
+        assert s.has_indirect_access

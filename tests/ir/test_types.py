@@ -1,0 +1,60 @@
+"""Tests for DType/Language/Layout/AccessKind."""
+
+import pytest
+
+from repro.ir import AccessKind, DType, Language, Layout
+
+
+class TestDType:
+    @pytest.mark.parametrize(
+        "dtype,size", [(DType.F64, 8), (DType.F32, 4), (DType.I64, 8), (DType.I32, 4), (DType.I16, 2), (DType.I8, 1)]
+    )
+    def test_sizes(self, dtype, size):
+        assert dtype.size == size
+
+    def test_float_flags(self):
+        assert DType.F64.is_float and DType.F32.is_float
+        assert not DType.I64.is_float and not DType.I8.is_float
+
+
+class TestLanguage:
+    def test_fortran_defaults_col_major(self):
+        assert Language.FORTRAN.default_layout is Layout.COL_MAJOR
+
+    @pytest.mark.parametrize("lang", [Language.C, Language.CXX, Language.MIXED])
+    def test_c_family_defaults_row_major(self, lang):
+        assert lang.default_layout is Layout.ROW_MAJOR
+
+
+class TestLayout:
+    def test_row_major_strides(self):
+        assert Layout.ROW_MAJOR.linear_strides((4, 5, 6)) == (30, 6, 1)
+
+    def test_col_major_strides(self):
+        assert Layout.COL_MAJOR.linear_strides((4, 5, 6)) == (1, 4, 20)
+
+    def test_1d_strides(self):
+        assert Layout.ROW_MAJOR.linear_strides((9,)) == (1,)
+        assert Layout.COL_MAJOR.linear_strides((9,)) == (1,)
+
+    def test_scalar_strides(self):
+        assert Layout.ROW_MAJOR.linear_strides(()) == ()
+
+    def test_strides_cover_all_elements(self):
+        # max address + 1 == number of elements for contiguous layouts
+        shape = (3, 7, 2)
+        for layout in (Layout.ROW_MAJOR, Layout.COL_MAJOR):
+            strides = layout.linear_strides(shape)
+            max_addr = sum((d - 1) * s for d, s in zip(shape, strides))
+            assert max_addr + 1 == 3 * 7 * 2
+
+
+class TestAccessKind:
+    def test_read(self):
+        assert AccessKind.READ.reads and not AccessKind.READ.writes
+
+    def test_write(self):
+        assert AccessKind.WRITE.writes and not AccessKind.WRITE.reads
+
+    def test_update_is_both(self):
+        assert AccessKind.UPDATE.reads and AccessKind.UPDATE.writes

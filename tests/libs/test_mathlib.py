@@ -1,0 +1,53 @@
+"""Tests for the opaque math-library model."""
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.libs import LibraryCall, LibraryKind, library_time_s
+
+
+class TestLibraryCall:
+    def test_blas3_needs_flops(self):
+        with pytest.raises(SuiteError):
+            LibraryCall(LibraryKind.BLAS3)
+
+    def test_blas12_needs_bytes(self):
+        with pytest.raises(SuiteError):
+            LibraryCall(LibraryKind.BLAS12, flops=1e9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SuiteError):
+            LibraryCall(LibraryKind.BLAS3, flops=-1)
+
+
+class TestLibraryTime:
+    def test_blas3_near_peak(self, a64fx_machine):
+        call = LibraryCall(LibraryKind.BLAS3, flops=1e12)
+        t = library_time_s(call, a64fx_machine, threads=48, domains=4)
+        peak_time = 1e12 / a64fx_machine.peak_dp_flops_node
+        assert peak_time < t < 1.5 * peak_time
+
+    def test_blas12_bandwidth_bound(self, a64fx_machine):
+        call = LibraryCall(LibraryKind.BLAS12, bytes_moved=1e9)
+        t = library_time_s(call, a64fx_machine, threads=48, domains=4)
+        best = 1e9 / a64fx_machine.peak_bandwidth_node
+        assert t > best
+
+    def test_threads_scale_flop_kinds(self, a64fx_machine):
+        call = LibraryCall(LibraryKind.BLAS3, flops=1e12)
+        t12 = library_time_s(call, a64fx_machine, threads=12)
+        t48 = library_time_s(call, a64fx_machine, threads=48)
+        assert t48 == pytest.approx(t12 / 4, rel=0.01)
+
+    def test_work_fraction(self, a64fx_machine):
+        call = LibraryCall(LibraryKind.BLAS3, flops=1e12)
+        full = library_time_s(call, a64fx_machine, threads=12)
+        half = library_time_s(call, a64fx_machine, threads=12, work_fraction=0.5)
+        assert half == pytest.approx(full / 2, rel=0.01)
+
+    def test_fft_slower_than_blas3(self, a64fx_machine):
+        blas = LibraryCall(LibraryKind.BLAS3, flops=1e12)
+        fft = LibraryCall(LibraryKind.FFT, flops=1e12)
+        assert library_time_s(fft, a64fx_machine, threads=48) > library_time_s(
+            blas, a64fx_machine, threads=48
+        )

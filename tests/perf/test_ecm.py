@@ -1,0 +1,167 @@
+"""Tests for the ECM-style compute/transfer cost model."""
+
+import pytest
+
+from repro.compilers import compile_kernel
+from repro.compilers.base import CodegenNestInfo
+from repro.machine import SCALAR, SVE512
+from repro.perf.ecm import cycles_per_iteration, nest_time
+from tests.conftest import build_gemm, build_stream
+
+
+def _compiled_info(variant, kernel, machine):
+    ck = compile_kernel(variant, kernel, machine)
+    assert ck.ok
+    return ck.nest_infos[0]
+
+
+class TestCyclesPerIteration:
+    def test_vectorization_speeds_up_compute(self, a64fx_machine, stream_kernel):
+        vec = _compiled_info("LLVM", stream_kernel, a64fx_machine)
+        scalar = CodegenNestInfo(nest=stream_kernel.nests[0])
+        assert cycles_per_iteration(vec, a64fx_machine) < cycles_per_iteration(
+            scalar, a64fx_machine
+        )
+
+    def test_lanes_scale_throughput(self, a64fx_machine, stream_kernel):
+        nest = stream_kernel.nests[0]
+        wide = CodegenNestInfo(nest=nest, vectorized=True, vector_isa=SVE512, vec_lanes=8)
+        narrow = CodegenNestInfo(nest=nest, vectorized=True, vector_isa=SVE512, vec_lanes=2)
+        assert cycles_per_iteration(wide, a64fx_machine) < cycles_per_iteration(
+            narrow, a64fx_machine
+        )
+
+    def test_scalar_quality_matters_only_unvectorized(self, a64fx_machine, stream_kernel):
+        nest = stream_kernel.nests[0]
+        good = CodegenNestInfo(nest=nest, scalar_quality=1.0)
+        bad = CodegenNestInfo(nest=nest, scalar_quality=0.5)
+        assert cycles_per_iteration(bad, a64fx_machine) > 1.5 * cycles_per_iteration(
+            good, a64fx_machine
+        )
+        # vectorized code is insensitive to the scalar-quality knob
+        good_v = CodegenNestInfo(nest=nest, vectorized=True, vector_isa=SVE512, vec_lanes=8)
+        bad_v = CodegenNestInfo(
+            nest=nest, vectorized=True, vector_isa=SVE512, vec_lanes=8, scalar_quality=0.5
+        )
+        assert cycles_per_iteration(bad_v, a64fx_machine) == pytest.approx(
+            cycles_per_iteration(good_v, a64fx_machine)
+        )
+
+    def test_unrolling_helps_scalar_code(self, a64fx_machine, stream_kernel):
+        nest = stream_kernel.nests[0]
+        rolled = CodegenNestInfo(nest=nest, unroll_factor=1)
+        unrolled = CodegenNestInfo(nest=nest, unroll_factor=8)
+        assert cycles_per_iteration(unrolled, a64fx_machine) < cycles_per_iteration(
+            rolled, a64fx_machine
+        )
+
+    def test_math_library_quality_scales_fspecial(self, a64fx_machine):
+        from repro.suites.kernels_common import transcendental_map
+
+        nest = transcendental_map("t", 4096).nests[0]
+        fast = CodegenNestInfo(nest=nest, math_library_quality=1.0)
+        slow = CodegenNestInfo(nest=nest, math_library_quality=0.5)
+        assert cycles_per_iteration(slow, a64fx_machine) > 1.3 * cycles_per_iteration(
+            fast, a64fx_machine
+        )
+
+    def test_xeon_ooo_beats_a64fx_scalar(self, a64fx_machine, xeon_machine, gemm_kernel):
+        info = CodegenNestInfo(nest=gemm_kernel.nests[0])
+        a = cycles_per_iteration(info, a64fx_machine)
+        x = cycles_per_iteration(info, xeon_machine)
+        assert x < a  # deeper OoO window -> fewer cycles per scalar iter
+
+
+class TestNestTime:
+    def test_threads_cut_compute_time(self, a64fx_machine, stream_kernel):
+        info = _compiled_info("LLVM", stream_kernel, a64fx_machine)
+        t1 = nest_time(info, a64fx_machine, threads=1)
+        t12 = nest_time(info, a64fx_machine, threads=12, active_cores_per_domain=12)
+        assert t12.total_s < t1.total_s
+
+    def test_memory_bound_saturates(self, a64fx_machine):
+        info = _compiled_info("LLVM", build_stream(1 << 26), a64fx_machine)
+        t6 = nest_time(info, a64fx_machine, threads=6, active_cores_per_domain=6)
+        t12 = nest_time(info, a64fx_machine, threads=12, active_cores_per_domain=12)
+        # near-saturated: doubling threads gains little
+        assert t12.total_s > 0.6 * t6.total_s
+        assert t12.bound == "memory"
+
+    def test_work_fraction_scales(self, a64fx_machine, stream_kernel):
+        info = _compiled_info("LLVM", stream_kernel, a64fx_machine)
+        full = nest_time(info, a64fx_machine)
+        half = nest_time(info, a64fx_machine, work_fraction=0.5)
+        assert half.total_s == pytest.approx(full.total_s / 2, rel=0.01)
+
+    def test_numa_penalty_inflates_memory_path(self, a64fx_machine):
+        info = _compiled_info("LLVM", build_stream(1 << 26), a64fx_machine)
+        base = nest_time(info, a64fx_machine, threads=12, domains=1)
+        pen = nest_time(info, a64fx_machine, threads=12, domains=1, numa_penalty=1.6)
+        assert pen.memory_s == pytest.approx(1.6 * base.memory_s, rel=0.01)
+
+    def test_eliminated_nest_is_free(self, a64fx_machine, stream_kernel):
+        info = CodegenNestInfo(nest=stream_kernel.nests[0], eliminated=True)
+        assert nest_time(info, a64fx_machine).total_s == 0.0
+
+    def test_runtime_checks_inflate(self, a64fx_machine, stream_kernel):
+        nest = stream_kernel.nests[0]
+        clean = CodegenNestInfo(nest=nest)
+        checked = CodegenNestInfo(nest=nest, runtime_check_overhead=0.10)
+        assert nest_time(checked, a64fx_machine).total_s == pytest.approx(
+            1.10 * nest_time(clean, a64fx_machine).total_s, rel=0.01
+        )
+
+    def test_latency_serialized_dominates(self, a64fx_machine):
+        from repro.suites.kernels_common import pointer_chase
+
+        kernel = pointer_chase("pc", 1 << 20)
+        info = _compiled_info("FJtrad", kernel, a64fx_machine)
+        t = nest_time(info, a64fx_machine)
+        # ~1M serialized misses at ~100ns each: order 0.1 s
+        assert t.total_s > 0.02
+        assert t.bound == "memory"
+
+    def test_memory_schedule_quality_scales_bandwidth(self, a64fx_machine):
+        nest = build_stream(1 << 26).nests[0]
+        kwargs = dict(threads=12, active_cores_per_domain=12)
+        good = CodegenNestInfo(nest=nest, memory_schedule_quality=1.0)
+        bad = CodegenNestInfo(nest=nest, memory_schedule_quality=0.5)
+        assert nest_time(bad, a64fx_machine, **kwargs).total_s == pytest.approx(
+            2 * nest_time(good, a64fx_machine, **kwargs).total_s, rel=0.05
+        )
+
+    def test_bound_classification(self, a64fx_machine):
+        mem = _compiled_info("LLVM", build_stream(1 << 26), a64fx_machine)
+        assert nest_time(mem, a64fx_machine).bound == "memory"
+        from repro.suites.kernels_common import divsqrt_physics
+
+        comp = _compiled_info("LLVM", divsqrt_physics("d", 4096, parallel=False), a64fx_machine)
+        assert nest_time(comp, a64fx_machine).bound == "compute"
+
+
+def _pure_gather(n=1 << 20):
+    """y[i] = x[idx[i]] — a TLB-hostile random-gather stream."""
+    from repro.ir import KernelBuilder, Language, read, write
+
+    b = KernelBuilder("gather", Language.C)
+    b.array("x", (n,))
+    b.array("y", (n,))
+    b.nest([("i", n)], [b.stmt(write("y", "i"), read("x", "i", indirect=True))])
+    return b.build().nests[0]
+
+
+class TestLargePages:
+    def test_tlb_penalty_on_small_page_machines(self, xeon_machine):
+        """Without huge pages, scattered streams pay page-walk latency;
+        the effect is large on 4 KiB-page machines and marginal on
+        A64FX's 64 KiB base pages (why Fujitsu links -Klargepage)."""
+        nest = _pure_gather()
+        t_lp = nest_time(CodegenNestInfo(nest=nest, large_pages=True), xeon_machine).total_s
+        t_np = nest_time(CodegenNestInfo(nest=nest, large_pages=False), xeon_machine).total_s
+        assert t_np > t_lp * 1.2
+
+    def test_a64fx_barely_cares(self, a64fx_machine):
+        nest = _pure_gather()
+        t_lp = nest_time(CodegenNestInfo(nest=nest, large_pages=True), a64fx_machine).total_s
+        t_np = nest_time(CodegenNestInfo(nest=nest, large_pages=False), a64fx_machine).total_s
+        assert t_lp <= t_np <= t_lp * 1.1

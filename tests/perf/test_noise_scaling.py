@@ -1,0 +1,112 @@
+"""Tests for the noise model and parallel-overhead helpers."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Placement, Topology
+from repro.perf.noise import noise_multiplier, timer_resolution_floor
+from repro.perf.scaling import numa_spill_penalty, omp_region_overhead_s
+from repro.suites.base import MpiModel
+
+
+class TestNoise:
+    def test_deterministic(self):
+        a = noise_multiplier(0.05, "bench", "GNU", 3)
+        b = noise_multiplier(0.05, "bench", "GNU", 3)
+        assert a == b
+
+    def test_key_sensitivity(self):
+        assert noise_multiplier(0.05, "bench", "GNU", 3) != noise_multiplier(
+            0.05, "bench", "GNU", 4
+        )
+
+    def test_zero_cv_is_one(self):
+        assert noise_multiplier(0.0, "x") == 1.0
+
+    def test_never_faster_than_ideal(self):
+        for i in range(200):
+            assert noise_multiplier(0.1, "b", i) >= 1.0
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(ValueError):
+            noise_multiplier(-0.1, "x")
+
+    def test_sample_cv_tracks_parameter(self):
+        # folded-normal multipliers: sample CV should be same order as cv
+        samples = [noise_multiplier(0.22, "stream", i) for i in range(500)]
+        cv = statistics.stdev(samples) / statistics.fmean(samples)
+        assert 0.08 < cv < 0.35
+
+    def test_small_cv_small_spread(self):
+        samples = [noise_multiplier(0.001, "amg", i) for i in range(100)]
+        assert max(samples) < 1.01
+
+    @settings(max_examples=30)
+    @given(st.floats(0.0, 0.5), st.integers(0, 1000))
+    def test_multiplier_bounded_below(self, cv, key):
+        assert noise_multiplier(cv, key) >= 1.0
+
+    def test_timer_floor(self):
+        assert timer_resolution_floor(1e-9) == 1e-6
+        assert timer_resolution_floor(0.5) == 0.5
+
+
+class TestOmpOverhead:
+    def test_single_thread_free(self):
+        assert omp_region_overhead_s(2.0, 1.0, 1) == 0.0
+
+    def test_grows_with_threads(self):
+        t12 = omp_region_overhead_s(2.0, 1.0, 12)
+        t48 = omp_region_overhead_s(2.0, 1.0, 48)
+        assert t48 > t12
+
+    def test_reference_at_12_threads(self):
+        assert omp_region_overhead_s(2.0, 1.0, 12) == pytest.approx(3e-6, rel=0.01)
+
+    def test_barriers_scale(self):
+        one = omp_region_overhead_s(2.0, 1.0, 12, barriers_per_invocation=1)
+        four = omp_region_overhead_s(2.0, 1.0, 12, barriers_per_invocation=4)
+        assert four > one
+
+
+class TestNumaSpill:
+    def _topo(self):
+        return Topology("t", 4, 12)
+
+    def test_no_penalty_within_domain(self):
+        assert numa_spill_penalty(Placement(4, 12), self._topo()) == 1.0
+
+    def test_flat_48_thread_run_penalized(self):
+        assert numa_spill_penalty(Placement(1, 48), self._topo()) > 1.5
+
+    def test_partial_spill_smaller(self):
+        p2 = numa_spill_penalty(Placement(1, 24), self._topo())
+        p4 = numa_spill_penalty(Placement(1, 48), self._topo())
+        assert 1.0 < p2 < p4
+
+
+class TestMpiModel:
+    def test_no_comm_single_rank(self):
+        assert MpiModel(0.2, "halo").comm_time_s(10.0, 1) == 0.0
+
+    def test_no_comm_zero_fraction(self):
+        assert MpiModel(0.0).comm_time_s(10.0, 8) == 0.0
+
+    def test_reference_fraction_at_4_ranks(self):
+        m = MpiModel(0.1, "allreduce")
+        assert m.comm_time_s(10.0, 4) == pytest.approx(1.0, rel=0.02)
+
+    def test_alltoall_grows_linearly(self):
+        m = MpiModel(0.1, "alltoall")
+        assert m.comm_time_s(10.0, 16) == pytest.approx(4 * m.comm_time_s(10.0, 4), rel=0.01)
+
+    def test_halo_grows_slowly(self):
+        m = MpiModel(0.1, "halo")
+        assert m.comm_time_s(10.0, 32) < 2 * m.comm_time_s(10.0, 4)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MpiModel(0.1, "butterfly").comm_time_s(10.0, 4)

@@ -1,0 +1,66 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.compilers import compile_kernel
+from repro.machine import a64fx, xeon
+from repro.perf.roofline import machine_balance, roofline_point, roofline_table
+from tests.conftest import build_gemm, build_stream
+
+
+def _point(variant, kernel, machine, **kw):
+    ck = compile_kernel(variant, kernel, machine)
+    assert ck.ok
+    return roofline_point(ck.nest_infos[0], machine, **kw)
+
+
+class TestMachineBalance:
+    def test_a64fx_balance_near_4(self, a64fx_machine):
+        # ~3.38 TF/s over ~0.84 TB/s sustained: balance ~4 F/B
+        assert 2.5 <= machine_balance(a64fx_machine) <= 6.0
+
+    def test_xeon_more_compute_skewed(self, a64fx_machine, xeon_machine):
+        # the Xeon has far less bandwidth per flop
+        assert machine_balance(xeon_machine) > machine_balance(a64fx_machine)
+
+    def test_single_core_balance_differs(self, a64fx_machine):
+        assert machine_balance(a64fx_machine, cores=1) != machine_balance(a64fx_machine)
+
+
+class TestRooflinePoints:
+    def test_stream_is_memory_bound(self, a64fx_machine):
+        p = _point("LLVM", build_stream(1 << 22), a64fx_machine, threads=12)
+        assert p.memory_bound
+        assert p.arithmetic_intensity < 0.5
+
+    def test_tiled_gemm_is_compute_bound(self, a64fx_machine):
+        p = _point("LLVM+Polly", build_gemm(1024), a64fx_machine, threads=1)
+        assert not p.memory_bound
+        assert p.arithmetic_intensity > machine_balance(a64fx_machine, cores=1)
+
+    def test_interchange_raises_effective_ai(self, a64fx_machine):
+        # Same kernel: FJtrad's strided order wastes bandwidth at the L2
+        # boundary, LLVM's interchanged order has identical memory AI but
+        # far higher modelled throughput.
+        fj = _point("FJtrad", build_gemm(1200), a64fx_machine)
+        llvm = _point("LLVM", build_gemm(1200), a64fx_machine)
+        assert llvm.modelled_flops > 3 * fj.modelled_flops
+
+    def test_model_never_exceeds_roof_significantly(self, a64fx_machine):
+        for variant in ("FJtrad", "LLVM", "GNU"):
+            for kernel in (build_stream(1 << 22), build_gemm(256)):
+                p = _point(variant, kernel, a64fx_machine, threads=12)
+                assert p.modelled_flops <= p.attainable_flops * 1.3
+
+    def test_roofline_efficiency_bounded(self, a64fx_machine):
+        p = _point("LLVM", build_stream(1 << 22), a64fx_machine, threads=12)
+        assert 0.0 < p.roofline_efficiency <= 1.0
+
+    def test_table_renders(self, a64fx_machine):
+        pts = [
+            _point("LLVM", build_stream(1 << 22), a64fx_machine, threads=12),
+            _point("LLVM", build_gemm(512), a64fx_machine),
+        ]
+        text = roofline_table(pts, a64fx_machine)
+        assert "balance" in text and "AI (F/B)" in text
+        assert len(text.splitlines()) == 4

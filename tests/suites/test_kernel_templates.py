@@ -1,0 +1,124 @@
+"""Structural tests for the reusable kernel templates."""
+
+import pytest
+
+from repro.ir import (
+    Feature,
+    Language,
+    Layout,
+    StrideClass,
+    is_scop,
+    nest_access_patterns,
+    validate_kernel,
+)
+from repro.suites import kernels_common as kc
+
+
+ALL_TEMPLATES = [
+    ("stream_copy", lambda: kc.stream_copy("t", 256)),
+    ("stream_scale", lambda: kc.stream_scale("t", 256)),
+    ("stream_add", lambda: kc.stream_add("t", 256)),
+    ("stream_triad", lambda: kc.stream_triad("t", 256)),
+    ("stream_dot", lambda: kc.stream_dot("t", 256)),
+    ("jacobi2d", lambda: kc.jacobi2d("t", 32)),
+    ("stencil3d7", lambda: kc.stencil3d7("t", 16)),
+    ("stencil3d27", lambda: kc.stencil3d27("t", 16)),
+    ("dense_matmul", lambda: kc.dense_matmul("t", 16, 16, 16)),
+    ("matvec", lambda: kc.matvec("t", 16, 16)),
+    ("rank1_update", lambda: kc.rank1_update("t", 16)),
+    ("spmv_csr", lambda: kc.spmv_csr("t", 64, 4)),
+    ("particle_force", lambda: kc.particle_force("t", 64, 8)),
+    ("table_lookup", lambda: kc.table_lookup("t", 64, 32)),
+    ("pointer_chase", lambda: kc.pointer_chase("t", 64)),
+    ("int_scan", lambda: kc.int_scan("t", 256)),
+    ("graph_traversal", lambda: kc.graph_traversal("t", 64, 4)),
+    ("transcendental_map", lambda: kc.transcendental_map("t", 256)),
+    ("divsqrt_physics", lambda: kc.divsqrt_physics("t", 256)),
+    ("tridiag_sweep", lambda: kc.tridiag_sweep("t", 16, 16)),
+    ("seidel_sweep", lambda: kc.seidel_sweep("t", 16)),
+    ("fft_stride_pass", lambda: kc.fft_stride_pass("t", 256, 8)),
+    ("monte_carlo", lambda: kc.monte_carlo("t", 256)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_TEMPLATES, ids=[n for n, _ in ALL_TEMPLATES])
+class TestEveryTemplate:
+    def test_validates(self, name, factory):
+        assert validate_kernel(factory()) == []
+
+    def test_has_work(self, name, factory):
+        kernel = factory()
+        assert kernel.total_iterations > 0
+        assert kernel.data_footprint_bytes > 0
+
+
+class TestLayoutAwareness:
+    """Templates must stream contiguously in both C and Fortran."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda lang: kc.jacobi2d("t", 32, lang),
+            lambda lang: kc.stencil3d7("t", 16, lang),
+            lambda lang: kc.stencil3d27("t", 16, lang),
+            lambda lang: kc.tridiag_sweep("t", 16, 16, lang),
+        ],
+    )
+    def test_innermost_contiguous_in_both_layouts(self, factory):
+        for lang in (Language.C, Language.FORTRAN):
+            kernel = factory(lang)
+            for nest in kernel.nests:
+                patterns = nest_access_patterns(nest)
+                contiguous = sum(
+                    1
+                    for p in patterns
+                    if p.stride_class in (StrideClass.CONTIGUOUS, StrideClass.INVARIANT)
+                )
+                assert contiguous / len(patterns) >= 0.5, (lang, nest.loop_vars)
+
+    def test_fortran_arrays_col_major(self):
+        kernel = kc.stencil3d7("t", 16, Language.FORTRAN)
+        assert all(a.layout is Layout.COL_MAJOR for a in kernel.arrays)
+
+    def test_fortran_parallel_loop_outermost(self):
+        kernel = kc.stencil3d7("t", 16, Language.FORTRAN)
+        assert kernel.nests[0].loops[0].parallel
+
+
+class TestFeatureTags:
+    def test_indirect_templates_tagged(self):
+        assert Feature.INDIRECT in kc.spmv_csr("t", 64, 4).features
+        assert Feature.INDIRECT in kc.particle_force("t", 64, 8).features
+
+    def test_pointer_chase_tags(self):
+        k = kc.pointer_chase("t", 64)
+        assert Feature.POINTER_CHASING in k.features
+        assert not is_scop(k)
+
+    def test_int_scan_tags(self):
+        k = kc.int_scan("t", 256)
+        assert Feature.INTEGER_DOMINANT in k.features
+        assert Feature.BRANCH_HEAVY in k.features
+
+    def test_table_lookup_serial_vs_restructured(self):
+        serial = kc.table_lookup("t", 64, 32, serial_search=True)
+        vector = kc.table_lookup("t2", 64, 32, serial_search=False)
+        assert Feature.POINTER_CHASING in serial.features
+        assert Feature.POINTER_CHASING not in vector.features
+
+    def test_streams_are_scops(self):
+        assert is_scop(kc.stream_triad("t", 256))
+        assert is_scop(kc.jacobi2d("t", 32))
+
+
+class TestOpCounts:
+    def test_triad_flops(self):
+        # one FMA per element = 2 flops
+        assert kc.stream_triad("t", 1000).total_flops() == 2000
+
+    def test_matmul_flops(self):
+        assert kc.dense_matmul("t", 8, 8, 8).total_flops() == 2 * 8**3
+
+    def test_stencil27_is_compute_rich(self):
+        k = kc.stencil3d27("t", 16)
+        assert k.arithmetic_intensity_naive > kc.stream_triad("t2", 256).arithmetic_intensity_naive

@@ -1,0 +1,218 @@
+"""Tests for the benchmark suites: counts, structure, paper metadata."""
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.ir import Feature, Language
+from repro.ir.validate import validate_kernel
+from repro.suites import (
+    EXPECTED_TOTAL,
+    ParallelKind,
+    ScalingKind,
+    all_benchmarks,
+    all_suites,
+    ecp_suite,
+    fiber_suite,
+    get_benchmark,
+    get_suite,
+    micro_suite,
+    polybench_suite,
+    spec_cpu_suite,
+    spec_omp_suite,
+    top500_suite,
+)
+
+
+class TestCounts:
+    """Section 2.2's inventory: 'over 100 different kernels ... from
+    seven test suites', totalling 108 benchmarks."""
+
+    def test_total_is_108(self):
+        assert len(all_benchmarks()) == EXPECTED_TOTAL == 108
+
+    @pytest.mark.parametrize(
+        "suite_fn,count",
+        [
+            (micro_suite, 22),
+            (polybench_suite, 30),
+            (top500_suite, 3),
+            (ecp_suite, 11),
+            (fiber_suite, 8),
+            (spec_cpu_suite, 20),
+            (spec_omp_suite, 14),
+        ],
+    )
+    def test_suite_sizes(self, suite_fn, count):
+        assert len(suite_fn()) == count
+
+    def test_seven_suites(self):
+        assert len(all_suites()) == 7
+
+    def test_unique_full_names(self):
+        names = [b.full_name for b in all_benchmarks()]
+        assert len(set(names)) == len(names)
+
+
+class TestStructuralValidity:
+    def test_every_kernel_validates(self):
+        for b in all_benchmarks():
+            for k in b.kernels():
+                assert validate_kernel(k) == [], (b.full_name, k.name)
+
+    def test_every_benchmark_has_work(self):
+        for b in all_benchmarks():
+            assert b.units
+
+    def test_registry_lookup(self):
+        b = get_benchmark("polybench.mvt")
+        assert b.suite == "polybench"
+        with pytest.raises(SuiteError):
+            get_benchmark("nope.nope")
+        with pytest.raises(SuiteError):
+            get_benchmark("malformed")
+        with pytest.raises(SuiteError):
+            get_suite("nope")
+
+
+class TestMicroSuite:
+    def test_primarily_fortran_except_five(self):
+        # Sec. 2.2: "primarily written in Fortran (except five)"
+        c_count = sum(1 for b in micro_suite().benchmarks if b.language is Language.C)
+        assert c_count == 5
+
+    def test_all_limited_to_one_cmg(self):
+        for b in micro_suite().benchmarks:
+            assert b.max_useful_threads == 12
+
+    def test_fortran_kernels_vendor_tuned(self):
+        for b in micro_suite().benchmarks:
+            if b.language is Language.FORTRAN:
+                assert any(
+                    k.has_feature(Feature.VENDOR_TUNED) for k in b.kernels()
+                ), b.name
+
+    def test_names_k01_to_k22(self):
+        names = sorted(b.name for b in micro_suite().benchmarks)
+        assert names[0] == "k01" and names[-1] == "k22"
+
+
+class TestPolybenchSuite:
+    def test_all_serial_and_pinned(self):
+        # Sec. 2.3: "PolyBench, whose tests are pinned to one core"
+        for b in polybench_suite().benchmarks:
+            assert b.parallel is ParallelKind.SERIAL
+            assert b.pinned_single_core
+
+    def test_all_c(self):
+        for b in polybench_suite().benchmarks:
+            assert b.language is Language.C
+
+    def test_expected_kernels_present(self):
+        names = {b.name for b in polybench_suite().benchmarks}
+        for expected in ("2mm", "3mm", "mvt", "gemm", "floyd-warshall", "seidel-2d"):
+            assert expected in names
+
+    def test_time_stepped_kernels_weighted(self):
+        adi = polybench_suite().get("adi")
+        assert adi.units[0].invocations == 500
+
+
+class TestTop500:
+    def test_babelstream_noise_cv(self):
+        # Sec. 2.4: BabelStream CV "up to 22%"
+        assert top500_suite().get("babelstream").noise_cv == pytest.approx(0.22)
+
+    def test_hpl_is_library_dominated(self, a64fx_machine):
+        from repro.machine import Placement
+        from repro.perf import benchmark_model
+
+        hpl = top500_suite().get("hpl")
+        r = benchmark_model(hpl, "FJtrad", a64fx_machine, Placement(4, 12))
+        lib = sum(u.library_s for u in r.units)
+        assert lib > 0.5 * r.time_s
+
+
+class TestEcp:
+    def test_weak_scaling_markers(self):
+        # Sec. 2.4: "(exc.: weak-scaling MiniAMR & XSBench)"
+        assert ecp_suite().get("miniamr").scaling is ScalingKind.WEAK
+        assert ecp_suite().get("xsbench").scaling is ScalingKind.WEAK
+
+    def test_swfft_pow2(self):
+        # Sec. 2.4: "some codes prefer or require pow2 ranks (e.g., SWFFT)"
+        assert ecp_suite().get("swfft").pow2_ranks
+
+    def test_amg_low_noise(self):
+        assert ecp_suite().get("amg").noise_cv <= 0.00114
+
+
+class TestFiber:
+    def test_mostly_fortran(self):
+        langs = [b.language for b in fiber_suite().benchmarks]
+        assert langs.count(Language.FORTRAN) >= 5
+
+    def test_tuned_kernels_marked(self):
+        nicam = fiber_suite().get("nicam")
+        assert all(k.has_feature(Feature.VENDOR_TUNED) for k in nicam.kernels())
+
+    def test_ffb_untuned(self):
+        ffb = fiber_suite().get("ffb")
+        assert not any(k.has_feature(Feature.VENDOR_TUNED) for k in ffb.kernels())
+
+
+class TestSpec:
+    def test_int_half_serial(self):
+        # Sec. 2.2: "One half are single-threaded, integer-intensive"
+        serial = [b for b in spec_cpu_suite().benchmarks if b.parallel is ParallelKind.SERIAL]
+        assert len(serial) == 10
+
+    def test_fp_half_openmp(self):
+        omp = [b for b in spec_cpu_suite().benchmarks if b.parallel is ParallelKind.OPENMP]
+        assert len(omp) == 10
+
+    def test_imagick_thread_sweet_spot(self):
+        # Sec. 2.4: "SPEC imagick's sweet spot is 8 threads"
+        assert spec_cpu_suite().get("638.imagick_s").max_useful_threads == 8
+
+    def test_omp_all_parallel(self):
+        for b in spec_omp_suite().benchmarks:
+            assert b.parallel is ParallelKind.OPENMP
+
+    def test_kdtree_is_recursive_cxx(self):
+        kdtree = spec_omp_suite().get("376.kdtree")
+        assert kdtree.language is Language.CXX
+        assert any(k.has_feature(Feature.RECURSIVE) for k in kdtree.kernels())
+
+    def test_exchange2_is_fortran_integer(self):
+        b = spec_cpu_suite().get("648.exchange2_s")
+        assert b.language is Language.FORTRAN
+        assert any(k.has_feature(Feature.INTEGER_DOMINANT) for k in b.kernels())
+
+
+class TestWorkUnitValidation:
+    def test_empty_unit_rejected(self):
+        from repro.suites.base import WorkUnit
+
+        with pytest.raises(SuiteError):
+            WorkUnit()
+
+    def test_nonpositive_invocations_rejected(self):
+        from repro.suites.base import WorkUnit
+        from tests.conftest import build_stream
+
+        with pytest.raises(SuiteError):
+            WorkUnit(kernel=build_stream(16), invocations=0)
+
+    def test_pinned_requires_serial(self):
+        from repro.suites.base import Benchmark, WorkUnit
+        from tests.conftest import build_stream
+
+        with pytest.raises(SuiteError):
+            Benchmark(
+                name="x",
+                suite="s",
+                language=Language.C,
+                units=(WorkUnit(kernel=build_stream(16)),),
+                parallel=ParallelKind.OPENMP,
+                pinned_single_core=True,
+            )

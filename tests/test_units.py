@@ -1,0 +1,71 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    cycles_to_seconds,
+    gb_per_s,
+    ghz,
+    pretty_bytes,
+    pretty_seconds,
+    seconds_to_cycles,
+)
+
+
+class TestPrefixes:
+    def test_binary_prefixes(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_rates_decimal(self):
+        assert ghz(2.2) == 2.2e9
+        assert gb_per_s(256) == 256e9
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        f = ghz(2.0)
+        assert cycles_to_seconds(seconds_to_cycles(1.5, f), f) == pytest.approx(1.5)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0)
+
+
+class TestPretty:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0.0 B"),
+            (512, "512.0 B"),
+            (2048, "2.0 KiB"),
+            (8 * MiB, "8.0 MiB"),
+            (3 * GiB, "3.0 GiB"),
+            (5 * 1024 * GiB, "5.0 TiB"),
+        ],
+    )
+    def test_pretty_bytes(self, n, expected):
+        assert pretty_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (0, "0 s"),
+            (3e-9, "3.0 ns"),
+            (4.2e-6, "4.2 us"),
+            (0.0123, "12.3 ms"),
+            (1.5, "1.50 s"),
+            (90.0, "90.00 s"),
+            (600.0, "10.0 min"),
+            (7200.0, "2.0 h"),
+        ],
+    )
+    def test_pretty_seconds(self, t, expected):
+        assert pretty_seconds(t) == expected
+
+    def test_negative_seconds(self):
+        assert pretty_seconds(-1.5) == "-1.50 s"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Calibration workbench: the full diagnostic view of the campaign.
+
+Prints, for every suite, the per-benchmark times under every variant,
+the best-compiler gain and winner, and the suite statistics next to
+the paper's targets — the view used while tuning
+`repro/compilers/quirks.py`.  Run after any model change; the golden
+test (`tests/integration/test_figure2_golden.py`) and the claim bands
+(`repro/analysis/report.py`) are the pass/fail gates, this is the
+microscope.
+
+Usage:  python tools/calibrate.py [suite ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import benchmark_gains, evaluate, suite_summary
+from repro.harness import run_campaign, run_polybench_xeon
+from repro.suites import all_suites
+
+PAPER_TARGETS = {
+    "micro": "mean 1.17x, median 1.00x, peak 2.4x, 4 GNU wins, 6 GNU faults",
+    "polybench": "median 3.8x, mvt > 250,000x, LLVM+Polly dominant",
+    "top500": "HPL ~1.05x, BabelStream up to 2.04x, CV 22%",
+    "ecp": "mean 1.65x, median 1.09x, XSBench 6.7x",
+    "fiber": "FJtrad dominant; FFB & mVMC exceptions",
+    "spec_cpu": "mean 1.49x; GNU wins int half; FJtrad > clang on int",
+    "spec_omp": "mean 2.5x; kdtree 16.5x; GNU worst on FP",
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = set(argv) or {s.name for s in all_suites()}
+    result = run_campaign()
+    gains = {g.benchmark: g for g in benchmark_gains(result)}
+    variants = result.variants()
+
+    for suite in all_suites():
+        if suite.name not in wanted:
+            continue
+        print(f"\n=== {suite.display} ===")
+        print(f"paper: {PAPER_TARGETS[suite.name]}")
+        header = f"{'benchmark':22s}" + "".join(f"{v:>12s}" for v in variants) + f"{'gain':>9s} winner"
+        print(header)
+        for bench in suite.benchmarks:
+            g = gains[bench.full_name]
+            row = f"{bench.name:22s}"
+            for v in variants:
+                t = g.times[v]
+                row += f"{'FAIL':>12s}" if t == float("inf") else f"{t:12.4f}"
+            row += f"{g.best_gain:9.2f} {g.best_variant}"
+            print(row)
+        print(f"-> {suite_summary(result, suite.name)}")
+
+    print("\n=== claim evaluation ===")
+    xeon = run_polybench_xeon()
+    checks = evaluate(result, xeon)
+    for c in checks:
+        print(c)
+    failed = sum(1 for c in checks if not c.passed)
+    print(f"\n{len(checks) - failed}/{len(checks)} claims pass")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
