@@ -10,20 +10,26 @@ Section 2.1 fixes one flag set per compiler; this example varies them:
   instead of SVE-512);
 * LLVM with and without ``-mllvm -polly`` on a SCoP and a non-SCoP.
 
+Each ablation is a one-cell campaign through the
+:class:`repro.api.CampaignSession` API with a ``flags`` override —
+the same mechanism the full flag-ablation studies use.
+
 Run:  python examples/flag_study.py
 """
 
+from repro.api import CampaignConfig, CampaignSession
 from repro.compilers import parse_flags
-from repro.harness import run_benchmark
-from repro.machine import a64fx
-from repro.suites import get_benchmark
 
 
 def measure(bench_name: str, variant: str, flag_strings: list) -> float:
-    machine = a64fx()
-    bench = get_benchmark(bench_name)
-    record = run_benchmark(bench, variant, machine, flags=parse_flags(flag_strings))
-    return record.best_s
+    session = CampaignSession(
+        CampaignConfig(
+            benchmarks=(bench_name,),
+            variants=(variant,),
+            flags=parse_flags(flag_strings),
+        )
+    )
+    return session.run().get(bench_name, variant).best_s
 
 
 def main() -> None:

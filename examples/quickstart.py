@@ -9,6 +9,11 @@ Reproduces, in about two seconds of model time:
 * the Section 3 summary statistics, including the closing "median 16%
   improvement from picking the best compiler".
 
+Uses the :class:`repro.api.CampaignSession` API — configure a campaign
+once, subscribe to typed progress events, run.  Pass
+``CampaignConfig(workers=4, cache_dir=".campaign-cache")`` to fan cells
+out over worker processes and make repeat runs near-instant.
+
 Run:  python examples/quickstart.py
 """
 
@@ -19,14 +24,24 @@ from repro.analysis import (
     percent_improvement,
     suite_summary,
 )
-from repro.harness import run_campaign, run_polybench_xeon
+from repro.api import CampaignConfig, CampaignSession, EventKind
 
 
 def main() -> None:
     print("Running the A64FX campaign: 108 benchmarks x 5 compilers ...")
-    results = run_campaign()
+    session = CampaignSession(CampaignConfig())
+
+    @session.subscribe
+    def narrate(event) -> None:
+        if event.kind is EventKind.CAMPAIGN_FINISHED:
+            print(f"  {event.total} cells in {event.elapsed_s:.1f}s ({event.message})")
+
+    results = session.run()
+
     print("Running the Figure 1 Xeon reference (PolyBench under icc) ...")
-    xeon = run_polybench_xeon()
+    xeon = CampaignSession(
+        CampaignConfig(machine="xeon", variants=("icc",), suites=("polybench",))
+    ).run()
 
     print()
     print(figure1(results, xeon).render())

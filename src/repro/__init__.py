@@ -12,12 +12,31 @@ A64FX and a Xeon reference as analytic machine models
 
 Quickstart::
 
-    from repro.harness import run_campaign
+    from repro import CampaignConfig, CampaignSession
     from repro.analysis import figure2, overall_summary
 
-    results = run_campaign()          # all 108 benchmarks x 5 compilers
+    session = CampaignSession(CampaignConfig(workers=4, cache_dir=".cache"))
+    results = session.run()           # all 108 benchmarks x 5 compilers
     print(figure2(results).render())  # the paper's Figure 2 heatmap
     print(overall_summary(results))   # "median gain from best compiler"
+
+:class:`repro.api.CampaignSession` is the documented entry point; the
+legacy ``repro.harness.run_campaign()`` remains as a thin shim.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import (  # noqa: E402  (re-export after docstring/version)
+    CampaignConfig,
+    CampaignEvent,
+    CampaignSession,
+    EventKind,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignEvent",
+    "CampaignSession",
+    "EventKind",
+    "__version__",
+]

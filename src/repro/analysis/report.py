@@ -273,4 +273,17 @@ def experiments_markdown(
     passed = sum(1 for c in checks if c.passed)
     lines.append(f"**{passed}/{len(checks)} claims pass.**")
     lines.append("")
+    if result.meta:
+        workers = result.meta.get("workers", 1)
+        hits = result.meta.get("cache_hits", 0)
+        cells = result.meta.get("cells", len(result.records))
+        elapsed = result.meta.get("elapsed_s")
+        provenance = (
+            f"_Campaign engine v{result.meta.get('engine_version', '?')}: "
+            f"{cells} cells, {workers} worker(s), {hits} cache hit(s)"
+        )
+        if elapsed is not None:
+            provenance += f", {elapsed:.1f}s wall-clock"
+        lines.append(provenance + "._")
+        lines.append("")
     return "\n".join(lines)

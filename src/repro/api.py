@@ -1,0 +1,182 @@
+"""The public campaign API: configure once, run, observe typed events.
+
+This module is the single documented entry point for running
+measurement campaigns.  It replaces the ad-hoc kwargs surface of
+``run_campaign()``/``run_benchmark()`` with three small types:
+
+:class:`CampaignConfig`
+    A frozen, fully-serializable description of *what* to run and
+    *how*: machine, compiler variants, suites/benchmarks, flag
+    overrides, worker count, cache directory, resume.
+
+:class:`CampaignSession`
+    Binds a config to the :class:`~repro.harness.engine.CampaignEngine`
+    and exposes an event-subscription surface.  One session runs one
+    campaign; ``session.result`` keeps the outcome afterwards.
+
+:class:`CampaignEvent` / :class:`EventKind`
+    The typed progress stream (cell started/finished/failed, cache
+    hits, ETA), re-exported from the engine.
+
+Quickstart::
+
+    from repro.api import CampaignConfig, CampaignSession
+
+    session = CampaignSession(CampaignConfig(workers=4, cache_dir=".cache"))
+
+    @session.subscribe
+    def show(event):
+        print(event)
+
+    result = session.run()
+
+The legacy ``run_campaign()`` remains as a thin deprecation shim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.compilers.flags import CompilerFlags
+from repro.compilers.registry import STUDY_VARIANTS
+from repro.errors import HarnessError
+from repro.harness.engine import (
+    CampaignEngine,
+    CampaignEvent,
+    CellTask,
+    EventHandler,
+    EventKind,
+)
+from repro.harness.results import CampaignResult
+from repro.harness.runner import PERFORMANCE_RUNS
+from repro.machine.a64fx import a64fx
+from repro.machine.machine import Machine
+from repro.machine.thunderx2 import thunderx2
+from repro.machine.xeon import xeon
+from repro.suites.registry import get_benchmark, get_suite
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignEvent",
+    "CampaignSession",
+    "EventKind",
+]
+
+#: Machine registry for :attr:`CampaignConfig.machine` given by name.
+_MACHINES = {"a64fx": a64fx, "xeon": xeon, "thunderx2": thunderx2}
+
+
+def _resolve_machine(machine: "Machine | str | None") -> Machine:
+    if machine is None:
+        return a64fx()
+    if isinstance(machine, Machine):
+        return machine
+    factory = _MACHINES.get(machine.lower())
+    if factory is None:
+        known = ", ".join(sorted(_MACHINES))
+        raise HarnessError(f"unknown machine {machine!r}; known machines: {known}")
+    return factory()
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign needs, in one frozen bundle."""
+
+    #: Machine model or registry name ("a64fx", "xeon", "thunderx2");
+    #: ``None`` selects the paper's A64FX node.
+    machine: "Machine | str | None" = None
+    #: Compiler variants (Figure 2 columns).
+    variants: tuple[str, ...] = STUDY_VARIANTS
+    #: Suite names to include; ``None`` (with ``benchmarks=None``) runs
+    #: all seven suites.
+    suites: "tuple[str, ...] | None" = None
+    #: Individual benchmark full names ("suite.name"); overrides
+    #: ``suites`` when set.
+    benchmarks: "tuple[str, ...] | None" = None
+    #: Flag override applied to every variant (ablation studies).
+    flags: "CompilerFlags | None" = None
+    #: Worker processes; 1 = deterministic serial loop (same records
+    #: either way — the model is fully deterministic).
+    workers: int = 1
+    #: Root for the persistent kernel/cell caches and the journal;
+    #: ``None`` disables persistence.
+    cache_dir: "str | Path | None" = None
+    #: Resume an interrupted campaign from the journal in ``cache_dir``.
+    resume: bool = False
+    #: Performance runs per cell (the paper's ten).
+    runs: int = PERFORMANCE_RUNS
+
+    def with_(self, **kwargs: object) -> "CampaignConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+class CampaignSession:
+    """One configured campaign: subscribe to events, run, keep the result.
+
+    Accepts a :class:`CampaignConfig`, keyword overrides on top of one,
+    or bare keywords (``CampaignSession(workers=4)``).
+    """
+
+    def __init__(self, config: "CampaignConfig | None" = None, **overrides: object) -> None:
+        config = config if config is not None else CampaignConfig()
+        if overrides:
+            config = config.with_(**overrides)
+        self.config = config
+        self._handlers: list[EventHandler] = []
+        self._result: "CampaignResult | None" = None
+
+    # -- events ----------------------------------------------------------
+
+    def subscribe(self, handler: EventHandler) -> EventHandler:
+        """Register an event handler (usable as a decorator)."""
+        self._handlers.append(handler)
+        return handler
+
+    def _emit(self, event: CampaignEvent) -> None:
+        for handler in self._handlers:
+            handler(event)
+
+    # -- execution -------------------------------------------------------
+
+    def engine(self) -> CampaignEngine:
+        """The engine this session's config resolves to."""
+        cfg = self.config
+        benchmarks = None
+        suites = None
+        if cfg.benchmarks is not None:
+            benchmarks = tuple(get_benchmark(name) for name in cfg.benchmarks)
+        elif cfg.suites is not None:
+            suites = tuple(get_suite(name) for name in cfg.suites)
+        return CampaignEngine(
+            _resolve_machine(cfg.machine),
+            variants=cfg.variants,
+            suites=suites,
+            benchmarks=benchmarks,
+            flags=cfg.flags,
+            workers=cfg.workers,
+            cache_dir=cfg.cache_dir,
+            resume=cfg.resume,
+            runs=cfg.runs,
+        )
+
+    def cells(self) -> tuple[CellTask, ...]:
+        """The campaign's cell tasks (without running anything)."""
+        return self.engine().cells()
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return (and retain) the result."""
+        self._result = self.engine().run(emit=self._emit if self._handlers else None)
+        return self._result
+
+    @property
+    def result(self) -> CampaignResult:
+        """The last :meth:`run` outcome."""
+        if self._result is None:
+            raise HarnessError("session has not been run yet; call session.run()")
+        return self._result
+
+    def save(self, path: "str | Path") -> None:
+        """Persist the last result as schema-v2 JSON."""
+        self.result.save(path)

@@ -3,6 +3,9 @@
 Usage::
 
     a64fx-campaign run [--out results.json]       # full 108x5 campaign
+        [--workers N]                             # parallel cell execution
+        [--cache-dir DIR]                         # persistent kernel/cell cache
+        [--resume]                                # continue an interrupted run
     a64fx-campaign figure1                        # Xeon-vs-A64FX PolyBench
     a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
     a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
@@ -22,12 +25,45 @@ from repro.analysis import (
     figure2,
     figure2_svg,
 )
+from repro.api import CampaignConfig, CampaignSession, EventKind
 from repro.harness import run_campaign, run_polybench_xeon
 from repro.suites import all_suites
 
 
+def _progress_printer(total_hint: int = 0):
+    """An event handler that prints coarse progress lines to stderr."""
+    state = {"last": -1}
+
+    def handler(event) -> None:
+        if event.kind is EventKind.CAMPAIGN_FINISHED:
+            print(f"  {event.message} in {event.elapsed_s:.1f}s", file=sys.stderr)
+            return
+        if event.kind not in (EventKind.CELL_FINISHED, EventKind.CELL_FAILED,
+                              EventKind.CACHE_HIT):
+            return
+        decile = 10 * event.completed // max(event.total, 1)
+        if decile > state["last"]:
+            state["last"] = decile
+            eta = f", eta {event.eta_s:.0f}s" if event.eta_s else ""
+            print(
+                f"  [{event.completed:4d}/{event.total}] "
+                f"{event.benchmark}/{event.variant}{eta}",
+                file=sys.stderr,
+            )
+
+    return handler
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_campaign()
+    session = CampaignSession(
+        CampaignConfig(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+    )
+    session.subscribe(_progress_printer())
+    result = session.run()
     if args.out:
         result.save(args.out)
         print(f"saved {len(result.records)} records to {args.out}")
@@ -209,6 +245,18 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_run = sub.add_parser("run", help="run the full campaign")
     p_run.add_argument("--out", help="write results JSON here")
+    p_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for cell execution (default: 1, serial)",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        help="persistent cache root (compiled kernels, finished cells, journal)",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from the journal in --cache-dir",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_f1 = sub.add_parser("figure1", help="regenerate Figure 1")

@@ -1,31 +1,63 @@
 """Measurement harness: exploration phase, performance runs, campaign
-orchestration, and result records (Sections 2.3-2.4 of the paper)."""
+orchestration (serial and parallel), persistent caching, and result
+records (Sections 2.3-2.4 of the paper)."""
 
-from repro.harness.campaign import run_campaign, run_polybench_xeon
+from repro.harness.campaign import (
+    legacy_progress_adapter,
+    run_campaign,
+    run_polybench_xeon,
+)
+from repro.harness.engine import (
+    ENGINE_VERSION,
+    CampaignEngine,
+    CampaignEvent,
+    CampaignJournal,
+    CellCache,
+    CellTask,
+    EventKind,
+    benchmark_fingerprint,
+    cell_cache_key,
+)
 from repro.harness.exploration import (
     EXPLORATION_TRIALS,
     explore,
     placement_candidates,
 )
 from repro.harness.results import (
+    RESULT_SCHEMA_VERSION,
     STATUS_COMPILE_ERROR,
     STATUS_OK,
     STATUS_RUNTIME_ERROR,
     CampaignResult,
     RunRecord,
+    record_from_dict,
+    record_to_dict,
 )
 from repro.harness.runner import PERFORMANCE_RUNS, run_benchmark
 
 __all__ = [
+    "CampaignEngine",
+    "CampaignEvent",
+    "CampaignJournal",
     "CampaignResult",
+    "CellCache",
+    "CellTask",
+    "ENGINE_VERSION",
     "EXPLORATION_TRIALS",
+    "EventKind",
     "PERFORMANCE_RUNS",
+    "RESULT_SCHEMA_VERSION",
     "RunRecord",
     "STATUS_COMPILE_ERROR",
     "STATUS_OK",
     "STATUS_RUNTIME_ERROR",
+    "benchmark_fingerprint",
+    "cell_cache_key",
     "explore",
+    "legacy_progress_adapter",
     "placement_candidates",
+    "record_from_dict",
+    "record_to_dict",
     "run_benchmark",
     "run_campaign",
     "run_polybench_xeon",

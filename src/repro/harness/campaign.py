@@ -4,22 +4,40 @@
 study variant on an A64FX node — the complete Figure 2 — and
 ``run_polybench_xeon()`` produces the icc/Xeon reference column that
 Figure 1 compares against.
+
+Both are now thin wrappers over :class:`repro.harness.engine.
+CampaignEngine`; the documented entry point for new code is
+:class:`repro.api.CampaignSession`, which adds parallel workers,
+persistent caching, resume, and typed progress events on the same
+deterministic core.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import warnings
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import STUDY_VARIANTS
+from repro.harness.engine import CampaignEngine, CampaignEvent, EventKind
 from repro.harness.results import CampaignResult
-from repro.harness.runner import run_benchmark
-from repro.machine.a64fx import a64fx
 from repro.machine.machine import Machine
 from repro.machine.xeon import xeon
-from repro.perf.cost import CompilationCache
 from repro.suites.base import Benchmark, Suite
-from repro.suites.registry import all_suites
+
+
+def legacy_progress_adapter(
+    progress: Callable[[str, str], object],
+) -> Callable[[CampaignEvent], None]:
+    """Adapt an old-style ``progress(benchmark_name, variant)`` callable
+    to the typed :class:`CampaignEvent` stream (fires on cell dispatch,
+    matching the legacy loop's call timing)."""
+
+    def handler(event: CampaignEvent) -> None:
+        if event.kind is EventKind.CELL_STARTED:
+            progress(event.benchmark, event.variant)
+
+    return handler
 
 
 def run_campaign(
@@ -29,26 +47,37 @@ def run_campaign(
     suites: Iterable[Suite] | None = None,
     benchmarks: Iterable[Benchmark] | None = None,
     flags: CompilerFlags | None = None,
-    progress: "callable | None" = None,
+    progress: "Callable[[str, str], object] | None" = None,
 ) -> CampaignResult:
-    """Measure all (benchmark, variant) cells.
+    """Measure all (benchmark, variant) cells (serial, in-memory).
 
     ``suites``/``benchmarks`` restrict the campaign; ``flags`` overrides
-    every variant's paper flags (for the flag-ablation studies);
-    ``progress`` is an optional callback ``(benchmark_name, variant)``.
+    every variant's paper flags (for the flag-ablation studies).
+
+    .. deprecated::
+        The positional ``progress`` callback is deprecated; subscribe a
+        :class:`repro.api.CampaignSession` to its typed event stream
+        instead.
     """
-    machine = machine if machine is not None else a64fx()
-    if benchmarks is None:
-        suite_list = tuple(suites) if suites is not None else all_suites()
-        benchmarks = [b for s in suite_list for b in s.benchmarks]
-    result = CampaignResult(machine=machine.name)
-    cache = CompilationCache()
-    for bench in benchmarks:
-        for variant in variants:
-            if progress is not None:
-                progress(bench.full_name, variant)
-            result.add(run_benchmark(bench, variant, machine, flags=flags, cache=cache))
-    return result
+    emit = None
+    if progress is not None:
+        warnings.warn(
+            "the progress(benchmark_name, variant) callback is deprecated; "
+            "use repro.api.CampaignSession and subscribe to its typed "
+            "CampaignEvent stream instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        emit = legacy_progress_adapter(progress)
+    engine = CampaignEngine(
+        machine,
+        variants=variants,
+        suites=suites,
+        benchmarks=benchmarks,
+        flags=flags,
+        workers=1,
+    )
+    return engine.run(emit=emit)
 
 
 def run_polybench_xeon() -> CampaignResult:

@@ -1,0 +1,620 @@
+"""Parallel campaign engine: cell tasks, worker pools, persistent
+caching, and checkpoint/resume.
+
+The paper's full study is a 108-benchmark x 5-compiler grid whose 540
+cells are independent of one another (each cell runs its own
+exploration sweep and performance runs); ``run_campaign()`` walked them
+in one blocking serial loop.  :class:`CampaignEngine` decomposes the
+grid into :class:`CellTask` s and executes them
+
+* serially (``workers=1``), bit-identical to the legacy loop, or
+* across worker processes (``concurrent.futures.ProcessPoolExecutor``),
+  chunked benchmark-major so a worker reuses compiled kernels across
+  the five variants of a benchmark.
+
+Because the model (and its lognormal noise, seeded by sha256 of the
+run identity) is fully deterministic, the parallel path produces
+record-for-record identical results to the serial one; records are
+always assembled in canonical (benchmark-major) cell order.
+
+Persistence has three layers, all rooted at ``cache_dir``:
+
+* ``kernels/`` — content-addressed :class:`CompiledKernel` pickles
+  (see :func:`repro.perf.cost.compilation_cache_key`), shared by all
+  workers and all later runs;
+* ``cells/``   — content-addressed finished-cell records keyed by
+  :func:`cell_cache_key`, so re-runs and flag ablations skip unchanged
+  cells entirely (zero model re-evaluations on a warm cache);
+* ``journal.jsonl`` — an append-only per-campaign journal; an
+  interrupted campaign resumes from it (``resume=True``) by replaying
+  completed cells and running only the remainder.
+
+Progress is reported through typed :class:`CampaignEvent` s instead of
+the old positional ``progress(benchmark, variant)`` callback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+import os
+import tempfile
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.compilers.flags import CompilerFlags
+from repro.compilers.registry import STUDY_VARIANTS
+from repro.errors import HarnessError
+from repro.harness.results import (
+    STATUS_OK,
+    CampaignResult,
+    RunRecord,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.harness.runner import PERFORMANCE_RUNS, run_benchmark
+from repro.machine.a64fx import a64fx
+from repro.machine.machine import Machine
+from repro.perf.cost import (
+    CACHE_SCHEMA_VERSION,
+    CompilationCache,
+    kernel_fingerprint,
+    machine_fingerprint,
+)
+from repro.suites.base import Benchmark, Suite
+from repro.suites.registry import all_suites
+
+#: Bumped when the engine's journal/cell formats change incompatibly.
+ENGINE_VERSION = 1
+
+
+# -- events --------------------------------------------------------------
+
+
+class EventKind(enum.Enum):
+    """What a :class:`CampaignEvent` reports."""
+
+    CAMPAIGN_STARTED = "campaign-started"
+    #: A cell was dispatched (serial: about to run; parallel: queued).
+    CELL_STARTED = "cell-started"
+    #: A cell finished with ``status == ok``.
+    CELL_FINISHED = "cell-finished"
+    #: A cell finished with a failure status (Figure 2 failure cells).
+    CELL_FAILED = "cell-failed"
+    #: A cell was satisfied from the persistent cell cache or journal.
+    CACHE_HIT = "cache-hit"
+    CAMPAIGN_FINISHED = "campaign-finished"
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One typed progress event from a running campaign.
+
+    ``completed``/``total`` count cells; ``eta_s`` is a simple
+    elapsed-rate extrapolation (``None`` until the first completion).
+    """
+
+    kind: EventKind
+    benchmark: str | None = None
+    variant: str | None = None
+    completed: int = 0
+    total: int = 0
+    elapsed_s: float = 0.0
+    eta_s: float | None = None
+    #: The finished record (CELL_FINISHED / CELL_FAILED / CACHE_HIT).
+    record: RunRecord | None = None
+    #: True when the record came from the cell cache or the journal.
+    from_cache: bool = False
+    message: str = ""
+
+    def __str__(self) -> str:
+        cell = f" {self.benchmark}/{self.variant}" if self.benchmark else ""
+        eta = f" eta={self.eta_s:.1f}s" if self.eta_s is not None else ""
+        return (
+            f"[{self.completed}/{self.total}] {self.kind.value}{cell}{eta}"
+            f"{' ' + self.message if self.message else ''}"
+        )
+
+
+#: Signature of an event listener.
+EventHandler = Callable[[CampaignEvent], None]
+
+
+# -- content-addressed cell cache ----------------------------------------
+
+
+#: Fingerprint memo keyed by object identity; the retained benchmark
+#: reference pins the id so it cannot be reused by a new object.
+#: Benchmarks come from the lru-cached suite registry, so this stays
+#: small.
+_BENCH_FINGERPRINTS: dict[int, tuple[Benchmark, str]] = {}
+
+
+def _canonical(obj: object) -> object:
+    """Recursively convert a value to a JSON-serializable form whose
+    serialization is identical across interpreter invocations.
+
+    ``repr`` is NOT that: frozensets (e.g. ``Kernel.features``) iterate
+    in hash order, which varies with the per-process hash seed, so a
+    repr-derived digest silently changes between runs — breaking
+    cross-process cache hits and journal resume.  Sets are therefore
+    sorted by their canonical serialization, enums reduced to their
+    names, and dataclasses walked field by field.  Kernels delegate to
+    :func:`kernel_fingerprint`, the authoritative IR hash.
+    """
+    from repro.ir.kernel import Kernel
+
+    if isinstance(obj, Kernel):
+        return {"__kernel__": kernel_fingerprint(obj)}
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, object] = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (frozenset, set)):
+        items = [_canonical(x) for x in obj]
+        return sorted(items, key=lambda x: json.dumps(x, sort_keys=True))
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return repr(obj)
+
+
+def benchmark_fingerprint(bench: Benchmark) -> str:
+    """Stable content hash of a benchmark definition.
+
+    Covers the kernels' IR (via :func:`kernel_fingerprint`) and every
+    piece of harness-relevant metadata (noise level, MPI model,
+    invocation counts, placement constraints) through a canonical
+    serialization of the dataclass tree that is identical across
+    processes and hash seeds.
+    """
+    memo = _BENCH_FINGERPRINTS.get(id(bench))
+    if memo is not None:
+        return memo[1]
+    canon = json.dumps(_canonical(bench), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canon.encode()).hexdigest()
+    _BENCH_FINGERPRINTS[id(bench)] = (bench, digest)
+    return digest
+
+
+def cell_cache_key(
+    bench: Benchmark,
+    variant: str,
+    machine: Machine,
+    flags: CompilerFlags | None,
+    runs: int = PERFORMANCE_RUNS,
+) -> str:
+    """Content-addressed key for one finished (benchmark, variant) cell."""
+    parts = (
+        f"cell|e{ENGINE_VERSION}|c{CACHE_SCHEMA_VERSION}",
+        benchmark_fingerprint(bench),
+        variant,
+        machine.name,
+        machine_fingerprint(machine),
+        repr(flags),
+        str(runs),
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+class CellCache:
+    """On-disk store of finished cell records, keyed by content hash."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> RunRecord | None:
+        try:
+            doc = json.loads(self._path(key).read_text())
+            return record_from_dict(doc["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, record: RunRecord) -> None:
+        doc = {"key": key, "record": record_to_dict(record)}
+        _atomic_write_text(self._path(key), json.dumps(doc))
+
+
+# -- journal -------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only JSONL checkpoint of one campaign's progress.
+
+    Line 1 is a header identifying the campaign (machine, cell list,
+    and a fingerprint over everything that affects results); each
+    completed cell appends one ``cell`` line, flushed immediately so a
+    killed run loses at most the in-flight cells.  A final ``done``
+    line marks clean completion.  Partial trailing lines (from a kill
+    mid-write) are ignored on load.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- writing ---------------------------------------------------------
+
+    def start(self, fingerprint: str, machine: str, cells: Sequence[tuple[str, str]]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+        self._write(
+            {
+                "kind": "header",
+                "engine_version": ENGINE_VERSION,
+                "fingerprint": fingerprint,
+                "machine": machine,
+                "cells": [list(c) for c in cells],
+            }
+        )
+
+    def append(self, record: RunRecord) -> None:
+        if self._fh is not None:
+            self._write({"kind": "cell", "record": record_to_dict(record)})
+
+    def done(self) -> None:
+        if self._fh is not None:
+            self._write({"kind": "done"})
+            self._fh.close()
+            self._fh = None
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _write(self, doc: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(doc) + "\n")
+        # flush() hands the line to the kernel, which survives a killed
+        # process (the resume scenario); per-line fsync would only add
+        # OS-crash durability at ~3ms per cell.
+        self._fh.flush()
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> "tuple[dict, list[RunRecord], bool] | None":
+        """(header, completed records, finished cleanly) or ``None``."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return None
+        header: dict | None = None
+        records: list[RunRecord] = []
+        finished = False
+        for line in text.splitlines():
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # truncated trailing line from a killed run
+            kind = doc.get("kind")
+            if kind == "header":
+                header = doc
+            elif kind == "cell" and header is not None:
+                try:
+                    records.append(record_from_dict(doc["record"]))
+                except (HarnessError, KeyError, TypeError):
+                    continue
+            elif kind == "done":
+                finished = True
+        if header is None:
+            return None
+        return header, records, finished
+
+
+# -- worker side ---------------------------------------------------------
+
+#: Per-worker-process compilation caches, keyed by (machine, cache dir)
+#: so consecutive chunks in the same worker share compiled kernels.
+_WORKER_CACHES: dict[tuple[str, str], CompilationCache] = {}
+
+
+def _run_chunk(payload: tuple) -> list[tuple[int, RunRecord]]:
+    """Execute one chunk of cell tasks inside a worker process."""
+    machine, flags, runs, kernel_dir, items = payload
+    cache_key = (machine.name, str(kernel_dir))
+    cache = _WORKER_CACHES.get(cache_key)
+    if cache is None:
+        cache = CompilationCache(persist_dir=kernel_dir)
+        _WORKER_CACHES[cache_key] = cache
+    out: list[tuple[int, RunRecord]] = []
+    for index, bench, variant in items:
+        out.append(
+            (index, run_benchmark(bench, variant, machine, flags=flags, cache=cache, runs=runs))
+        )
+    return out
+
+
+# -- the engine ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent unit of campaign work."""
+
+    index: int
+    benchmark: Benchmark
+    variant: str
+
+    @property
+    def name(self) -> tuple[str, str]:
+        return (self.benchmark.full_name, self.variant)
+
+
+class CampaignEngine:
+    """Decomposes a campaign into cell tasks and executes them.
+
+    Parameters mirror the legacy ``run_campaign()`` surface plus the
+    execution controls:
+
+    ``workers``
+        1 (default) runs the deterministic serial loop in-process;
+        N > 1 fans cells out over a process pool.  Both paths produce
+        identical :class:`CampaignResult` records.
+    ``cache_dir``
+        Root of the persistent caches and the journal.  ``None``
+        disables persistence (pure in-memory run).
+    ``resume``
+        Replay completed cells from an existing journal before running
+        the remainder.  Ignored (fresh run) when no journal exists;
+        raises :class:`HarnessError` when the journal belongs to a
+        different campaign.
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        *,
+        variants: Sequence[str] = STUDY_VARIANTS,
+        suites: Iterable[Suite] | None = None,
+        benchmarks: Iterable[Benchmark] | None = None,
+        flags: CompilerFlags | None = None,
+        workers: int = 1,
+        cache_dir: "str | Path | None" = None,
+        resume: bool = False,
+        runs: int = PERFORMANCE_RUNS,
+    ) -> None:
+        if workers < 1:
+            raise HarnessError(f"workers must be >= 1, got {workers}")
+        self.machine = machine if machine is not None else a64fx()
+        self.variants = tuple(variants)
+        if benchmarks is None:
+            suite_list = tuple(suites) if suites is not None else all_suites()
+            benchmarks = [b for s in suite_list for b in s.benchmarks]
+        self.benchmarks = tuple(benchmarks)
+        self.flags = flags
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.resume = resume
+        self.runs = runs
+
+    # -- campaign shape --------------------------------------------------
+
+    def cells(self) -> tuple[CellTask, ...]:
+        """All cell tasks in canonical (benchmark-major) order."""
+        tasks = []
+        for bench in self.benchmarks:
+            for variant in self.variants:
+                tasks.append(CellTask(len(tasks), bench, variant))
+        return tuple(tasks)
+
+    def campaign_fingerprint(self) -> str:
+        """Identity of this campaign for journal compatibility checks."""
+        parts = [
+            f"campaign|e{ENGINE_VERSION}",
+            self.machine.name,
+            machine_fingerprint(self.machine),
+            repr(self.flags),
+            str(self.runs),
+            ",".join(self.variants),
+            ",".join(b.full_name for b in self.benchmarks),
+            ",".join(benchmark_fingerprint(b) for b in self.benchmarks),
+        ]
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+    @property
+    def journal_path(self) -> Path | None:
+        return self.cache_dir / "journal.jsonl" if self.cache_dir else None
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, emit: EventHandler | None = None) -> CampaignResult:
+        """Execute the campaign; returns the assembled result."""
+        t0 = time.monotonic()
+        tasks = self.cells()
+        total = len(tasks)
+        done: dict[tuple[str, str], RunRecord] = {}
+        stats = {"cache_hits": 0, "resumed": 0, "executed": 0}
+
+        def send(kind: EventKind, task: CellTask | None = None, **kw) -> None:
+            if emit is None:
+                return
+            completed = len(done)
+            elapsed = time.monotonic() - t0
+            eta = None
+            if 0 < completed < total:
+                eta = elapsed / completed * (total - completed)
+            emit(
+                CampaignEvent(
+                    kind=kind,
+                    benchmark=task.benchmark.full_name if task else None,
+                    variant=task.variant if task else None,
+                    completed=completed,
+                    total=total,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                    **kw,
+                )
+            )
+
+        send(EventKind.CAMPAIGN_STARTED, message=f"{total} cells, workers={self.workers}")
+
+        journal = CampaignJournal(self.journal_path) if self.journal_path else None
+        fingerprint = self.campaign_fingerprint()
+        self._replay_journal(journal, fingerprint, tasks, done, stats, send)
+        if journal is not None:
+            journal.start(fingerprint, self.machine.name, [t.name for t in tasks])
+            for record in done.values():
+                journal.append(record)
+
+        cell_cache = CellCache(self.cache_dir / "cells") if self.cache_dir else None
+        kernel_dir = self.cache_dir / "kernels" if self.cache_dir else None
+        cell_keys: dict[int, str] = {}
+        if cell_cache is not None:
+            cell_keys = {
+                t.index: cell_cache_key(t.benchmark, t.variant, self.machine, self.flags, self.runs)
+                for t in tasks
+            }
+        pending: list[CellTask] = []
+        for task in tasks:
+            if task.name in done:
+                continue
+            if cell_cache is not None:
+                hit = cell_cache.get(cell_keys[task.index])
+                if hit is not None:
+                    done[task.name] = hit
+                    stats["cache_hits"] += 1
+                    if journal is not None:
+                        journal.append(hit)
+                    send(EventKind.CACHE_HIT, task, record=hit, from_cache=True)
+                    continue
+            pending.append(task)
+
+        def record_finished(task: CellTask, record: RunRecord) -> None:
+            done[task.name] = record
+            stats["executed"] += 1
+            if cell_cache is not None:
+                cell_cache.put(cell_keys[task.index], record)
+            if journal is not None:
+                journal.append(record)
+            kind = EventKind.CELL_FINISHED if record.status == STATUS_OK else EventKind.CELL_FAILED
+            send(kind, task, record=record, message="" if record.status == STATUS_OK else record.status)
+
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                self._run_serial(pending, kernel_dir, record_finished, send)
+            else:
+                self._run_parallel(pending, kernel_dir, record_finished, send)
+        finally:
+            if journal is not None and len(done) < total:
+                journal.close()  # keep the partial journal for --resume
+
+        result = CampaignResult(machine=self.machine.name)
+        for task in tasks:
+            result.add(done[task.name])
+        result.meta = {
+            "engine_version": ENGINE_VERSION,
+            "workers": self.workers,
+            "cells": total,
+            "executed": stats["executed"],
+            "cache_hits": stats["cache_hits"],
+            "resumed": stats["resumed"],
+            "elapsed_s": round(time.monotonic() - t0, 3),
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+        }
+        if journal is not None:
+            journal.done()
+        send(EventKind.CAMPAIGN_FINISHED, message=f"{stats['executed']} executed, "
+             f"{stats['cache_hits']} cache hits, {stats['resumed']} resumed")
+        return result
+
+    # -- internals -------------------------------------------------------
+
+    def _replay_journal(self, journal, fingerprint, tasks, done, stats, send) -> None:
+        if journal is None or not self.resume:
+            return
+        loaded = journal.load()
+        if loaded is None:
+            return  # no journal yet: fresh run
+        header, records, _finished = loaded
+        if header.get("fingerprint") != fingerprint:
+            raise HarnessError(
+                f"journal at {journal.path} belongs to a different campaign "
+                f"(machine/benchmarks/variants/flags changed); delete it or "
+                f"pick a fresh --cache-dir to start over"
+            )
+        by_name = {t.name: t for t in tasks}
+        for record in records:
+            name = (record.benchmark, record.variant)
+            task = by_name.get(name)
+            if task is None or name in done:
+                continue
+            done[name] = record
+            stats["resumed"] += 1
+            send(EventKind.CACHE_HIT, task, record=record, from_cache=True,
+                 message="resumed from journal")
+
+    def _run_serial(self, pending, kernel_dir, record_finished, send) -> None:
+        cache = CompilationCache(persist_dir=kernel_dir)
+        for task in pending:
+            send(EventKind.CELL_STARTED, task)
+            record = run_benchmark(
+                task.benchmark, task.variant, self.machine,
+                flags=self.flags, cache=cache, runs=self.runs,
+            )
+            record_finished(task, record)
+
+    def _chunk(self, pending: list[CellTask]) -> list[list[CellTask]]:
+        """Benchmark-major chunks: a benchmark's variants stay together
+        so a worker's in-memory cache reuses its compiled kernels."""
+        groups: dict[str, list[CellTask]] = {}
+        for task in pending:
+            groups.setdefault(task.benchmark.full_name, []).append(task)
+        group_list = list(groups.values())
+        target_chunks = max(self.workers * 4, 1)
+        per_chunk = max(1, math.ceil(len(group_list) / target_chunks))
+        chunks: list[list[CellTask]] = []
+        for i in range(0, len(group_list), per_chunk):
+            chunks.append([t for g in group_list[i : i + per_chunk] for t in g])
+        return chunks
+
+    def _run_parallel(self, pending, kernel_dir, record_finished, send) -> None:
+        chunks = self._chunk(pending)
+        by_index = {t.index: t for t in pending}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = set()
+            for chunk in chunks:
+                for task in chunk:
+                    send(EventKind.CELL_STARTED, task)
+                payload = (
+                    self.machine,
+                    self.flags,
+                    self.runs,
+                    str(kernel_dir) if kernel_dir else None,
+                    [(t.index, t.benchmark, t.variant) for t in chunk],
+                )
+                futures.add(pool.submit(_run_chunk, payload))
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for index, record in future.result():
+                        record_finished(by_index[index], record)

@@ -22,6 +22,13 @@ STATUS_OK = "ok"
 STATUS_COMPILE_ERROR = "compiler error"
 STATUS_RUNTIME_ERROR = "runtime error"
 
+#: Current on-disk schema for :meth:`CampaignResult.to_json`.  Version 2
+#: adds the top-level ``schema`` marker and an ``engine`` metadata block
+#: (workers, cache statistics, provenance) and omits empty optional
+#: record fields; version 1 (the original unversioned format) is still
+#: accepted by :meth:`CampaignResult.load`.
+RESULT_SCHEMA_VERSION = 2
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -71,17 +78,62 @@ class RunRecord:
         return Placement(self.ranks, self.threads)
 
 
+def record_to_dict(record: RunRecord, *, compact: bool = True) -> dict:
+    """JSON-ready dict for one record.
+
+    With ``compact`` (the v2 on-disk form), empty optional fields are
+    omitted; :func:`record_from_dict` restores their defaults.
+    """
+    raw = asdict(record)
+    if compact:
+        for optional in ("exploration", "diagnostics"):
+            if not raw[optional]:
+                del raw[optional]
+        if raw["status"] == STATUS_OK:
+            del raw["status"]
+    return raw
+
+
+def record_from_dict(raw: dict) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from its JSON dict.
+
+    Tolerates omitted optional fields (``status``, ``exploration``,
+    ``diagnostics``) so that both compact v2 records and hand-trimmed v1
+    files round-trip; earlier loaders raised ``KeyError`` on a record
+    whose empty exploration log had been dropped.
+    """
+    raw = dict(raw)
+    try:
+        raw["runs"] = tuple(raw["runs"])
+    except KeyError:
+        raise HarnessError(f"record missing 'runs': {sorted(raw)}") from None
+    raw["exploration"] = tuple(tuple(e) for e in raw.get("exploration", ()))
+    raw["diagnostics"] = tuple(raw.get("diagnostics", ()))
+    raw.setdefault("status", STATUS_OK)
+    return RunRecord(**raw)
+
+
 @dataclass
 class CampaignResult:
     """All records of one measurement campaign (one machine)."""
 
     machine: str
     records: dict[tuple[str, str], RunRecord] = field(default_factory=dict)
+    #: Engine/provenance metadata (schema v2): workers, cache hits,
+    #: elapsed wall-clock, engine version.  Empty for v1 files and
+    #: results assembled by hand.
+    meta: dict = field(default_factory=dict)
 
     def add(self, record: RunRecord) -> None:
         key = (record.benchmark, record.variant)
         if key in self.records:
-            raise HarnessError(f"duplicate record for {key}")
+            raise HarnessError(
+                f"duplicate record for benchmark {record.benchmark!r} "
+                f"variant {record.variant!r} on machine {self.machine!r}; "
+                f"if you are re-running an interrupted campaign, pass "
+                f"--resume (CampaignConfig(resume=True)) to skip already-"
+                f"completed cells instead of re-adding them"
+            )
         self.records[key] = record
 
     def get(self, benchmark: str, variant: str) -> RunRecord:
@@ -114,20 +166,27 @@ class CampaignResult:
 
     def to_json(self) -> str:
         payload = {
+            "schema": RESULT_SCHEMA_VERSION,
             "machine": self.machine,
-            "records": [asdict(r) for r in self.records.values()],
+            "engine": dict(self.meta),
+            "records": [record_to_dict(r) for r in self.records.values()],
         }
         return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignResult":
         payload = json.loads(text)
-        result = cls(machine=payload["machine"])
+        schema = payload.get("schema", 1)
+        if schema not in (1, RESULT_SCHEMA_VERSION):
+            raise HarnessError(
+                f"unknown CampaignResult schema version {schema!r}; this "
+                f"build reads versions 1-{RESULT_SCHEMA_VERSION} — upgrade "
+                f"the repro package to load this file"
+            )
+        meta = payload.get("engine", {}) if schema >= 2 else {}
+        result = cls(machine=payload["machine"], meta=dict(meta))
         for raw in payload["records"]:
-            raw["runs"] = tuple(raw["runs"])
-            raw["exploration"] = tuple(tuple(e) for e in raw["exploration"])
-            raw["diagnostics"] = tuple(raw["diagnostics"])
-            result.add(RunRecord(**raw))
+            result.add(record_from_dict(raw))
         return result
 
     def save(self, path: "str | Path") -> None:

@@ -219,5 +219,12 @@ class _FrozenDict(dict):
     def __hash__(self) -> int:  # type: ignore[override]
         return hash(frozenset(self.items()))
 
+    def __reduce__(self) -> tuple:
+        # Default dict-subclass pickling replays items through the
+        # blocked __setitem__; rebuild through the constructor instead
+        # (kernels must cross process boundaries for the parallel
+        # campaign engine).
+        return (self.__class__, (dict(self),))
+
     def __iter__(self) -> Iterator[str]:
         return super().__iter__()

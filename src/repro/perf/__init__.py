@@ -2,10 +2,14 @@
 top-level benchmark cost model."""
 
 from repro.perf.cost import (
+    CACHE_SCHEMA_VERSION,
     CompilationCache,
     ModelResult,
     UnitBreakdown,
     benchmark_model,
+    compilation_cache_key,
+    kernel_fingerprint,
+    machine_fingerprint,
 )
 from repro.perf.ecm import NestTime, cycles_per_iteration, nest_time
 from repro.perf.energy import (
@@ -27,6 +31,10 @@ from repro.perf.traffic import BoundaryTraffic, TrafficReport, nest_traffic
 
 __all__ = [
     "BoundaryTraffic",
+    "CACHE_SCHEMA_VERSION",
+    "compilation_cache_key",
+    "kernel_fingerprint",
+    "machine_fingerprint",
     "EnergyReport",
     "POWER_MODELS",
     "PowerModel",

@@ -9,7 +9,13 @@ exploration sweeps, repeated runs, noise — on top.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.compilers.base import CompiledKernel, CompileStatus
 from repro.compilers.flags import CompilerFlags
@@ -55,15 +61,80 @@ class ModelResult:
         return self.status is CompileStatus.OK
 
 
+#: Bump when the compiler/cost model changes in a way that invalidates
+#: persisted compilation artifacts (content-addressed cache entries).
+CACHE_SCHEMA_VERSION = 1
+
+
+def kernel_fingerprint(kernel: object) -> str:
+    """Stable content hash of a kernel's IR (hex digest).
+
+    Two independently-built kernels with identical IR hash identically;
+    the fingerprint survives pickling/process boundaries (unlike
+    ``id()``), which makes it usable as a persistent cache key.
+    """
+    from repro.ir.serialize import kernel_to_dict
+
+    doc = kernel_to_dict(kernel)  # type: ignore[arg-type]
+    canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def machine_fingerprint(machine: Machine) -> str:
+    """Stable content hash of a machine model's configuration."""
+    # Machine is a frozen dataclass tree of plain values; its repr is
+    # deterministic and content-complete.
+    return hashlib.sha256(repr(machine).encode()).hexdigest()
+
+
+def compilation_cache_key(
+    variant: str,
+    kernel: object,
+    machine: Machine,
+    flags: CompilerFlags | None,
+) -> str:
+    """Content-addressed key for one (variant, kernel, machine, flags)
+    compilation: equal inputs give equal keys across processes and
+    sessions, any change to an input changes the key."""
+    parts = (
+        f"compile|v{CACHE_SCHEMA_VERSION}",
+        variant,
+        kernel_fingerprint(kernel),
+        machine.name,
+        machine_fingerprint(machine),
+        repr(flags),
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
 class CompilationCache:
     """Memoizes (variant, kernel, machine, flags) -> CompiledKernel.
 
     A campaign compiles each kernel once per variant but costs it under
     dozens of placements; this cache keeps the exploration phase fast.
+
+    With ``persist_dir`` set, compiled kernels are additionally stored
+    on disk under their :func:`compilation_cache_key`, so later runs
+    (and sibling worker processes) skip recompilation of unchanged
+    kernels.  Writes are atomic (temp file + rename); unreadable or
+    stale entries are recompiled and rewritten.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, persist_dir: "str | Path | None" = None) -> None:
         self._cache: dict[tuple, CompiledKernel] = {}
+        #: id(kernel) -> stable fingerprint memo (fingerprinting walks
+        #: the whole IR; do it once per kernel object).
+        self._stable_keys: dict[tuple, str] = {}
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self.compile_count = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    def _disk_path(self, stable_key: str) -> Path:
+        assert self.persist_dir is not None
+        return self.persist_dir / f"{stable_key}.pkl"
 
     def get(
         self,
@@ -73,9 +144,45 @@ class CompilationCache:
         flags: CompilerFlags | None,
     ) -> CompiledKernel:
         key = (variant, id(kernel), machine.name, flags)
-        if key not in self._cache:
-            self._cache[key] = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
-        return self._cache[key]
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.memory_hits += 1
+            return hit
+        if self.persist_dir is not None:
+            stable = self._stable_keys.get(key)
+            if stable is None:
+                stable = compilation_cache_key(variant, kernel, machine, flags)
+                self._stable_keys[key] = stable
+            path = self._disk_path(stable)
+            try:
+                with open(path, "rb") as fh:
+                    compiled = pickle.load(fh)
+                self.disk_hits += 1
+                self._cache[key] = compiled
+                return compiled
+            except (OSError, pickle.PickleError, EOFError, AttributeError):
+                pass  # missing or unreadable entry: recompile below
+        compiled = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
+        self.compile_count += 1
+        self._cache[key] = compiled
+        if self.persist_dir is not None:
+            self._persist(self._stable_keys[key] if key in self._stable_keys
+                          else compilation_cache_key(variant, kernel, machine, flags),
+                          compiled)
+        return compiled
+
+    def _persist(self, stable_key: str, compiled: CompiledKernel) -> None:
+        assert self.persist_dir is not None
+        fd, tmp = tempfile.mkstemp(dir=self.persist_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(compiled, fh)
+            os.replace(tmp, self._disk_path(stable_key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 def _rank_geometry(bench: Benchmark, machine: Machine, placement: Placement) -> tuple[int, int, float]:
