@@ -67,3 +67,29 @@ def test_warm_cache_repeat_campaign_is_free(tmp_path):
     assert warm.meta["executed"] == 0  # zero model re-evaluations
     assert warm.meta["cache_hits"] == len(warm.records)
     assert warm_s < cold_s
+
+
+def test_disabled_telemetry_adds_no_measurable_overhead():
+    """The flight recorder's acceptance bar: the instrumented code
+    paths must cost nothing when telemetry is off (the default).
+
+    Every instrumentation point is one module-global load plus a
+    ``None`` check, so a campaign without telemetry should run at the
+    seed engine's speed.  Compare repeated serial sub-campaigns against
+    the same campaign with telemetry enabled: the *disabled* path must
+    not be measurably slower than the best enabled run (allowing 10%
+    scheduler jitter).
+    """
+    config = CampaignConfig(suites=("micro",), workers=1)
+    _timed_run(config)  # warm the suite registry and import machinery
+    off = min(_timed_run(config)[0] for _ in range(3))
+    on = min(_timed_run(config.with_(telemetry=True))[0] for _ in range(3))
+    print()
+    print(
+        f"micro suite serial: telemetry off {off * 1e3:.1f}ms, "
+        f"on {on * 1e3:.1f}ms ({(on / off - 1) * 100:+.1f}%)"
+    )
+    assert off < on * 1.10, (
+        f"disabled telemetry measurably slower than enabled "
+        f"({off:.3f}s vs {on:.3f}s)"
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Flight recorder: trace a parallel campaign and read the recording.
+
+Runs two suites across four worker processes with telemetry enabled,
+then answers the three post-campaign questions the flight recorder
+exists for:
+
+* where did the time go? (per-phase table + slowest cells)
+* did the cache work? (hit rate, corrupt-entry count)
+* did the workers stay busy? (parallel efficiency)
+
+Also exports the span tree as Chrome ``trace_event`` JSON — open
+``flight-trace.json`` in https://ui.perfetto.dev (or chrome://tracing)
+to see each worker process as its own swim-lane with
+cell -> compile/simulate nesting.
+
+Run:  python examples/flight_recorder.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import telemetry
+from repro.api import CampaignConfig, CampaignSession
+
+
+def main() -> None:
+    cache_dir = Path(tempfile.mkdtemp(prefix="flight-"))
+    config = CampaignConfig(
+        suites=("micro", "top500"),
+        workers=4,
+        cache_dir=cache_dir,
+        telemetry=True,
+    )
+
+    print("Cold run (everything executes, cache fills) ...")
+    cold = CampaignSession(config)
+    cold.run()
+
+    # The flight report, from the live Telemetry object: per-phase
+    # timings, the slowest cells, and how busy the four workers were.
+    tel = cold.telemetry
+    report = telemetry.flight_report(tel.spans, tel.metrics.snapshot())
+    print()
+    print(telemetry.render_flight_report(report))
+
+    # The same recording, exported for the trace viewer.
+    trace = Path("flight-trace.json")
+    telemetry.write_chrome_trace(trace, tel)
+    print(f"\nChrome trace written to {trace} — open it in ui.perfetto.dev")
+
+    print("\nWarm run (same campaign; every cell is a cache hit) ...")
+    result = CampaignSession(config).run()
+
+    # The summary also rides along inside the saved result JSON.
+    summary = result.telemetry["summary"]
+    print(
+        f"result.telemetry: wall {summary['wall_s']:.3f}s, "
+        f"{summary['cells_traced']} cells traced, "
+        f"cache hit rate {summary['cache_hit_rate']:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,14 @@ def main() -> None:
         f"(paper: 16%)."
     )
 
+    # Want to see where the campaign itself spent its time?  Enable the
+    # flight recorder (spans + metrics; see examples/flight_recorder.py
+    # and docs/TELEMETRY.md for the full tour):
+    #
+    #     session = CampaignSession(CampaignConfig(workers=4, telemetry=True))
+    #     session.run()
+    #     telemetry.write_chrome_trace("trace.json", session.telemetry)
+
 
 if __name__ == "__main__":
     main()

@@ -17,6 +17,7 @@ from repro.analysis.report import (
     ClaimCheck,
     evaluate,
     experiments_markdown,
+    flight_recorder_markdown,
 )
 from repro.analysis.svg import figure1_svg, figure2_svg, gain_color
 from repro.analysis.stats import (
@@ -47,6 +48,7 @@ __all__ = [
     "coefficient_of_variation",
     "evaluate",
     "experiments_markdown",
+    "flight_recorder_markdown",
     "figure1",
     "figure1_svg",
     "figure2",

@@ -240,6 +240,43 @@ def evaluate(
     return checks
 
 
+def flight_recorder_markdown(result: CampaignResult) -> str:
+    """The per-campaign flight-recorder section (empty string when the
+    campaign ran without telemetry)."""
+    summary = result.telemetry.get("summary", {}) if result.telemetry else {}
+    if not summary:
+        return ""
+    lines = ["## Campaign flight recorder", ""]
+    lines.append(
+        f"- wall-time {summary.get('wall_s', 0):.3f} s with "
+        f"{summary.get('workers', 1)} worker(s); cell busy-time "
+        f"{summary.get('busy_s', 0):.3f} s over "
+        f"{summary.get('cells_traced', 0)} traced cell(s)"
+    )
+    eff = summary.get("parallel_efficiency")
+    lines.append(
+        f"- parallel efficiency: {eff * 100:.1f}% (busy-time / workers x wall-time)"
+        if eff is not None
+        else "- parallel efficiency: n/a (no cells executed — warm cache)"
+    )
+    hit = summary.get("cache_hit_rate")
+    lines.append(
+        f"- cell-cache hit rate: {hit * 100:.1f}%"
+        if hit is not None
+        else "- cell-cache hit rate: n/a (campaign ran without a cache dir)"
+    )
+    slowest = summary.get("slowest_cells", ())
+    if slowest:
+        lines += ["", "| slowest cells | duration s |", "|---|---|"]
+        for cell in slowest:
+            lines.append(
+                f"| {cell['benchmark']}/{cell['variant']} "
+                f"| {cell['duration_s']:.4f} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiments_markdown(
     result: CampaignResult, xeon_result: CampaignResult | None = None
 ) -> str:
@@ -286,4 +323,7 @@ def experiments_markdown(
             provenance += f", {elapsed:.1f}s wall-clock"
         lines.append(provenance + "._")
         lines.append("")
+    recorder = flight_recorder_markdown(result)
+    if recorder:
+        lines.append(recorder)
     return "\n".join(lines)

@@ -50,6 +50,7 @@ from repro.harness.engine import (
 )
 from repro.harness.results import CampaignResult
 from repro.harness.runner import PERFORMANCE_RUNS
+from repro.telemetry import Telemetry
 from repro.machine.a64fx import a64fx
 from repro.machine.machine import Machine
 from repro.machine.thunderx2 import thunderx2
@@ -106,6 +107,11 @@ class CampaignConfig:
     resume: bool = False
     #: Performance runs per cell (the paper's ten).
     runs: int = PERFORMANCE_RUNS
+    #: Record structured tracing and metrics for the campaign (the
+    #: flight recorder; see :mod:`repro.telemetry`).  Off by default —
+    #: the instrumented code paths cost nothing when disabled.  Access
+    #: the recording through :attr:`CampaignSession.telemetry`.
+    telemetry: bool = False
 
     def with_(self, **kwargs: object) -> "CampaignConfig":
         """A copy with the given fields replaced."""
@@ -126,6 +132,9 @@ class CampaignSession:
         self.config = config
         self._handlers: list[EventHandler] = []
         self._result: "CampaignResult | None" = None
+        self._telemetry: "Telemetry | None" = (
+            Telemetry() if self.config.telemetry else None
+        )
 
     # -- events ----------------------------------------------------------
 
@@ -159,6 +168,7 @@ class CampaignSession:
             cache_dir=cfg.cache_dir,
             resume=cfg.resume,
             runs=cfg.runs,
+            telemetry=self._telemetry,
         )
 
     def cells(self) -> tuple[CellTask, ...]:
@@ -176,6 +186,22 @@ class CampaignSession:
         if self._result is None:
             raise HarnessError("session has not been run yet; call session.run()")
         return self._result
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The session's flight recorder (spans + metrics).
+
+        Populated during :meth:`run`; export it with
+        :func:`repro.telemetry.write_chrome_trace` or summarize it with
+        :func:`repro.telemetry.flight_report`.  Raises when the session
+        was configured without ``telemetry=True``.
+        """
+        if self._telemetry is None:
+            raise HarnessError(
+                "telemetry is not enabled for this session; pass "
+                "CampaignConfig(telemetry=True) (or CampaignSession(telemetry=True))"
+            )
+        return self._telemetry
 
     def save(self, path: "str | Path") -> None:
         """Persist the last result as schema-v2 JSON."""

@@ -6,6 +6,12 @@ Usage::
         [--workers N]                             # parallel cell execution
         [--cache-dir DIR]                         # persistent kernel/cell cache
         [--resume]                                # continue an interrupted run
+        [--trace trace.json]                      # Chrome trace_event flight record
+        [--span-log spans.jsonl]                  # flat JSONL span log
+        [--metrics]                               # print the flight-recorder summary
+        [--suite S ...] [--benchmark B ...]       # scope to a sub-campaign
+    a64fx-campaign trace summarize trace.json     # flight-recorder report of a trace
+    a64fx-campaign trace validate trace.json      # shape-check a Chrome trace file
     a64fx-campaign figure1                        # Xeon-vs-A64FX PolyBench
     a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
     a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
@@ -15,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import (
@@ -55,20 +62,65 @@ def _progress_printer(total_hint: int = 0):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    session = CampaignSession(
-        CampaignConfig(
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            resume=args.resume,
-        )
+    telemetry_on = bool(args.trace or args.span_log or args.metrics)
+    config = CampaignConfig(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        suites=tuple(args.suite) if args.suite else None,
+        benchmarks=tuple(args.benchmark) if args.benchmark else None,
+        variants=tuple(args.variant) if args.variant else CampaignConfig.variants,
+        telemetry=telemetry_on,
     )
+    session = CampaignSession(config)
     session.subscribe(_progress_printer())
     result = session.run()
     if args.out:
         result.save(args.out)
         print(f"saved {len(result.records)} records to {args.out}")
-    else:
+    elif not args.metrics:
         print(result.to_json())
+    if telemetry_on:
+        from repro import telemetry
+
+        if args.trace:
+            telemetry.write_chrome_trace(args.trace, session.telemetry)
+            print(f"Chrome trace written to {args.trace} "
+                  f"(open in chrome://tracing or https://ui.perfetto.dev)",
+                  file=sys.stderr)
+        if args.span_log:
+            telemetry.write_jsonl(args.span_log, session.telemetry)
+            print(f"span log written to {args.span_log}", file=sys.stderr)
+        if args.metrics:
+            report = telemetry.flight_report(
+                session.telemetry.spans, session.telemetry.metrics.snapshot()
+            )
+            print(telemetry.render_flight_report(report))
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry import flight_report_from_file, render_flight_report
+
+    print(render_flight_report(flight_report_from_file(args.path)))
+    return 0
+
+
+def _cmd_trace_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    with open(args.path) as fh:
+        doc = json.load(fh)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(f"{args.path}: INVALID ({len(problems)} problem(s))")
+        return 1
+    spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+    print(f"{args.path}: valid Chrome trace_event file ({spans} spans)")
     return 0
 
 
@@ -257,7 +309,47 @@ def main(argv: "list[str] | None" = None) -> int:
         "--resume", action="store_true",
         help="resume an interrupted campaign from the journal in --cache-dir",
     )
+    p_run.add_argument(
+        "--trace", metavar="PATH",
+        help="record the campaign flight recorder and write a Chrome "
+             "trace_event JSON here (open in chrome://tracing / Perfetto)",
+    )
+    p_run.add_argument(
+        "--span-log", metavar="PATH",
+        help="also write the raw span stream as JSONL here",
+    )
+    p_run.add_argument(
+        "--metrics", action="store_true",
+        help="print the flight-recorder summary (cache hit rate, parallel "
+             "efficiency, slowest cells) after the run",
+    )
+    p_run.add_argument(
+        "--suite", action="append", metavar="NAME",
+        help="limit the campaign to this suite (repeatable)",
+    )
+    p_run.add_argument(
+        "--benchmark", action="append", metavar="FULL_NAME",
+        help="limit the campaign to this benchmark, e.g. polybench.2mm "
+             "(repeatable; overrides --suite)",
+    )
+    p_run.add_argument(
+        "--variant", action="append", metavar="NAME",
+        help="limit the campaign to this compiler variant (repeatable)",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="inspect recorded campaign traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summ = trace_sub.add_parser(
+        "summarize", help="flight-recorder report from a trace file"
+    )
+    p_summ.add_argument("path", help="Chrome trace JSON or JSONL span log")
+    p_summ.set_defaults(func=_cmd_trace_summarize)
+    p_val = trace_sub.add_parser(
+        "validate", help="shape-check a Chrome trace_event JSON file"
+    )
+    p_val.add_argument("path", help="Chrome trace JSON file")
+    p_val.set_defaults(func=_cmd_trace_validate)
 
     p_f1 = sub.add_parser("figure1", help="regenerate Figure 1")
     p_f1.add_argument("--svg", help="also export an SVG chart here")
@@ -294,7 +386,13 @@ def main(argv: "list[str] | None" = None) -> int:
     p_list.set_defaults(func=_cmd_list)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        # Detach stdout so the interpreter's shutdown flush cannot raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

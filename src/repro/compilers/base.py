@@ -18,8 +18,11 @@ paper's Figure 2 reports.
 from __future__ import annotations
 
 import enum
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
+
+from repro import telemetry
 
 from repro.ir.dependence import Dependence, nest_dependences
 from repro.ir.kernel import Kernel
@@ -195,7 +198,27 @@ class Compiler(ABC):
         machine: Machine,
         flags: CompilerFlags | None = None,
     ) -> CompiledKernel:
-        """Run the pipeline over every nest of ``kernel``."""
+        """Run the pipeline over every nest of ``kernel``.
+
+        Traced as a ``compile`` span (nested under the cell's
+        ``explore``/``simulate`` spans when telemetry is active) with a
+        compile-time histogram and success/failure counters.
+        """
+        t0 = time.monotonic()
+        with telemetry.span("compile", kernel=kernel.name, variant=self.variant):
+            compiled = self._compile(kernel, machine, flags)
+        telemetry.observe("compile.time_s", time.monotonic() - t0)
+        telemetry.count("compile.count")
+        if compiled.status is not CompileStatus.OK:
+            telemetry.count("compile.failed")
+        return compiled
+
+    def _compile(
+        self,
+        kernel: Kernel,
+        machine: Machine,
+        flags: CompilerFlags | None,
+    ) -> CompiledKernel:
         flags = flags if flags is not None else self.default_flags()
         diagnostics: list[str] = []
 

@@ -31,6 +31,12 @@ Persistence has three layers, all rooted at ``cache_dir``:
 
 Progress is reported through typed :class:`CampaignEvent` s instead of
 the old positional ``progress(benchmark, variant)`` callback.
+
+Observability: with a :class:`repro.telemetry.Telemetry` attached the
+engine records a root ``campaign`` span, a ``cell`` span per executed
+cell (in-worker for parallel runs, merged back across the process-pool
+boundary), cache hit/miss counters, and a cell-latency histogram; see
+``docs/TELEMETRY.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import math
 import os
 import tempfile
@@ -69,6 +76,10 @@ from repro.perf.cost import (
 )
 from repro.suites.base import Benchmark, Suite
 from repro.suites.registry import all_suites
+from repro import telemetry
+from repro.telemetry import Telemetry, telemetry_block
+
+_LOG = logging.getLogger(__name__)
 
 #: Bumped when the engine's journal/cell formats change incompatibly.
 ENGINE_VERSION = 1
@@ -114,10 +125,15 @@ class CampaignEvent:
     message: str = ""
 
     def __str__(self) -> str:
+        # Stable-width prefix (counter, elapsed, kind) so a streamed
+        # event log lines up column-for-column in a terminal; the cache
+        # status is part of the line, not buried in the repr.
         cell = f" {self.benchmark}/{self.variant}" if self.benchmark else ""
-        eta = f" eta={self.eta_s:.1f}s" if self.eta_s is not None else ""
+        cache = " [cached]" if self.from_cache else ""
+        eta = f" eta={self.eta_s:7.1f}s" if self.eta_s is not None else ""
         return (
-            f"[{self.completed}/{self.total}] {self.kind.value}{cell}{eta}"
+            f"[{self.completed:4d}/{self.total:4d}] {self.elapsed_s:8.2f}s "
+            f"{self.kind.value:<17s}{cell}{cache}{eta}"
             f"{' ' + self.message if self.message else ''}"
         )
 
@@ -223,7 +239,14 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 
 class CellCache:
-    """On-disk store of finished cell records, keyed by content hash."""
+    """On-disk store of finished cell records, keyed by content hash.
+
+    Lookups record ``cell_cache.hit`` / ``cell_cache.miss`` metrics on
+    the active telemetry; a corrupt or truncated entry (e.g. from a
+    machine crash mid-``os.replace``, or disk rot) is treated as a miss:
+    it is deleted, logged, and counted as ``cell_cache.corrupt`` — never
+    raised to the campaign.
+    """
 
     def __init__(self, root: "str | Path") -> None:
         self.root = Path(root)
@@ -233,15 +256,31 @@ class CellCache:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> RunRecord | None:
+        path = self._path(key)
         try:
-            doc = json.loads(self._path(key).read_text())
-            return record_from_dict(doc["record"])
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
+            telemetry.count("cell_cache.miss")
             return None
+        try:
+            doc = json.loads(text)
+            record = record_from_dict(doc["record"])
+        except (ValueError, KeyError, TypeError, HarnessError):
+            telemetry.count("cell_cache.miss")
+            telemetry.count("cell_cache.corrupt")
+            _LOG.warning("corrupt cell-cache entry %s; dropping it", path.name)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        telemetry.count("cell_cache.hit")
+        return record
 
     def put(self, key: str, record: RunRecord) -> None:
         doc = {"key": key, "record": record_to_dict(record)}
         _atomic_write_text(self._path(key), json.dumps(doc))
+        telemetry.count("cell_cache.put")
 
 
 # -- journal -------------------------------------------------------------
@@ -338,20 +377,34 @@ class CampaignJournal:
 _WORKER_CACHES: dict[tuple[str, str], CompilationCache] = {}
 
 
-def _run_chunk(payload: tuple) -> list[tuple[int, RunRecord]]:
-    """Execute one chunk of cell tasks inside a worker process."""
-    machine, flags, runs, kernel_dir, items = payload
+def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, RunRecord]], dict | None]":
+    """Execute one chunk of cell tasks inside a worker process.
+
+    With telemetry enabled, the chunk records its cell spans and
+    metrics into a fresh in-worker :class:`Telemetry` and ships its
+    snapshot back alongside the records; the parent merges it into the
+    campaign trace (the snapshot is plain JSON-able data, so it crosses
+    the ``ProcessPoolExecutor`` pickle boundary).
+    """
+    machine, flags, runs, kernel_dir, telemetry_on, items = payload
     cache_key = (machine.name, str(kernel_dir))
     cache = _WORKER_CACHES.get(cache_key)
     if cache is None:
         cache = CompilationCache(persist_dir=kernel_dir)
         _WORKER_CACHES[cache_key] = cache
+    tel = Telemetry() if telemetry_on else None
     out: list[tuple[int, RunRecord]] = []
-    for index, bench, variant in items:
-        out.append(
-            (index, run_benchmark(bench, variant, machine, flags=flags, cache=cache, runs=runs))
-        )
-    return out
+    with telemetry.active(tel):
+        for index, bench, variant in items:
+            t0 = time.monotonic()
+            with telemetry.span("cell", benchmark=bench.full_name,
+                                variant=variant, index=index):
+                record = run_benchmark(
+                    bench, variant, machine, flags=flags, cache=cache, runs=runs
+                )
+            telemetry.observe("engine.cell_s", time.monotonic() - t0)
+            out.append((index, record))
+    return out, (tel.snapshot() if tel is not None else None)
 
 
 # -- the engine ----------------------------------------------------------
@@ -388,6 +441,15 @@ class CampaignEngine:
         the remainder.  Ignored (fresh run) when no journal exists;
         raises :class:`HarnessError` when the journal belongs to a
         different campaign.
+    ``telemetry``
+        A :class:`repro.telemetry.Telemetry` to record the campaign's
+        trace and metrics into (``None``, the default, falls back to
+        the module-level active telemetry, and records nothing when
+        that is also unset).  The engine opens a root ``campaign`` span,
+        one ``cell`` span per executed cell (recorded in-worker for
+        parallel runs and merged back), and fills
+        :attr:`CampaignResult.telemetry` with the flight-recorder
+        summary.
     """
 
     def __init__(
@@ -402,6 +464,7 @@ class CampaignEngine:
         cache_dir: "str | Path | None" = None,
         resume: bool = False,
         runs: int = PERFORMANCE_RUNS,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if workers < 1:
             raise HarnessError(f"workers must be >= 1, got {workers}")
@@ -416,6 +479,7 @@ class CampaignEngine:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.resume = resume
         self.runs = runs
+        self.telemetry = telemetry
 
     # -- campaign shape --------------------------------------------------
 
@@ -448,7 +512,33 @@ class CampaignEngine:
     # -- execution -------------------------------------------------------
 
     def run(self, emit: EventHandler | None = None) -> CampaignResult:
-        """Execute the campaign; returns the assembled result."""
+        """Execute the campaign; returns the assembled result.
+
+        When telemetry is enabled (engine kwarg, or a module-level
+        active telemetry), the run is wrapped in a root ``campaign``
+        span and the result gains a flight-recorder ``telemetry`` block.
+        """
+        tel = self.telemetry if self.telemetry is not None else telemetry.current()
+        if tel is None:
+            return self._execute(emit, None, None)
+        with telemetry.active(tel):
+            tel.set_gauge("engine.workers", self.workers)
+            with tel.span(
+                "campaign",
+                machine=self.machine.name,
+                workers=self.workers,
+                cells=len(self.benchmarks) * len(self.variants),
+            ) as root:
+                result = self._execute(emit, tel, root)
+        result.telemetry = telemetry_block(tel)
+        return result
+
+    def _execute(
+        self,
+        emit: EventHandler | None,
+        tel: "Telemetry | None",
+        root,
+    ) -> CampaignResult:
         t0 = time.monotonic()
         tasks = self.cells()
         total = len(tasks)
@@ -512,6 +602,7 @@ class CampaignEngine:
         def record_finished(task: CellTask, record: RunRecord) -> None:
             done[task.name] = record
             stats["executed"] += 1
+            telemetry.count("engine.cells_executed")
             if cell_cache is not None:
                 cell_cache.put(cell_keys[task.index], record)
             if journal is not None:
@@ -523,7 +614,8 @@ class CampaignEngine:
             if self.workers == 1 or len(pending) <= 1:
                 self._run_serial(pending, kernel_dir, record_finished, send)
             else:
-                self._run_parallel(pending, kernel_dir, record_finished, send)
+                self._run_parallel(pending, kernel_dir, record_finished, send,
+                                   tel, root)
         finally:
             if journal is not None and len(done) < total:
                 journal.close()  # keep the partial journal for --resume
@@ -570,6 +662,7 @@ class CampaignEngine:
                 continue
             done[name] = record
             stats["resumed"] += 1
+            telemetry.count("engine.resumed")
             send(EventKind.CACHE_HIT, task, record=record, from_cache=True,
                  message="resumed from journal")
 
@@ -577,10 +670,14 @@ class CampaignEngine:
         cache = CompilationCache(persist_dir=kernel_dir)
         for task in pending:
             send(EventKind.CELL_STARTED, task)
-            record = run_benchmark(
-                task.benchmark, task.variant, self.machine,
-                flags=self.flags, cache=cache, runs=self.runs,
-            )
+            t0 = time.monotonic()
+            with telemetry.span("cell", benchmark=task.benchmark.full_name,
+                                variant=task.variant, index=task.index):
+                record = run_benchmark(
+                    task.benchmark, task.variant, self.machine,
+                    flags=self.flags, cache=cache, runs=self.runs,
+                )
+            telemetry.observe("engine.cell_s", time.monotonic() - t0)
             record_finished(task, record)
 
     def _chunk(self, pending: list[CellTask]) -> list[list[CellTask]]:
@@ -597,7 +694,8 @@ class CampaignEngine:
             chunks.append([t for g in group_list[i : i + per_chunk] for t in g])
         return chunks
 
-    def _run_parallel(self, pending, kernel_dir, record_finished, send) -> None:
+    def _run_parallel(self, pending, kernel_dir, record_finished, send,
+                      tel=None, root=None) -> None:
         chunks = self._chunk(pending)
         by_index = {t.index: t for t in pending}
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
@@ -610,11 +708,16 @@ class CampaignEngine:
                     self.flags,
                     self.runs,
                     str(kernel_dir) if kernel_dir else None,
+                    tel is not None,
                     [(t.index, t.benchmark, t.variant) for t in chunk],
                 )
                 futures.add(pool.submit(_run_chunk, payload))
             while futures:
                 finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    for index, record in future.result():
+                    records, snapshot = future.result()
+                    if snapshot is not None and tel is not None:
+                        # Worker spans nest under the campaign root.
+                        tel.merge(snapshot, parent=root)
+                    for index, record in records:
                         record_finished(by_index[index], record)

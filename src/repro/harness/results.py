@@ -26,7 +26,9 @@ STATUS_RUNTIME_ERROR = "runtime error"
 #: adds the top-level ``schema`` marker and an ``engine`` metadata block
 #: (workers, cache statistics, provenance) and omits empty optional
 #: record fields; version 1 (the original unversioned format) is still
-#: accepted by :meth:`CampaignResult.load`.
+#: accepted by :meth:`CampaignResult.load`.  Version 2 files may also
+#: carry an optional top-level ``telemetry`` flight-recorder block —
+#: files without it load unchanged.
 RESULT_SCHEMA_VERSION = 2
 
 
@@ -123,6 +125,13 @@ class CampaignResult:
     #: elapsed wall-clock, engine version.  Empty for v1 files and
     #: results assembled by hand.
     meta: dict = field(default_factory=dict)
+    #: Optional flight-recorder block (schema v2): the campaign's
+    #: metrics snapshot and derived summary (cache hit rate, parallel
+    #: efficiency, slowest cells) as written by
+    #: :func:`repro.telemetry.telemetry_block`.  Empty when the
+    #: campaign ran without telemetry; files without the block still
+    #: load.
+    telemetry: dict = field(default_factory=dict)
 
     def add(self, record: RunRecord) -> None:
         key = (record.benchmark, record.variant)
@@ -171,6 +180,8 @@ class CampaignResult:
             "engine": dict(self.meta),
             "records": [record_to_dict(r) for r in self.records.values()],
         }
+        if self.telemetry:
+            payload["telemetry"] = dict(self.telemetry)
         return json.dumps(payload, indent=2)
 
     @classmethod
@@ -184,7 +195,12 @@ class CampaignResult:
                 f"the repro package to load this file"
             )
         meta = payload.get("engine", {}) if schema >= 2 else {}
-        result = cls(machine=payload["machine"], meta=dict(meta))
+        telemetry = payload.get("telemetry", {}) if schema >= 2 else {}
+        result = cls(
+            machine=payload["machine"],
+            meta=dict(meta),
+            telemetry=dict(telemetry),
+        )
         for raw in payload["records"]:
             result.add(record_from_dict(raw))
         return result

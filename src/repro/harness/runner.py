@@ -1,9 +1,17 @@
 """Performance runs (Section 2.4): ten repetitions at the explored
 placement, fastest reported; failure statuses recorded as Figure 2
-cells."""
+cells.
+
+When telemetry is active, each cell's two phases are traced as
+``explore`` and ``simulate`` sub-spans (nesting under the engine's
+``cell`` span) with per-phase latency histograms and run counters.
+"""
 
 from __future__ import annotations
 
+import time
+
+from repro import telemetry
 from repro.compilers.base import CompileStatus
 from repro.compilers.flags import CompilerFlags
 from repro.harness.exploration import explore
@@ -38,11 +46,16 @@ def run_benchmark(
 ) -> RunRecord:
     """Full measurement of one (benchmark, compiler) cell."""
     cache = cache if cache is not None else CompilationCache()
-    placement, exploration_log, model = explore(
-        bench, variant, machine, flags=flags, cache=cache
-    )
+    telemetry.count("runner.cells")
+    t0 = time.monotonic()
+    with telemetry.span("explore", benchmark=bench.full_name, variant=variant):
+        placement, exploration_log, model = explore(
+            bench, variant, machine, flags=flags, cache=cache
+        )
+    telemetry.observe("runner.explore_s", time.monotonic() - t0)
 
     if model.status is not CompileStatus.OK:
+        telemetry.count("runner.failed_cells")
         return RunRecord(
             benchmark=bench.full_name,
             suite=bench.suite,
@@ -57,16 +70,21 @@ def run_benchmark(
 
     # Re-evaluate at the chosen placement (the exploration may have kept
     # a different model instance) and add per-run noise.
-    final = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
-    times = tuple(
-        timer_resolution_floor(
-            final.time_s
-            * noise_multiplier(
-                bench.noise_cv, "perf", bench.full_name, variant, str(placement), i
+    t0 = time.monotonic()
+    with telemetry.span("simulate", benchmark=bench.full_name, variant=variant,
+                        runs=runs, placement=f"{placement.ranks}x{placement.threads}"):
+        final = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
+        times = tuple(
+            timer_resolution_floor(
+                final.time_s
+                * noise_multiplier(
+                    bench.noise_cv, "perf", bench.full_name, variant, str(placement), i
+                )
             )
+            for i in range(runs)
         )
-        for i in range(runs)
-    )
+    telemetry.observe("runner.simulate_s", time.monotonic() - t0)
+    telemetry.count("runner.perf_runs", runs)
     return RunRecord(
         benchmark=bench.full_name,
         suite=bench.suite,

@@ -17,6 +17,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import telemetry
 from repro.compilers.base import CompiledKernel, CompileStatus
 from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import compile_kernel
@@ -147,6 +148,7 @@ class CompilationCache:
         hit = self._cache.get(key)
         if hit is not None:
             self.memory_hits += 1
+            telemetry.count("kernel_cache.memory_hit")
             return hit
         if self.persist_dir is not None:
             stable = self._stable_keys.get(key)
@@ -158,12 +160,14 @@ class CompilationCache:
                 with open(path, "rb") as fh:
                     compiled = pickle.load(fh)
                 self.disk_hits += 1
+                telemetry.count("kernel_cache.disk_hit")
                 self._cache[key] = compiled
                 return compiled
             except (OSError, pickle.PickleError, EOFError, AttributeError):
                 pass  # missing or unreadable entry: recompile below
         compiled = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
         self.compile_count += 1
+        telemetry.count("kernel_cache.compile")
         self._cache[key] = compiled
         if self.persist_dir is not None:
             self._persist(self._stable_keys[key] if key in self._stable_keys

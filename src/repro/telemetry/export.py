@@ -1,0 +1,215 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and flat JSONL span logs.
+
+The Chrome format (one ``"X"`` complete event per span, microsecond
+timestamps) loads directly in ``chrome://tracing`` and
+https://ui.perfetto.dev — drop the file onto the page and the campaign
+renders as one track per worker process with cells, compiles, and
+simulate phases nested by time containment.  The campaign's metrics
+snapshot rides along in ``otherData.metrics`` so a trace file is a
+self-contained flight record.
+
+:func:`load_trace` reads either format back into
+(:class:`~repro.telemetry.spans.Span` list, metrics snapshot), which is
+what ``a64fx-campaign trace summarize`` builds its report from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import AnalysisError
+from repro.telemetry.spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+#: ``otherData.generator`` marker written into our trace files.
+TRACE_GENERATOR = "repro.telemetry"
+
+
+def chrome_trace(spans: "tuple[Span, ...] | list[Span]",
+                 metrics: "dict | None" = None) -> dict:
+    """Render spans as a Chrome ``trace_event`` document (JSON-able dict).
+
+    Timestamps are shifted so the earliest span starts at t=0; workers
+    keep their real pids, and each pid gets a ``process_name`` metadata
+    event so Perfetto labels the tracks.
+    """
+    origin = min((s.start_s for s in spans), default=0.0)
+    events: list[dict] = []
+    seen_pids: dict[int, bool] = {}
+    root_pid = next((s.pid for s in spans if s.parent_id is None), None)
+    for span in spans:
+        if span.end_s is None:
+            continue
+        if span.pid not in seen_pids:
+            seen_pids[span.pid] = True
+            label = "campaign" if span.pid == root_pid else f"worker-{span.pid}"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        events.append(
+            {
+                "name": span.name,
+                "cat": "campaign",
+                "ph": "X",
+                "ts": round((span.start_s - origin) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": {**span.attrs, "span_id": span.span_id,
+                         **({"parent_id": span.parent_id} if span.parent_id else {})},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": TRACE_GENERATOR,
+            "metrics": metrics or {},
+        },
+    }
+
+
+def write_chrome_trace(path: "str | Path", telemetry: "Telemetry") -> Path:
+    """Write one telemetry bundle as a Chrome trace file; returns path."""
+    path = Path(path)
+    doc = chrome_trace(telemetry.spans, telemetry.metrics.snapshot())
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def validate_chrome_trace(doc: object) -> list[str]:
+    """Shape-check a Chrome ``trace_event`` document.
+
+    Returns a list of problems (empty = valid).  Used by the CI trace
+    job and ``a64fx-campaign trace validate``.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        if ph not in ("X", "M", "B", "E", "I", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: 'pid'/'tid' must be integers")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(f"{where}: {key!r} must be a number >= 0")
+    return problems
+
+
+# -- JSONL span log -------------------------------------------------------
+
+
+def spans_to_jsonl(spans: "tuple[Span, ...] | list[Span]",
+                   metrics: "dict | None" = None) -> str:
+    """One JSON object per line: spans, then an optional metrics record."""
+    lines = [json.dumps({"kind": "span", **s.to_dict()}) for s in spans]
+    if metrics is not None:
+        lines.append(json.dumps({"kind": "metrics", "metrics": metrics}))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path: "str | Path", telemetry: "Telemetry") -> Path:
+    path = Path(path)
+    path.write_text(spans_to_jsonl(telemetry.spans, telemetry.metrics.snapshot()))
+    return path
+
+
+# -- loading (both formats) -----------------------------------------------
+
+
+def _spans_from_chrome(doc: dict) -> tuple[list[Span], dict]:
+    spans: list[Span] = []
+    for ev in doc.get("traceEvents", ()):
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        span_id = str(args.pop("span_id", ""))
+        parent_id = args.pop("parent_id", None)
+        start = float(ev.get("ts", 0)) / 1e6
+        spans.append(
+            Span(
+                name=ev.get("name", "?"),
+                start_s=start,
+                end_s=start + float(ev.get("dur", 0)) / 1e6,
+                pid=int(ev.get("pid", 0)),
+                tid=int(ev.get("tid", 0)),
+                span_id=span_id,
+                parent_id=parent_id if parent_id else None,
+                attrs=args,
+            )
+        )
+    other = doc.get("otherData", {})
+    metrics = other.get("metrics", {}) if isinstance(other, dict) else {}
+    return spans, metrics
+
+
+def _spans_from_jsonl(text: str) -> tuple[list[Span], dict]:
+    spans: list[Span] = []
+    metrics: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue  # truncated trailing line
+        if doc.get("kind") == "metrics":
+            metrics = doc.get("metrics", {})
+        elif doc.get("kind") == "span" or "start_s" in doc:
+            spans.append(Span.from_dict(doc))
+    return spans, metrics
+
+
+def load_trace(path: "str | Path") -> tuple[list[Span], dict]:
+    """Read a trace file (Chrome JSON or JSONL) back into spans + metrics."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read trace file {path}: {exc}") from None
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            # Not one JSON document; fall through to JSONL parsing.
+            doc = None
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return _spans_from_chrome(doc)
+        if isinstance(doc, dict) and "spans" in doc:
+            # A raw Telemetry.snapshot() dump.
+            return ([Span.from_dict(d) for d in doc.get("spans", ())],
+                    doc.get("metrics", {}))
+    spans, metrics = _spans_from_jsonl(text)
+    if not spans:
+        raise AnalysisError(
+            f"{path} contains no spans (expected a Chrome trace_event JSON "
+            f"or a JSONL span log written by repro.telemetry)"
+        )
+    return spans, metrics

@@ -1,0 +1,158 @@
+"""Campaign metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Snapshots are plain JSON-able dicts, and two snapshots merge by
+addition (counters, histogram buckets) or last-write (gauges) — that is
+what lets per-worker registries survive the ``ProcessPoolExecutor``
+boundary and collapse into the campaign-level registry.
+
+Instruments are deliberately minimal (no labels, no time series): the
+campaign engine needs "how many", "how big right now", and "how were
+the latencies distributed", nothing more.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+#: Default latency buckets (seconds): exponential 100us .. ~100s.
+#: Chosen to straddle both single-kernel compiles (sub-millisecond in
+#: the model) and full-cell runtimes.
+TIME_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (workers configured, queue depth, ...)."""
+
+    name: str
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus +Inf overflow.
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``
+    exclusive of earlier buckets; ``counts[-1]`` is the overflow.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = TIME_BUCKETS_S
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (create-on-first-use) -------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, buckets)
+        return h
+
+    # -- convenience -----------------------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float,
+                buckets: tuple[float, ...] = TIME_BUCKETS_S) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    def counter_value(self, name: str, default: float = 0) -> float:
+        c = self.counters.get(name)
+        return c.value if c is not None else default
+
+    # -- snapshot / merge ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, JSON-serializable and mergeable."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "count": h.count,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram bucket counts add; gauges take the
+        incoming value (workers report them last-write-wins).
+        Histograms with mismatched bucket bounds fold into totals only.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, doc in snapshot.get("histograms", {}).items():
+            h = self.histogram(name, tuple(doc.get("buckets", TIME_BUCKETS_S)))
+            counts = doc.get("counts", [])
+            if len(counts) == len(h.counts):
+                for i, n in enumerate(counts):
+                    h.counts[i] += n
+            h.total += doc.get("total", 0.0)
+            h.count += doc.get("count", 0)

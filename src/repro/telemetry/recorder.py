@@ -1,0 +1,219 @@
+"""The campaign flight recorder: turn raw telemetry into answers.
+
+Given a campaign's spans and metrics snapshot, :func:`flight_report`
+computes the questions a campaign operator actually asks — which cells
+were slow, did the cache help, were the workers busy — and
+:func:`render_flight_report` prints them as a plain-text table.
+
+Definitions:
+
+* **parallel efficiency** = cell busy-time / (workers x campaign
+  wall-time).  1.0 means every worker ran cells the whole campaign;
+  a warm-cache campaign (all hits, no cell spans) reports 0.
+* **cache hit rate** = cell-cache hits / (hits + misses), from the
+  ``cell_cache.*`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.spans import Span
+
+#: Span names (see docs/TELEMETRY.md for the span model).
+SPAN_CAMPAIGN = "campaign"
+SPAN_CELL = "cell"
+
+#: Slowest-cell rows kept in a report.
+SLOWEST_CELLS = 8
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate over all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """One cell span, flattened for the slowest-cells table."""
+
+    benchmark: str
+    variant: str
+    duration_s: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class FlightReport:
+    """Everything the flight recorder derives from one campaign."""
+
+    wall_s: float
+    workers: int
+    cells: int
+    busy_s: float
+    #: ``None`` when the campaign recorded no cell spans (warm cache).
+    parallel_efficiency: "float | None"
+    #: ``None`` when no cell-cache lookups happened (no cache_dir).
+    cache_hit_rate: "float | None"
+    slowest_cells: tuple[CellTiming, ...]
+    phases: tuple[PhaseStat, ...]
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cache_lookups(self) -> float:
+        return (self.counters.get("cell_cache.hit", 0)
+                + self.counters.get("cell_cache.miss", 0))
+
+
+def _cell_timing(span: Span) -> CellTiming:
+    return CellTiming(
+        benchmark=str(span.attrs.get("benchmark", "?")),
+        variant=str(span.attrs.get("variant", "?")),
+        duration_s=span.duration_s,
+        pid=span.pid,
+    )
+
+
+def flight_report(spans: "tuple[Span, ...] | list[Span]",
+                  metrics: "dict | None" = None) -> FlightReport:
+    """Build the flight-recorder summary from spans + a metrics snapshot."""
+    metrics = metrics or {}
+    counters = dict(metrics.get("counters", {}))
+    gauges = metrics.get("gauges", {})
+
+    campaign = [s for s in spans if s.name == SPAN_CAMPAIGN]
+    cells = [s for s in spans if s.name == SPAN_CELL]
+
+    if campaign:
+        wall_s = max(s.duration_s for s in campaign)
+        workers = int(campaign[-1].attrs.get("workers", gauges.get("engine.workers", 1)))
+    else:
+        starts = [s.start_s for s in spans]
+        ends = [s.end_s for s in spans if s.end_s is not None]
+        wall_s = (max(ends) - min(starts)) if starts and ends else 0.0
+        workers = int(gauges.get("engine.workers", 1))
+    workers = max(workers, 1)
+
+    busy_s = sum(s.duration_s for s in cells)
+    efficiency = None
+    if cells and wall_s > 0:
+        efficiency = busy_s / (workers * wall_s)
+
+    hits = counters.get("cell_cache.hit", 0)
+    misses = counters.get("cell_cache.miss", 0)
+    hit_rate = hits / (hits + misses) if (hits + misses) > 0 else None
+
+    slowest = tuple(
+        _cell_timing(s)
+        for s in sorted(cells, key=lambda s: s.duration_s, reverse=True)[:SLOWEST_CELLS]
+    )
+
+    by_name: dict[str, list[Span]] = {}
+    for s in spans:
+        by_name.setdefault(s.name, []).append(s)
+    phases = tuple(
+        PhaseStat(
+            name=name,
+            count=len(group),
+            total_s=sum(s.duration_s for s in group),
+            max_s=max(s.duration_s for s in group),
+        )
+        for name, group in sorted(by_name.items())
+    )
+
+    return FlightReport(
+        wall_s=wall_s,
+        workers=workers,
+        cells=len(cells),
+        busy_s=busy_s,
+        parallel_efficiency=efficiency,
+        cache_hit_rate=hit_rate,
+        slowest_cells=slowest,
+        phases=phases,
+        counters=counters,
+    )
+
+
+def flight_report_from_file(path: "str | Path") -> FlightReport:
+    """Flight report straight from a trace file (Chrome JSON or JSONL)."""
+    from repro.telemetry.export import load_trace
+
+    spans, metrics = load_trace(path)
+    return flight_report(spans, metrics)
+
+
+def telemetry_block(telemetry: object) -> dict:
+    """The ``CampaignResult.telemetry`` block for one finished campaign.
+
+    Small by design: the metrics snapshot plus the derived summary, not
+    the raw spans (those belong in a trace file).  ``telemetry`` is a
+    :class:`repro.telemetry.Telemetry` (duck-typed to avoid an import
+    cycle).
+    """
+    metrics = telemetry.metrics.snapshot()  # type: ignore[attr-defined]
+    report = flight_report(telemetry.spans, metrics)  # type: ignore[attr-defined]
+    return {
+        "metrics": metrics,
+        "summary": {
+            "wall_s": round(report.wall_s, 6),
+            "workers": report.workers,
+            "cells_traced": report.cells,
+            "busy_s": round(report.busy_s, 6),
+            "parallel_efficiency": report.parallel_efficiency,
+            "cache_hit_rate": report.cache_hit_rate,
+            "slowest_cells": [
+                {
+                    "benchmark": c.benchmark,
+                    "variant": c.variant,
+                    "duration_s": round(c.duration_s, 6),
+                }
+                for c in report.slowest_cells
+            ],
+        },
+    }
+
+
+def _pct(value: "float | None") -> str:
+    return f"{value * 100:5.1f}%" if value is not None else "  n/a"
+
+
+def render_flight_report(report: FlightReport) -> str:
+    """Plain-text campaign summary table (the ``trace summarize`` output)."""
+    lines = [
+        "campaign flight recorder",
+        "========================",
+        f"wall-time            {report.wall_s:10.3f} s",
+        f"workers              {report.workers:10d}",
+        f"cells traced         {report.cells:10d}",
+        f"cell busy-time       {report.busy_s:10.3f} s",
+        f"parallel efficiency  {_pct(report.parallel_efficiency):>10s}",
+        f"cache hit rate       {_pct(report.cache_hit_rate):>10s}"
+        + (f"  ({int(report.cache_lookups)} lookups)" if report.cache_lookups else ""),
+    ]
+    if report.phases:
+        lines += ["", "phase                 count     total s      mean s       max s"]
+        for p in report.phases:
+            lines.append(
+                f"{p.name:<20s} {p.count:6d} {p.total_s:11.4f} "
+                f"{p.mean_s:11.5f} {p.max_s:11.5f}"
+            )
+    if report.slowest_cells:
+        lines += ["", "slowest cells                                  duration s   pid"]
+        for c in report.slowest_cells:
+            cell = f"{c.benchmark}/{c.variant}"
+            lines.append(f"{cell:<44s} {c.duration_s:11.4f} {c.pid:6d}")
+    if report.counters:
+        lines += ["", "counters"]
+        for name, value in sorted(report.counters.items()):
+            lines.append(f"  {name:<32s} {value:g}")
+    return "\n".join(lines)

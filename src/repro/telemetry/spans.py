@@ -1,0 +1,177 @@
+"""Span-based structured tracing.
+
+A :class:`Span` is one timed region of campaign work — a campaign, a
+cell, a compilation, a simulate phase — with monotonic start/end
+timestamps, the process and thread that ran it, a parent link, and a
+free-form attribute dict (benchmark name, compiler variant, cache
+status, ...).
+
+A :class:`Tracer` hands out spans through a context manager and keeps
+the nesting straight with a per-thread stack::
+
+    with tracer.span("cell", benchmark="polybench.2mm", variant="GNU"):
+        with tracer.span("compile", kernel="2mm"):
+            ...
+
+Timestamps come from :func:`time.monotonic`, which on Linux is
+``CLOCK_MONOTONIC`` — a *system-wide* clock, so spans recorded in
+worker processes are directly comparable with spans recorded in the
+parent and can be merged into one trace (see
+:meth:`Tracer.adopt`).  Span ids embed the recording pid, so ids from
+different workers never collide and no renumbering is needed on merge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work."""
+
+    name: str
+    #: :func:`time.monotonic` seconds (system-wide on Linux).
+    start_s: float
+    end_s: float | None = None
+    pid: int = 0
+    tid: int = 0
+    #: ``"<pid>-<seq>"`` — unique across the processes of one campaign.
+    span_id: str = ""
+    #: ``None`` for a trace root (or a worker-local root before merge).
+    parent_id: str | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach/overwrite attributes mid-span; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        doc: dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "span_id": self.span_id,
+        }
+        if self.parent_id is not None:
+            doc["parent_id"] = self.parent_id
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        return cls(
+            name=doc["name"],
+            start_s=doc["start_s"],
+            end_s=doc.get("end_s"),
+            pid=doc.get("pid", 0),
+            tid=doc.get("tid", 0),
+            span_id=doc.get("span_id", ""),
+            parent_id=doc.get("parent_id"),
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+
+#: Process-wide span-id sequence.  Shared across Tracer instances on
+#: purpose: a pool worker builds a fresh Telemetry per chunk, and a
+#: per-tracer counter would restart at 1 each time — colliding ids from
+#: the same pid once the chunks merge into one trace.
+_SEQ = itertools.count(1)
+
+
+class Tracer:
+    """Collects finished spans; tracks nesting with a per-thread stack."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def start(self, name: str, **attrs: object) -> Span:
+        """Open a span as a child of the thread's innermost open span."""
+        stack = self._stack()
+        pid = os.getpid()
+        span = Span(
+            name=name,
+            start_s=time.monotonic(),
+            pid=pid,
+            tid=threading.get_ident(),
+            span_id=f"{pid}-{next(_SEQ)}",
+            parent_id=stack[-1].span_id if stack else None,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close a span and record it (stack unwound to it if needed)."""
+        span.end_s = time.monotonic()
+        stack = self._stack()
+        while stack and stack[-1] is not span:
+            stack.pop()  # tolerate spans finished out of order
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        span = self.start(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    # -- access / merge --------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def adopt(self, spans: "list[Span] | tuple[Span, ...]",
+              parent: "Span | None" = None) -> None:
+        """Merge spans recorded elsewhere (typically a worker process).
+
+        Orphan spans (``parent_id is None``) are re-parented under
+        ``parent`` so a worker's cell spans nest below the campaign
+        root in the merged trace.
+        """
+        with self._lock:
+            for span in spans:
+                if span.parent_id is None and parent is not None:
+                    span.parent_id = parent.span_id
+                self._spans.append(span)
+
+    def drain(self) -> tuple[Span, ...]:
+        """Return all finished spans and clear the buffer."""
+        with self._lock:
+            out = tuple(self._spans)
+            self._spans.clear()
+        return out

@@ -11,15 +11,18 @@ import pytest
 from repro.compilers.flags import GNU_FLAGS, LLVM_FLAGS
 from repro.errors import HarnessError
 from repro.harness import run_campaign
+from repro import telemetry
 from repro.harness.engine import (
     CampaignEngine,
+    CampaignEvent,
     CampaignJournal,
     CellCache,
     EventKind,
     benchmark_fingerprint,
     cell_cache_key,
 )
-from repro.harness.results import RunRecord
+from repro.harness.results import CampaignResult, RunRecord
+from repro.telemetry import SPAN_CELL, Telemetry
 from repro.ir import KernelBuilder, Language, read, update
 from repro.perf.cost import (
     CompilationCache,
@@ -332,3 +335,225 @@ class TestParallelEquivalence:
             a64fx_machine, variants=("GNU", "LLVM"), benchmarks=benches, workers=1
         ).run()
         assert parallel.records == serial.records
+
+
+class TestEventFormatting:
+    """Satellite: CampaignEvent.__str__ stable widths and cache status."""
+
+    def _line(self, **kw):
+        defaults = dict(kind=EventKind.CELL_FINISHED, benchmark="micro.k01",
+                        variant="GNU", completed=3, total=44, elapsed_s=1.5)
+        defaults.update(kw)
+        return str(CampaignEvent(**defaults))
+
+    def test_prefix_width_is_stable(self):
+        short = self._line(completed=3, elapsed_s=1.5)
+        long = self._line(completed=1234, total=9999, elapsed_s=12345.67)
+        cut = len("[9999/9999] 12345.67s ")
+        assert len(short[:cut]) == len(long[:cut]) == cut
+        # Kind column is padded so the cell name starts at a fixed offset.
+        assert short[:cut].endswith("s ")
+        assert short[cut:].startswith("cell-finished")
+        assert long[cut:].startswith("cell-finished")
+        assert short.index("micro.k01") == long.index("micro.k01")
+
+    def test_cache_hit_marks_cached(self):
+        line = self._line(kind=EventKind.CACHE_HIT, from_cache=True)
+        assert "[cached]" in line
+        assert "[cached]" not in self._line()
+
+    def test_eta_and_message_render(self):
+        line = self._line(eta_s=12.3, message="runtime error")
+        assert "eta=   12.3s" in line
+        assert line.endswith("runtime error")
+
+
+class TestCellCacheCorruption:
+    """Satellite: corrupt cache entries become misses, not crashes."""
+
+    def _put(self, tmp_path):
+        cache = CellCache(tmp_path)
+        cache.put("good", RunRecord("s.b", "s", "GNU", 1, 1, (1.0,)))
+        return cache
+
+    def test_truncated_json_deleted_and_counted(self, tmp_path):
+        cache = self._put(tmp_path)
+        (tmp_path / "trunc.json").write_text('{"key": "trunc", "record": {"ben')
+        tel = Telemetry()
+        with telemetry.active(tel):
+            assert cache.get("trunc") is None
+        assert not (tmp_path / "trunc.json").exists()  # dropped
+        assert tel.metrics.counter_value("cell_cache.corrupt") == 1
+        assert tel.metrics.counter_value("cell_cache.miss") == 1
+
+    def test_valid_json_missing_runs_is_corrupt(self, tmp_path):
+        cache = self._put(tmp_path)
+        (tmp_path / "norun.json").write_text(
+            json.dumps({"key": "norun", "record": {"benchmark": "s.b"}})
+        )
+        tel = Telemetry()
+        with telemetry.active(tel):
+            assert cache.get("norun") is None
+        assert not (tmp_path / "norun.json").exists()
+        assert tel.metrics.counter_value("cell_cache.corrupt") == 1
+
+    def test_hit_miss_put_counters(self, tmp_path):
+        tel = Telemetry()
+        with telemetry.active(tel):
+            cache = self._put(tmp_path)
+            assert cache.get("good") is not None
+            assert cache.get("absent") is None
+        assert tel.metrics.counter_value("cell_cache.put") == 1
+        assert tel.metrics.counter_value("cell_cache.hit") == 1
+        assert tel.metrics.counter_value("cell_cache.miss") == 1
+        assert tel.metrics.counter_value("cell_cache.corrupt") == 0
+
+    def test_corruption_survives_into_campaign(self, a64fx_machine, tmp_path):
+        benches = micro_suite().benchmarks[:2]
+        args = dict(variants=("GNU",), benchmarks=benches, cache_dir=tmp_path)
+        CampaignEngine(a64fx_machine, **args).run()
+        entries = sorted((tmp_path / "cells").glob("*.json"))
+        assert len(entries) == 2
+        entries[0].write_text("{broken")  # disk rot on one entry
+        rerun = CampaignEngine(a64fx_machine, **args).run()
+        assert rerun.meta["cache_hits"] == 1
+        assert rerun.meta["executed"] == 1  # re-ran only the corrupt cell
+        assert len(rerun.records) == 2
+
+
+class TestJournalReplayEvents:
+    """Satellite: _replay_journal emits the documented event sequence."""
+
+    def test_resumed_cells_emit_cache_hits_in_canonical_order(
+        self, a64fx_machine, tmp_path, monkeypatch
+    ):
+        benches = micro_suite().benchmarks[:3]
+        args = dict(variants=("GNU", "LLVM"), benchmarks=benches,
+                    cache_dir=tmp_path)
+        first = CampaignEngine(a64fx_machine, **args).run()
+        # Pretend the run was interrupted: reopen the journal (drop the
+        # "finished" marker) and wipe the cell cache so only the journal
+        # can restore the cells.
+        journal_path = tmp_path / "journal.jsonl"
+        lines = journal_path.read_text().splitlines()
+        assert json.loads(lines[-1])["kind"] == "done"
+        journal_path.write_text("\n".join(lines[:-1]) + "\n")
+        for p in (tmp_path / "cells").glob("*.json"):
+            p.unlink()
+
+        events = []
+        resumed = CampaignEngine(a64fx_machine, resume=True, **args).run(
+            emit=events.append
+        )
+        assert resumed.records == first.records
+
+        kinds = [e.kind for e in events]
+        n = len(first.records)
+        assert kinds[0] == EventKind.CAMPAIGN_STARTED
+        assert kinds[1:1 + n] == [EventKind.CACHE_HIT] * n
+        assert kinds[-1] == EventKind.CAMPAIGN_FINISHED
+        replayed = events[1:1 + n]
+        assert all(e.from_cache for e in replayed)
+        assert all(e.message == "resumed from journal" for e in replayed)
+        # Replay follows the canonical (benchmark-major) cell order and
+        # keeps the completed counter monotone.
+        assert [(e.benchmark, e.variant) for e in replayed] == list(first.records)
+        assert [e.completed for e in replayed] == list(range(1, n + 1))
+        assert all(e.total == n for e in events)
+
+    def test_fresh_run_emits_no_replay_events(self, a64fx_machine, tmp_path):
+        events = []
+        CampaignEngine(
+            a64fx_machine, variants=("GNU",),
+            benchmarks=micro_suite().benchmarks[:1],
+            cache_dir=tmp_path, resume=True,
+        ).run(emit=events.append)
+        assert not any(e.message == "resumed from journal" for e in events)
+
+
+class TestTelemetryMergeAcrossWorkers:
+    """Satellite: workers=4 and workers=1 agree on every deterministic
+    metric total; only timings may differ."""
+
+    _DETERMINISTIC = (
+        "engine.cells_executed",
+        "runner.cells",
+        "runner.perf_runs",
+        "runner.failed_cells",
+    )
+
+    def _run(self, machine, workers):
+        tel = Telemetry()
+        benches = micro_suite().benchmarks[:4]
+        result = CampaignEngine(
+            machine, variants=("GNU", "LLVM"), benchmarks=benches,
+            workers=workers, telemetry=tel,
+        ).run()
+        return tel, result
+
+    def test_metric_totals_identical(self, a64fx_machine):
+        serial_tel, serial = self._run(a64fx_machine, workers=1)
+        parallel_tel, parallel = self._run(a64fx_machine, workers=4)
+        assert parallel.records == serial.records
+        for name in self._DETERMINISTIC:
+            assert parallel_tel.metrics.counter_value(name) == \
+                serial_tel.metrics.counter_value(name), name
+        # Same span population (counts per name), wherever recorded.
+        def span_counts(tel):
+            counts = {}
+            for s in tel.spans:
+                counts[s.name] = counts.get(s.name, 0) + 1
+            return counts
+        assert span_counts(parallel_tel) == span_counts(serial_tel)
+        # Histogram sample counts match too (the sampled values differ).
+        hist = "engine.cell_s"
+        assert parallel_tel.metrics.histograms[hist].count == \
+            serial_tel.metrics.histograms[hist].count
+
+    def test_parallel_spans_come_from_worker_processes(self, a64fx_machine):
+        tel, _ = self._run(a64fx_machine, workers=4)
+        pids = {s.pid for s in tel.spans}
+        assert len(pids) > 1  # campaign span + at least one worker pid
+        root = next(s for s in tel.spans if s.name == "campaign")
+        cells = [s for s in tel.spans if s.name == SPAN_CELL]
+        assert cells
+        assert all(s.parent_id == root.span_id for s in cells)
+
+
+class TestResultTelemetryBlock:
+    """CampaignResult carries (and round-trips) the flight recorder."""
+
+    def test_engine_attaches_block_when_enabled(self, a64fx_machine):
+        tel = Telemetry()
+        result = CampaignEngine(
+            a64fx_machine, variants=("GNU",),
+            benchmarks=micro_suite().benchmarks[:2], telemetry=tel,
+        ).run()
+        assert result.telemetry
+        summary = result.telemetry["summary"]
+        assert summary["cells_traced"] == 2
+        assert 0.0 < summary["parallel_efficiency"] <= 1.0
+        counters = result.telemetry["metrics"]["counters"]
+        assert counters["engine.cells_executed"] == 2
+
+    def test_disabled_by_default(self, a64fx_machine):
+        result = CampaignEngine(
+            a64fx_machine, variants=("GNU",),
+            benchmarks=micro_suite().benchmarks[:1],
+        ).run()
+        assert result.telemetry == {}
+
+    def test_round_trip_and_legacy_files(self, tmp_path):
+        result = CampaignResult(machine="A64FX")
+        result.add(RunRecord("s.b", "s", "GNU", 1, 1, (1.0,)))
+        result.telemetry = {"metrics": {"counters": {"x": 1}},
+                            "summary": {"wall_s": 2.0}}
+        path = tmp_path / "result.json"
+        result.save(path)
+        loaded = CampaignResult.load(path)
+        assert loaded.telemetry == result.telemetry
+        # A v2 file without the block (older writer) loads with {}.
+        doc = json.loads(path.read_text())
+        del doc["telemetry"]
+        path.write_text(json.dumps(doc))
+        assert CampaignResult.load(path).telemetry == {}

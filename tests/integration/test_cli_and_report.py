@@ -1,9 +1,12 @@
 """Integration tests for the CLI and the EXPERIMENTS.md generator."""
 
+import json
+
 import pytest
 
-from repro.analysis import experiments_markdown
+from repro.analysis import experiments_markdown, flight_recorder_markdown
 from repro.cli import main
+from repro.harness.results import CampaignResult
 
 
 class TestExperimentsMarkdown:
@@ -102,3 +105,67 @@ class TestKernelCommand:
         path.write_text('{"schema": 1, "name": "x"}')
         with pytest.raises(Exception):
             main(["kernel", str(path)])
+
+
+class TestCliTrace:
+    """run --trace/--metrics plus the trace summarize/validate commands."""
+
+    def _run(self, tmp_path, extra=()):
+        trace = tmp_path / "trace.json"
+        argv = [
+            "run", "--benchmark", "micro.k01", "--benchmark", "micro.k02",
+            "--variant", "GNU", "--variant", "LLVM",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace", str(trace), *extra,
+        ]
+        assert main(argv) == 0
+        return trace
+
+    def test_trace_file_validates(self, capsys, tmp_path):
+        trace = self._run(tmp_path)
+        assert trace.exists()
+        assert main(["trace", "validate", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace_event file" in out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert {"campaign", "cell", "compile", "simulate"} <= names
+
+    def test_trace_validate_rejects_junk(self, capsys, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text(json.dumps({"nope": 1}))
+        assert main(["trace", "validate", str(junk)]) == 1
+
+    def test_trace_summarize(self, capsys, tmp_path):
+        trace = self._run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign flight recorder" in out
+        assert "parallel efficiency" in out
+        assert "cache hit rate" in out
+
+    def test_metrics_prints_flight_report(self, capsys, tmp_path):
+        self._run(tmp_path, extra=["--metrics"])
+        out = capsys.readouterr().out
+        assert "campaign flight recorder" in out
+        assert "cache hit rate" in out
+        # --metrics without --out suppresses the raw result JSON dump.
+        assert '"records"' not in out
+
+    def test_span_log_jsonl(self, capsys, tmp_path):
+        log = tmp_path / "spans.jsonl"
+        self._run(tmp_path, extra=["--span-log", str(log)])
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert lines[-1]["kind"] == "metrics"
+        assert any(l.get("name") == "campaign" for l in lines)
+
+    def test_saved_result_renders_flight_recorder(self, capsys, tmp_path):
+        out_path = tmp_path / "result.json"
+        self._run(tmp_path, extra=["--out", str(out_path)])
+        result = CampaignResult.load(out_path)
+        section = flight_recorder_markdown(result)
+        assert "## Campaign flight recorder" in section
+        assert "parallel efficiency" in section
+        # Results saved without telemetry render no section at all.
+        assert flight_recorder_markdown(CampaignResult(machine="A64FX")) == ""

@@ -1,0 +1,310 @@
+"""Unit tests for the telemetry core: spans, metrics, exporters, and
+the flight recorder."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.errors import AnalysisError
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    chrome_trace,
+    flight_report,
+    load_trace,
+    render_flight_report,
+    spans_to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestTracer:
+    def test_nesting_links_parents(self):
+        tel = Telemetry()
+        with tel.span("campaign") as root:
+            with tel.span("cell") as cell:
+                with tel.span("compile") as compile_span:
+                    pass
+        assert cell.parent_id == root.span_id
+        assert compile_span.parent_id == cell.span_id
+        assert root.parent_id is None
+        names = [s.name for s in tel.spans]
+        assert names == ["compile", "cell", "campaign"]  # completion order
+
+    def test_span_ids_unique_and_pid_tagged(self):
+        tel = Telemetry()
+        with tel.span("a"):
+            pass
+        with tel.span("b"):
+            pass
+        ids = [s.span_id for s in tel.spans]
+        assert len(set(ids)) == 2
+        assert all(str(s.pid) == s.span_id.split("-")[0] for s in tel.spans)
+
+    def test_ids_unique_across_tracer_instances(self):
+        # Regression: a pool worker builds a fresh Telemetry per chunk;
+        # with a per-tracer sequence, chunk N and chunk N+1 from the
+        # same pid reused ids and the merged trace cross-linked parents.
+        a, b = Telemetry(), Telemetry()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        assert a.spans[0].span_id != b.spans[0].span_id
+
+    def test_sibling_spans_share_parent(self):
+        tel = Telemetry()
+        with tel.span("root") as root:
+            with tel.span("first"):
+                pass
+            with tel.span("second"):
+                pass
+        children = [s for s in tel.spans if s.name != "root"]
+        assert all(s.parent_id == root.span_id for s in children)
+
+    def test_timestamps_monotone(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                pass
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_attrs_and_set(self):
+        tel = Telemetry()
+        with tel.span("cell", benchmark="a.b") as span:
+            span.set(variant="GNU")
+        assert tel.spans[0].attrs == {"benchmark": "a.b", "variant": "GNU"}
+
+    def test_per_thread_stacks(self):
+        tel = Telemetry()
+        seen = {}
+
+        def worker():
+            with tel.span("thread-span") as s:
+                seen["parent"] = s.parent_id
+
+        with tel.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The thread's span must NOT nest under the main thread's span.
+        assert seen["parent"] is None
+
+    def test_round_trip_dict(self):
+        span = Span(name="x", start_s=1.0, end_s=2.5, pid=7, tid=9,
+                    span_id="7-1", parent_id="7-0", attrs={"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestActiveTelemetry:
+    def test_disabled_by_default(self):
+        assert telemetry.current() is None
+        # All module-level helpers are no-ops and never raise.
+        with telemetry.span("nope") as s:
+            s.set(ignored=True)
+        telemetry.count("nope")
+        telemetry.observe("nope", 1.0)
+        telemetry.set_gauge("nope", 1.0)
+
+    def test_active_scope_installs_and_restores(self):
+        tel = Telemetry()
+        with telemetry.active(tel):
+            assert telemetry.current() is tel
+            telemetry.count("c", 3)
+            with telemetry.span("s"):
+                pass
+        assert telemetry.current() is None
+        assert tel.metrics.counter_value("c") == 3
+        assert [s.name for s in tel.spans] == ["s"]
+
+    def test_active_none_is_noop_scope(self):
+        with telemetry.active(None):
+            assert telemetry.current() is None
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        reg.set("workers", 8)
+        assert reg.counter_value("hits") == 5
+        assert reg.counter_value("absent") == 0
+        assert reg.gauges["workers"].value == 8
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(56.2)
+        assert h.mean == pytest.approx(14.05)
+
+    def test_snapshot_merge_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        b.inc("n", 3)
+        b.inc("only_b")
+        a.observe("t", 0.5)
+        b.observe("t", 0.7)
+        b.set("g", 4)
+        a.merge(b.snapshot())
+        assert a.counter_value("n") == 5
+        assert a.counter_value("only_b") == 1
+        assert a.histograms["t"].count == 2
+        assert a.histograms["t"].total == pytest.approx(1.2)
+        assert a.gauges["g"].value == 4
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.observe("h", 0.1)
+        json.dumps(reg.snapshot())
+
+
+class TestWorkerMerge:
+    def test_merge_reparents_orphans_under_root(self):
+        parent = Telemetry()
+        with parent.span("campaign") as root:
+            worker = Telemetry()  # simulates an in-worker recording
+            with worker.span("cell", benchmark="a.b", variant="GNU"):
+                with worker.span("compile"):
+                    pass
+            worker.count("cell_cache.hit")
+            parent.merge(worker.snapshot(), parent=root)
+        spans = {s.name: s for s in parent.spans}
+        assert spans["cell"].parent_id == root.span_id
+        assert spans["compile"].parent_id == spans["cell"].span_id
+        assert parent.metrics.counter_value("cell_cache.hit") == 1
+
+    def test_snapshot_survives_json(self):
+        tel = Telemetry()
+        with tel.span("cell"):
+            pass
+        tel.count("c")
+        snap = json.loads(json.dumps(tel.snapshot()))
+        other = Telemetry()
+        other.merge(snap)
+        assert [s.name for s in other.spans] == ["cell"]
+        assert other.metrics.counter_value("c") == 1
+
+
+class TestExporters:
+    def _sample(self):
+        tel = Telemetry()
+        with tel.span("campaign", workers=2):
+            with tel.span("cell", benchmark="a.b", variant="GNU"):
+                with tel.span("compile", kernel="k"):
+                    pass
+        tel.count("cell_cache.hit", 3)
+        tel.count("cell_cache.miss", 1)
+        return tel
+
+    def test_chrome_trace_shape_is_valid(self):
+        tel = self._sample()
+        doc = chrome_trace(tel.spans, tel.metrics.snapshot())
+        assert validate_chrome_trace(doc) == []
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in x_events} == {"campaign", "cell", "compile"}
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in x_events)
+        # Metadata names the process track.
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+        json.dumps(doc)  # serializable
+
+    def test_validate_rejects_garbage(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
+        bad_ts = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -5, "dur": 1}
+        ]}
+        assert any("ts" in p for p in validate_chrome_trace(bad_ts))
+
+    def test_chrome_file_round_trip(self, tmp_path):
+        tel = self._sample()
+        path = write_chrome_trace(tmp_path / "trace.json", tel)
+        spans, metrics = load_trace(path)
+        assert {s.name for s in spans} == {"campaign", "cell", "compile"}
+        assert metrics["counters"]["cell_cache.hit"] == 3
+        cell = next(s for s in spans if s.name == "cell")
+        assert cell.attrs["benchmark"] == "a.b"
+        # Parent links survive the chrome round trip.
+        campaign = next(s for s in spans if s.name == "campaign")
+        assert cell.parent_id == campaign.span_id
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tel = self._sample()
+        path = write_jsonl(tmp_path / "spans.jsonl", tel)
+        spans, metrics = load_trace(path)
+        assert [s.name for s in spans] == ["compile", "cell", "campaign"]
+        assert metrics["counters"]["cell_cache.miss"] == 1
+
+    def test_jsonl_tolerates_truncated_tail(self, tmp_path):
+        tel = self._sample()
+        text = spans_to_jsonl(tel.spans)
+        path = tmp_path / "spans.jsonl"
+        path.write_text(text + '{"kind": "span", "name": "tru')
+        spans, _ = load_trace(path)
+        assert len(spans) == 3
+
+    def test_load_trace_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("hello world")
+        with pytest.raises(AnalysisError):
+            load_trace(path)
+        with pytest.raises(AnalysisError):
+            load_trace(tmp_path / "missing.json")
+
+
+class TestFlightRecorder:
+    def test_report_numbers(self):
+        spans = [
+            Span("campaign", 0.0, 10.0, pid=1, tid=1, span_id="1-1",
+                 attrs={"workers": 2}),
+            Span("cell", 0.0, 6.0, pid=2, tid=1, span_id="2-1",
+                 parent_id="1-1", attrs={"benchmark": "a.b", "variant": "GNU"}),
+            Span("cell", 0.0, 4.0, pid=3, tid=1, span_id="3-1",
+                 parent_id="1-1", attrs={"benchmark": "a.c", "variant": "LLVM"}),
+        ]
+        metrics = {"counters": {"cell_cache.hit": 3, "cell_cache.miss": 1}}
+        report = flight_report(spans, metrics)
+        assert report.wall_s == pytest.approx(10.0)
+        assert report.workers == 2
+        assert report.cells == 2
+        assert report.busy_s == pytest.approx(10.0)
+        assert report.parallel_efficiency == pytest.approx(0.5)
+        assert report.cache_hit_rate == pytest.approx(0.75)
+        assert report.slowest_cells[0].benchmark == "a.b"
+        assert report.slowest_cells[0].duration_s == pytest.approx(6.0)
+
+    def test_report_without_cache_or_cells(self):
+        spans = [Span("campaign", 0.0, 1.0, pid=1, tid=1, span_id="1-1",
+                      attrs={"workers": 4})]
+        report = flight_report(spans, {})
+        assert report.parallel_efficiency is None
+        assert report.cache_hit_rate is None
+
+    def test_render_contains_the_answers(self):
+        spans = [
+            Span("campaign", 0.0, 2.0, pid=1, tid=1, span_id="1-1",
+                 attrs={"workers": 1}),
+            Span("cell", 0.0, 2.0, pid=1, tid=1, span_id="1-2",
+                 parent_id="1-1", attrs={"benchmark": "a.b", "variant": "GNU"}),
+        ]
+        text = render_flight_report(flight_report(spans, {
+            "counters": {"cell_cache.hit": 1, "cell_cache.miss": 1}
+        }))
+        assert "parallel efficiency" in text
+        assert "cache hit rate" in text
+        assert "50.0%" in text
+        assert "a.b/GNU" in text
