@@ -18,6 +18,7 @@ from repro.analysis.report import (
     evaluate,
     experiments_markdown,
     flight_recorder_markdown,
+    lint_markdown,
 )
 from repro.analysis.svg import figure1_svg, figure2_svg, gain_color
 from repro.analysis.stats import (
@@ -49,6 +50,7 @@ __all__ = [
     "evaluate",
     "experiments_markdown",
     "flight_recorder_markdown",
+    "lint_markdown",
     "figure1",
     "figure1_svg",
     "figure2",

@@ -19,6 +19,7 @@ from repro.analysis.gains import benchmark_gains, overall_summary, suite_summary
 from repro.analysis.stats import variability_report
 from repro.harness.results import (
     STATUS_COMPILE_ERROR,
+    STATUS_LINT_ERROR,
     STATUS_RUNTIME_ERROR,
     CampaignResult,
 )
@@ -277,6 +278,48 @@ def flight_recorder_markdown(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def lint_markdown(result: CampaignResult) -> str:
+    """The static-analysis section (empty when the campaign ran with
+    ``lint_policy="off"`` and no record carries findings).
+
+    Lint findings are variant-independent, so each benchmark's findings
+    are reported once even though every (benchmark, variant) record
+    carries a copy.
+    """
+    by_benchmark: dict[str, tuple] = {}
+    skipped: list[str] = []
+    for record in result.records.values():
+        if record.lint and record.benchmark not in by_benchmark:
+            by_benchmark[record.benchmark] = record.lint
+        if record.status == STATUS_LINT_ERROR and record.benchmark not in skipped:
+            skipped.append(record.benchmark)
+    if not by_benchmark and not skipped:
+        return ""
+    lines = ["## Static analysis", ""]
+    policy = result.meta.get("lint_policy") if result.meta else None
+    if policy:
+        lines.append(f"- lint policy: `{policy}`")
+    total = sum(len(diags) for diags in by_benchmark.values())
+    lines.append(
+        f"- {total} finding(s) across {len(by_benchmark)} benchmark(s)"
+    )
+    if skipped:
+        lines.append(
+            f"- skipped by the lint gate (ERROR findings): "
+            + ", ".join(f"`{name}`" for name in skipped)
+        )
+    counts: dict[str, int] = {}
+    for diags in by_benchmark.values():
+        for diag in diags:
+            counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+    if counts:
+        lines += ["", "| rule | findings |", "|---|---|"]
+        for rule_id in sorted(counts):
+            lines.append(f"| {rule_id} | {counts[rule_id]} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiments_markdown(
     result: CampaignResult, xeon_result: CampaignResult | None = None
 ) -> str:
@@ -323,6 +366,9 @@ def experiments_markdown(
             provenance += f", {elapsed:.1f}s wall-clock"
         lines.append(provenance + "._")
         lines.append("")
+    lint = lint_markdown(result)
+    if lint:
+        lines.append(lint)
     recorder = flight_recorder_markdown(result)
     if recorder:
         lines.append(recorder)

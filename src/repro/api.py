@@ -112,6 +112,11 @@ class CampaignConfig:
     #: the instrumented code paths cost nothing when disabled.  Access
     #: the recording through :attr:`CampaignSession.telemetry`.
     telemetry: bool = False
+    #: Pre-flight lint gate (:mod:`repro.staticanalysis`): ``"off"``
+    #: (default) runs no analysis, ``"warn"`` attaches findings to each
+    #: cell record, ``"error"`` additionally skips cells whose kernels
+    #: carry ERROR-severity findings (recorded as ``lint error`` cells).
+    lint_policy: str = "off"
 
     def with_(self, **kwargs: object) -> "CampaignConfig":
         """A copy with the given fields replaced."""
@@ -169,6 +174,7 @@ class CampaignSession:
             resume=cfg.resume,
             runs=cfg.runs,
             telemetry=self._telemetry,
+            lint_policy=cfg.lint_policy,
         )
 
     def cells(self) -> tuple[CellTask, ...]:

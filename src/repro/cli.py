@@ -12,6 +12,10 @@ Usage::
         [--suite S ...] [--benchmark B ...]       # scope to a sub-campaign
     a64fx-campaign trace summarize trace.json     # flight-recorder report of a trace
     a64fx-campaign trace validate trace.json      # shape-check a Chrome trace file
+    a64fx-campaign lint [--suite S ...]           # static-analysis findings
+        [--benchmark B ...] [--machine M]
+        [--format text|json|sarif] [--out PATH]
+        [--fail-on error|warning] [--rule ID ...]
     a64fx-campaign figure1                        # Xeon-vs-A64FX PolyBench
     a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
     a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
@@ -121,6 +125,72 @@ def _cmd_trace_validate(args: argparse.Namespace) -> int:
         return 1
     spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
     print(f"{args.path}: valid Chrome trace_event file ({spans} spans)")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer over kernel IR and report the findings."""
+    import json
+
+    from repro.api import _resolve_machine
+    from repro.staticanalysis import (
+        AnalysisContext,
+        Severity,
+        analyze_benchmark,
+        findings_to_json,
+        has_at_least,
+        render_text,
+        select_rules,
+        to_sarif,
+        validate_sarif,
+    )
+    from repro.suites import get_benchmark, get_suite
+
+    benchmarks = []
+    if args.benchmark:
+        benchmarks.extend(get_benchmark(name) for name in args.benchmark)
+    if args.suite:
+        for name in args.suite:
+            benchmarks.extend(get_suite(name).benchmarks)
+    if not benchmarks:
+        for suite in all_suites():
+            benchmarks.extend(suite.benchmarks)
+
+    rules = select_rules(args.rule) if args.rule else None
+    ctx = AnalysisContext(machine=_resolve_machine(args.machine))
+    findings = []
+    for bench in benchmarks:
+        findings.extend(analyze_benchmark(bench, rules=rules, ctx=ctx))
+
+    if args.format == "sarif":
+        doc = to_sarif(findings)
+        problems = validate_sarif(doc)
+        if problems:  # pragma: no cover - internal consistency check
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            print("generated SARIF failed self-validation", file=sys.stderr)
+            return 2
+        text = json.dumps(doc, indent=2)
+    elif args.format == "json":
+        text = findings_to_json(findings)
+    else:
+        text = render_text(findings)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"{len(findings)} finding(s) written to {args.out} "
+              f"({args.format})", file=sys.stderr)
+    else:
+        print(text)
+
+    if args.fail_on:
+        threshold = Severity.parse(args.fail_on)
+        if has_at_least(findings, threshold):
+            worst = sum(1 for d in findings if d.severity.at_least(threshold))
+            print(f"lint gate: {worst} finding(s) at or above "
+                  f"{threshold.value!r}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -350,6 +420,41 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     p_val.add_argument("path", help="Chrome trace JSON file")
     p_val.set_defaults(func=_cmd_trace_validate)
+
+    p_lint = sub.add_parser(
+        "lint", help="static-analysis findings for kernel IR"
+    )
+    p_lint.add_argument(
+        "--suite", action="append", metavar="NAME",
+        help="lint every benchmark of this suite (repeatable; "
+             "default: all suites)",
+    )
+    p_lint.add_argument(
+        "--benchmark", action="append", metavar="FULL_NAME",
+        help="lint this benchmark, e.g. polybench.2mm (repeatable)",
+    )
+    p_lint.add_argument(
+        "--machine", default=None,
+        help="machine model for the cost-based rules "
+             "(a64fx, xeon, thunderx2; default: a64fx)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--out", metavar="PATH",
+        help="write the findings here instead of stdout",
+    )
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning"), default=None,
+        help="exit nonzero when any finding is at or above this severity",
+    )
+    p_lint.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule, e.g. RACE001 (repeatable; default: all)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_f1 = sub.add_parser("figure1", help="regenerate Figure 1")
     p_f1.add_argument("--svg", help="also export an SVG chart here")

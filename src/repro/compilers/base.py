@@ -131,6 +131,10 @@ class CompiledKernel:
     #: Empirical Figure 2 outlier correction (see quirks.py); the cost
     #: model multiplies the kernel's time by this.
     anomaly_multiplier: float = 1.0
+    #: Static-analysis findings for the source kernel (the pre-compile
+    #: lint pass; see :mod:`repro.staticanalysis`).  Variant-independent:
+    #: the same kernel lints identically under every compiler.
+    lint: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -204,9 +208,16 @@ class Compiler(ABC):
         ``explore``/``simulate`` spans when telemetry is active) with a
         compile-time histogram and success/failure counters.
         """
+        # Pre-compile static analysis: variant-independent findings,
+        # attached to the artifact so downstream consumers (campaign
+        # lint gate, reports) see them next to the codegen outcome.
+        # Late import: the OPT010 rule reaches back into the pass layer.
+        from repro.staticanalysis.driver import analyze_kernel_cached
+
+        lint = analyze_kernel_cached(kernel, machine)
         t0 = time.monotonic()
         with telemetry.span("compile", kernel=kernel.name, variant=self.variant):
-            compiled = self._compile(kernel, machine, flags)
+            compiled = replace(self._compile(kernel, machine, flags), lint=lint)
         telemetry.observe("compile.time_s", time.monotonic() - t0)
         telemetry.count("compile.count")
         if compiled.status is not CompileStatus.OK:

@@ -59,6 +59,7 @@ from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import STUDY_VARIANTS
 from repro.errors import HarnessError
 from repro.harness.results import (
+    STATUS_LINT_ERROR,
     STATUS_OK,
     CampaignResult,
     RunRecord,
@@ -84,6 +85,12 @@ _LOG = logging.getLogger(__name__)
 #: Bumped when the engine's journal/cell formats change incompatibly.
 ENGINE_VERSION = 1
 
+#: Lint-gate policies (``CampaignConfig.lint_policy``).
+LINT_OFF = "off"  # no pre-flight analysis (the default)
+LINT_WARN = "warn"  # analyze and attach findings; run everything
+LINT_ERROR = "error"  # additionally skip cells with ERROR findings
+LINT_POLICIES = (LINT_OFF, LINT_WARN, LINT_ERROR)
+
 
 # -- events --------------------------------------------------------------
 
@@ -100,6 +107,9 @@ class EventKind(enum.Enum):
     CELL_FAILED = "cell-failed"
     #: A cell was satisfied from the persistent cell cache or journal.
     CACHE_HIT = "cache-hit"
+    #: The pre-flight lint gate skipped the cell (``lint_policy="error"``
+    #: and the benchmark's kernels carry ERROR-severity findings).
+    CELL_LINT_FAILED = "lint-failed"
     CAMPAIGN_FINISHED = "campaign-finished"
 
 
@@ -211,8 +221,14 @@ def cell_cache_key(
     machine: Machine,
     flags: CompilerFlags | None,
     runs: int = PERFORMANCE_RUNS,
+    lint_policy: str = LINT_OFF,
 ) -> str:
-    """Content-addressed key for one finished (benchmark, variant) cell."""
+    """Content-addressed key for one finished (benchmark, variant) cell.
+
+    ``lint_policy`` participates only when the gate is on: linted runs
+    attach findings (or skip cells) and must not alias records produced
+    without the gate — while every pre-gate cache entry keeps its key.
+    """
     parts = (
         f"cell|e{ENGINE_VERSION}|c{CACHE_SCHEMA_VERSION}",
         benchmark_fingerprint(bench),
@@ -222,6 +238,8 @@ def cell_cache_key(
         repr(flags),
         str(runs),
     )
+    if lint_policy != LINT_OFF:
+        parts = parts + (f"lint={lint_policy}",)
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -450,6 +468,14 @@ class CampaignEngine:
         parallel runs and merged back), and fills
         :attr:`CampaignResult.telemetry` with the flight-recorder
         summary.
+    ``lint_policy``
+        Pre-flight static analysis of every benchmark's kernels
+        (:mod:`repro.staticanalysis`).  ``"off"`` (default) skips the
+        analysis; ``"warn"`` attaches the findings to each cell's
+        record; ``"error"`` additionally *skips* cells whose kernels
+        carry ERROR-severity findings, recording a ``lint error``
+        status (with the findings) instead of burning model time —
+        the pre-flight vetting the paper's failure cells motivate.
     """
 
     def __init__(
@@ -465,9 +491,14 @@ class CampaignEngine:
         resume: bool = False,
         runs: int = PERFORMANCE_RUNS,
         telemetry: "Telemetry | None" = None,
+        lint_policy: str = LINT_OFF,
     ) -> None:
         if workers < 1:
             raise HarnessError(f"workers must be >= 1, got {workers}")
+        if lint_policy not in LINT_POLICIES:
+            raise HarnessError(
+                f"unknown lint_policy {lint_policy!r}; choose from {LINT_POLICIES}"
+            )
         self.machine = machine if machine is not None else a64fx()
         self.variants = tuple(variants)
         if benchmarks is None:
@@ -480,6 +511,7 @@ class CampaignEngine:
         self.resume = resume
         self.runs = runs
         self.telemetry = telemetry
+        self.lint_policy = lint_policy
 
     # -- campaign shape --------------------------------------------------
 
@@ -503,6 +535,9 @@ class CampaignEngine:
             ",".join(b.full_name for b in self.benchmarks),
             ",".join(benchmark_fingerprint(b) for b in self.benchmarks),
         ]
+        if self.lint_policy != LINT_OFF:
+            # Only when gated, so pre-gate journals stay resumable.
+            parts.append(f"lint={self.lint_policy}")
         return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
     @property
@@ -543,7 +578,8 @@ class CampaignEngine:
         tasks = self.cells()
         total = len(tasks)
         done: dict[tuple[str, str], RunRecord] = {}
-        stats = {"cache_hits": 0, "resumed": 0, "executed": 0}
+        stats = {"cache_hits": 0, "resumed": 0, "executed": 0, "lint_skipped": 0}
+        lint_diags, lint_blocked = self._lint_benchmarks()
 
         def send(kind: EventKind, task: CellTask | None = None, **kw) -> None:
             if emit is None:
@@ -581,12 +617,28 @@ class CampaignEngine:
         cell_keys: dict[int, str] = {}
         if cell_cache is not None:
             cell_keys = {
-                t.index: cell_cache_key(t.benchmark, t.variant, self.machine, self.flags, self.runs)
+                t.index: cell_cache_key(
+                    t.benchmark, t.variant, self.machine, self.flags,
+                    self.runs, self.lint_policy,
+                )
                 for t in tasks
             }
         pending: list[CellTask] = []
         for task in tasks:
             if task.name in done:
+                continue
+            if task.benchmark.full_name in lint_blocked:
+                # The gate fires before the cache: a defective cell is
+                # recorded (never executed), cheap enough to redo, and
+                # its record must follow the current rule set.
+                record = self._lint_record(task, lint_diags[task.benchmark.full_name])
+                done[task.name] = record
+                stats["lint_skipped"] += 1
+                telemetry.count("engine.cells_lint_skipped")
+                if journal is not None:
+                    journal.append(record)
+                send(EventKind.CELL_LINT_FAILED, task, record=record,
+                     message=STATUS_LINT_ERROR)
                 continue
             if cell_cache is not None:
                 hit = cell_cache.get(cell_keys[task.index])
@@ -600,6 +652,9 @@ class CampaignEngine:
             pending.append(task)
 
         def record_finished(task: CellTask, record: RunRecord) -> None:
+            diags = lint_diags.get(task.benchmark.full_name, ())
+            if diags:
+                record = dataclasses.replace(record, lint=diags)
             done[task.name] = record
             stats["executed"] += 1
             telemetry.count("engine.cells_executed")
@@ -632,14 +687,56 @@ class CampaignEngine:
             "resumed": stats["resumed"],
             "elapsed_s": round(time.monotonic() - t0, 3),
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "lint_policy": self.lint_policy,
+            "lint_skipped": stats["lint_skipped"],
         }
         if journal is not None:
             journal.done()
         send(EventKind.CAMPAIGN_FINISHED, message=f"{stats['executed']} executed, "
-             f"{stats['cache_hits']} cache hits, {stats['resumed']} resumed")
+             f"{stats['cache_hits']} cache hits, {stats['resumed']} resumed, "
+             f"{stats['lint_skipped']} lint-skipped")
         return result
 
     # -- internals -------------------------------------------------------
+
+    def _lint_benchmarks(self) -> "tuple[dict[str, tuple], set[str]]":
+        """Pre-flight analysis per benchmark (empty when the gate is off).
+
+        Returns ``(findings by benchmark full name, names blocked by the
+        error policy)``.  Analysis is variant-independent, so one walk
+        covers all of a benchmark's cells.
+        """
+        if self.lint_policy == LINT_OFF:
+            return {}, set()
+        from repro.staticanalysis.diagnostics import Severity, has_at_least
+        from repro.staticanalysis.driver import analyze_benchmark_cached
+
+        diags: dict[str, tuple] = {}
+        blocked: set[str] = set()
+        for bench in self.benchmarks:
+            found = analyze_benchmark_cached(bench, self.machine)
+            if found:
+                diags[bench.full_name] = found
+            if self.lint_policy == LINT_ERROR and has_at_least(found, Severity.ERROR):
+                blocked.add(bench.full_name)
+        return diags, blocked
+
+    def _lint_record(self, task: CellTask, diags: tuple) -> RunRecord:
+        """The synthetic record for a cell the lint gate skipped."""
+        errors = sum(1 for d in diags if d.severity.value == "error")
+        return RunRecord(
+            benchmark=task.benchmark.full_name,
+            suite=task.benchmark.suite,
+            variant=task.variant,
+            ranks=1,
+            threads=1,
+            runs=(),
+            status=STATUS_LINT_ERROR,
+            diagnostics=(
+                f"skipped by lint gate: {errors} error-severity finding(s)",
+            ),
+            lint=diags,
+        )
 
     def _replay_journal(self, journal, fingerprint, tasks, done, stats, send) -> None:
         if journal is None or not self.resume:

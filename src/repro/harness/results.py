@@ -16,11 +16,16 @@ from pathlib import Path
 
 from repro.errors import AnalysisError, HarnessError
 from repro.machine.topology import Placement
+from repro.staticanalysis.diagnostics import Diagnostic
 
 #: Status strings stored in records (Figure 2 cell kinds).
 STATUS_OK = "ok"
 STATUS_COMPILE_ERROR = "compiler error"
 STATUS_RUNTIME_ERROR = "runtime error"
+#: The cell was skipped by the pre-flight lint gate
+#: (``CampaignConfig.lint_policy="error"``); its diagnostics are in
+#: :attr:`RunRecord.lint`.
+STATUS_LINT_ERROR = "lint error"
 
 #: Current on-disk schema for :meth:`CampaignResult.to_json`.  Version 2
 #: adds the top-level ``schema`` marker and an ``engine`` metadata block
@@ -28,7 +33,9 @@ STATUS_RUNTIME_ERROR = "runtime error"
 #: record fields; version 1 (the original unversioned format) is still
 #: accepted by :meth:`CampaignResult.load`.  Version 2 files may also
 #: carry an optional top-level ``telemetry`` flight-recorder block —
-#: files without it load unchanged.
+#: files without it load unchanged.  Records may additionally carry an
+#: optional ``lint`` list of static-analysis findings (additive: files
+#: with or without it round-trip at version 2).
 RESULT_SCHEMA_VERSION = 2
 
 
@@ -47,6 +54,9 @@ class RunRecord:
     #: (ranks, threads, best-of-3 time) for every explored placement.
     exploration: tuple[tuple[int, int, float], ...] = ()
     diagnostics: tuple[str, ...] = ()
+    #: Static-analysis findings for the cell's kernels (populated when
+    #: the campaign runs with ``lint_policy`` other than ``"off"``).
+    lint: tuple[Diagnostic, ...] = ()
 
     @property
     def valid(self) -> bool:
@@ -87,8 +97,9 @@ def record_to_dict(record: RunRecord, *, compact: bool = True) -> dict:
     omitted; :func:`record_from_dict` restores their defaults.
     """
     raw = asdict(record)
+    raw["lint"] = [d.to_dict() for d in record.lint]
     if compact:
-        for optional in ("exploration", "diagnostics"):
+        for optional in ("exploration", "diagnostics", "lint"):
             if not raw[optional]:
                 del raw[optional]
         if raw["status"] == STATUS_OK:
@@ -111,6 +122,7 @@ def record_from_dict(raw: dict) -> RunRecord:
         raise HarnessError(f"record missing 'runs': {sorted(raw)}") from None
     raw["exploration"] = tuple(tuple(e) for e in raw.get("exploration", ()))
     raw["diagnostics"] = tuple(raw.get("diagnostics", ()))
+    raw["lint"] = tuple(Diagnostic.from_dict(d) for d in raw.get("lint", ()))
     raw.setdefault("status", STATUS_OK)
     return RunRecord(**raw)
 

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.ir.array import Access
+from repro.ir.expr import AffineExpr
 from repro.ir.kernel import Feature, Kernel
 from repro.ir.loop import LoopNest
 
@@ -84,6 +85,36 @@ def contiguous_fraction(nest: LoopNest) -> float:
         if p.stride_class in (StrideClass.CONTIGUOUS, StrideClass.INVARIANT)
     )
     return good / len(patterns)
+
+
+# --------------------------------------------------------------------------
+# subscript ranges
+# --------------------------------------------------------------------------
+
+
+def subscript_interval(
+    expr: "AffineExpr", bounds: "dict[str, tuple[int, int]]"
+) -> tuple[int, int]:
+    """Inclusive ``[lo, hi]`` range of an affine subscript.
+
+    ``bounds`` maps each loop variable to its inclusive value range;
+    variables absent from the mapping (zero-trip loops) contribute
+    nothing — the subscript is then never evaluated at those terms, so
+    ignoring them keeps the interval exact for the iterations that do
+    run.  Used by the bounds validator and the ``BND002`` lint rule.
+    """
+    lo = hi = expr.const
+    for var, coeff in expr.coeffs.items():
+        if var not in bounds:
+            continue
+        vmin, vmax = bounds[var]
+        if coeff > 0:
+            lo += coeff * vmin
+            hi += coeff * vmax
+        else:
+            lo += coeff * vmax
+            hi += coeff * vmin
+    return lo, hi
 
 
 # --------------------------------------------------------------------------

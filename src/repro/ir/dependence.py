@@ -273,6 +273,10 @@ def nest_dependences(nest: LoopNest) -> tuple[Dependence, ...]:
     Duplicate (src, dst, array, kind, direction) tuples are collapsed.
     """
     trip_counts = {l.var: l.trip_count for l in nest.loops}
+    if any(count == 0 for count in trip_counts.values()):
+        # An empty iteration space executes no statement instance, so
+        # every candidate dependence is vacuous.
+        return ()
     loop_vars = nest.loop_vars
     seen: dict[tuple, Dependence] = {}
 

@@ -6,54 +6,80 @@ across nests, subscripts within bounds at the extreme loop values,
 reduction annotations referring to real loops) that suite definitions
 occasionally get wrong.  The suite registry validates every kernel at
 import time in the test suite.
+
+Findings are reported as :class:`~repro.staticanalysis.diagnostics.Diagnostic`
+objects under the same stable rule IDs the lint driver uses —
+``STRUCT001`` for structural problems, ``BND002`` for out-of-bounds
+subscripts — so the ``repro lint`` pipeline and the construction-time
+validator cannot drift apart.  :func:`validate_kernel_strings` keeps
+the historical plain-string form for callers that only want messages.
 """
 
 from __future__ import annotations
 
 from repro.errors import IRValidationError
+from repro.ir.analysis import subscript_interval
 from repro.ir.kernel import Kernel
 from repro.ir.loop import LoopNest
+from repro.staticanalysis.diagnostics import Category, Diagnostic, Severity
 
 
-def validate_nest(nest: LoopNest) -> list[str]:
-    """Return a list of problems found in one nest (empty = valid)."""
-    problems: list[str] = []
+def _struct(message: str, **loc: str) -> Diagnostic:
+    return Diagnostic(
+        rule_id="STRUCT001",
+        severity=Severity.ERROR,
+        category=Category.STRUCTURE,
+        message=message,
+        **loc,
+    )
+
+
+def validate_nest(nest: LoopNest) -> list[Diagnostic]:
+    """Return the problems found in one nest (empty = valid)."""
+    problems: list[Diagnostic] = []
     bounds = {l.var: (l.lower, l.upper - 1) for l in nest.loops if l.trip_count > 0}
     for stmt in nest.body:
         if stmt.reduction_over is not None and stmt.reduction_over not in {
             l.var for l in nest.loops
         }:
             problems.append(
-                f"statement {stmt.name!r}: reduction over unknown loop "
-                f"{stmt.reduction_over!r}"
+                _struct(
+                    f"statement {stmt.name!r}: reduction over unknown loop "
+                    f"{stmt.reduction_over!r}",
+                    nest=nest.label,
+                    statement=stmt.name,
+                    hint="annotate the reduction with a loop of this nest",
+                )
             )
         for acc in stmt.accesses:
             if acc.indirect:
                 continue
             for pos, expr in enumerate(acc.indices):
-                lo = expr.const + sum(
-                    c * (bounds[v][0] if c > 0 else bounds[v][1])
-                    for v, c in expr.coeffs.items()
-                    if v in bounds
-                )
-                hi = expr.const + sum(
-                    c * (bounds[v][1] if c > 0 else bounds[v][0])
-                    for v, c in expr.coeffs.items()
-                    if v in bounds
-                )
+                lo, hi = subscript_interval(expr, bounds)
                 extent = acc.array.shape[pos]
                 if lo < 0 or hi >= extent:
                     problems.append(
-                        f"statement {stmt.name!r}: subscript {pos} of "
-                        f"{acc.array.name!r} spans [{lo},{hi}] outside "
-                        f"[0,{extent - 1}]"
+                        Diagnostic(
+                            rule_id="BND002",
+                            severity=Severity.ERROR,
+                            category=Category.CORRECTNESS,
+                            message=(
+                                f"statement {stmt.name!r}: subscript {pos} of "
+                                f"{acc.array.name!r} spans [{lo},{hi}] outside "
+                                f"[0,{extent - 1}]"
+                            ),
+                            nest=nest.label,
+                            statement=stmt.name,
+                            array=acc.array.name,
+                            hint="shrink the loop bounds or grow the array",
+                        )
                     )
     return problems
 
 
-def validate_kernel(kernel: Kernel) -> list[str]:
-    """Return a list of problems found in a kernel (empty = valid)."""
-    problems: list[str] = []
+def validate_kernel(kernel: Kernel) -> list[Diagnostic]:
+    """Return the problems found in a kernel (empty = valid)."""
+    problems: list[Diagnostic] = []
     declared: dict[str, tuple] = {}
     for nest in kernel.nests:
         for arr in nest.arrays:
@@ -61,12 +87,27 @@ def validate_kernel(kernel: Kernel) -> list[str]:
             prev = declared.get(arr.name)
             if prev is not None and prev != sig:
                 problems.append(
-                    f"array {arr.name!r} used with inconsistent signatures "
-                    f"{prev} vs {sig}"
+                    _struct(
+                        f"array {arr.name!r} used with inconsistent signatures "
+                        f"{prev} vs {sig}",
+                        nest=nest.label,
+                        array=arr.name,
+                        hint="declare the array once and share the object",
+                    )
                 )
             declared[arr.name] = sig
         problems.extend(validate_nest(nest))
-    return problems
+    return [d.with_kernel(kernel.name) for d in problems]
+
+
+def validate_nest_strings(nest: LoopNest) -> list[str]:
+    """Back-compat shim: nest problems as plain message strings."""
+    return [d.message for d in validate_nest(nest)]
+
+
+def validate_kernel_strings(kernel: Kernel) -> list[str]:
+    """Back-compat shim: kernel problems as plain message strings."""
+    return [d.message for d in validate_kernel(kernel)]
 
 
 def check_kernel(kernel: Kernel) -> None:
@@ -74,5 +115,6 @@ def check_kernel(kernel: Kernel) -> None:
     problems = validate_kernel(kernel)
     if problems:
         raise IRValidationError(
-            f"kernel {kernel.name!r} failed validation:\n  " + "\n  ".join(problems)
+            f"kernel {kernel.name!r} failed validation:\n  "
+            + "\n  ".join(d.message for d in problems)
         )

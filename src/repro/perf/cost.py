@@ -64,7 +64,8 @@ class ModelResult:
 
 #: Bump when the compiler/cost model changes in a way that invalidates
 #: persisted compilation artifacts (content-addressed cache entries).
-CACHE_SCHEMA_VERSION = 1
+#: 2: CompiledKernel grew the ``lint`` field (static-analysis findings).
+CACHE_SCHEMA_VERSION = 2
 
 
 def kernel_fingerprint(kernel: object) -> str:

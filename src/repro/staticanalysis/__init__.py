@@ -1,0 +1,68 @@
+"""Static analysis over the kernel IR: the ``repro lint`` subsystem.
+
+The paper's headline anomaly — icc interchanges ``2mm``/``3mm``'s loop
+nests where fcc does not, for two orders of magnitude (Fig. 1) — is a
+*static* property of the kernels, and its error cells (compile errors,
+runtime faults) are precisely the defect class a pre-flight check
+catches before burning node-hours.  This package provides that check:
+
+* :mod:`~repro.staticanalysis.diagnostics` — ``Diagnostic`` findings
+  with stable rule IDs, severities, and categories, plus the sink;
+* :mod:`~repro.staticanalysis.registry` — the rule registry and the
+  ``@rule`` plugin decorator;
+* :mod:`~repro.staticanalysis.rules` — the built-in rules (RACE001,
+  BND002, VEC003, INIT004, RED005, OPT010, STRUCT001);
+* :mod:`~repro.staticanalysis.driver` — ``analyze_kernel`` walking a
+  kernel once and dispatching to rules over a memoizing context;
+* :mod:`~repro.staticanalysis.sarif` — text / JSON / SARIF 2.1.0
+  renderers for CI ingestion.
+
+Entry points: ``repro lint`` on the CLI, ``CampaignConfig.lint_policy``
+in campaigns, and ``CompiledKernel.lint`` on compile artifacts.
+"""
+
+from repro.staticanalysis.diagnostics import (
+    Category,
+    Diagnostic,
+    DiagnosticSink,
+    LintError,
+    Severity,
+    has_at_least,
+    max_severity,
+)
+from repro.staticanalysis.driver import (
+    AnalysisContext,
+    analyze_benchmark,
+    analyze_benchmark_cached,
+    analyze_kernel,
+)
+from repro.staticanalysis.registry import Rule, all_rules, get_rule, rule, select_rules
+from repro.staticanalysis.sarif import (
+    findings_to_json,
+    render_text,
+    to_sarif,
+    validate_sarif,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "Category",
+    "Diagnostic",
+    "DiagnosticSink",
+    "LintError",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_benchmark",
+    "analyze_benchmark_cached",
+    "analyze_kernel",
+    "findings_to_json",
+    "get_rule",
+    "has_at_least",
+    "max_severity",
+    "render_text",
+    "rule",
+    "select_rules",
+    "to_sarif",
+    "validate_sarif",
+]

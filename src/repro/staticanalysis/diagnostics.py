@@ -1,0 +1,225 @@
+"""The diagnostics model: severities, categories, findings, sinks.
+
+A :class:`Diagnostic` is one finding of the static analyzer — a stable
+rule ID (``RACE001``, ``BND002``, ...), a severity, a category, and a
+location inside the kernel IR (kernel / nest / statement / array /
+loop).  The model is deliberately free of IR imports so that low-level
+modules (``repro.ir.validate``) can produce diagnostics without
+circular dependencies; locations are therefore plain strings.
+
+Severities follow the compiler convention:
+
+* ``ERROR``   — the kernel is wrong (data race, out-of-bounds access);
+  running it would burn node-hours on garbage.  Campaigns with
+  ``lint_policy="error"`` skip these cells.
+* ``WARNING`` — probably wrong or leaving large performance on the
+  table (missed interchange, non-associative parallel reduction).
+* ``NOTE``    — informational (vectorization needs runtime alias
+  checks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+
+
+class LintError(ReproError):
+    """Static-analysis subsystem misuse (unknown rule, bad policy)."""
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ordered (ERROR > WARNING > NOTE)."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        """True when this severity is ``other`` or worse."""
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: "str | Severity") -> "Severity":
+        if isinstance(text, Severity):
+            return text
+        try:
+            return cls(text.lower())
+        except ValueError:
+            known = ", ".join(s.value for s in cls)
+            raise LintError(f"unknown severity {text!r}; known: {known}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Severity.{self.name}"
+
+
+_SEVERITY_RANK = {Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+#: SARIF 2.1.0 result levels for each severity.
+SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+class Category(enum.Enum):
+    """What aspect of the kernel a rule examines."""
+
+    #: Wrong answers / undefined behaviour (races, bounds, init order).
+    CORRECTNESS = "correctness"
+    #: Leaves performance on the table (missed interchange, no SIMD).
+    PERFORMANCE = "performance"
+    #: Structurally malformed IR (inconsistent declarations).
+    STRUCTURE = "structure"
+    #: Compiles and runs, but results depend on the toolchain
+    #: (FP reassociation, fast-math sensitivity).
+    PORTABILITY = "portability"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Category.{self.name}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding, locatable and serializable."""
+
+    rule_id: str
+    severity: Severity
+    category: Category
+    message: str
+    #: Kernel name the finding belongs to ("" for free-standing nests).
+    kernel: str = ""
+    #: Nest label within the kernel ("nest0", ...).
+    nest: str = ""
+    #: Statement name within the nest ("S0", ...).
+    statement: str = ""
+    #: Array the finding concerns, if any.
+    array: str = ""
+    #: Loop variable the finding concerns, if any.
+    loop: str = ""
+    #: Optional remediation hint shown alongside the message.
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rule_id:
+            raise LintError("a diagnostic needs a rule id")
+        if not self.message:
+            raise LintError(f"diagnostic {self.rule_id}: empty message")
+
+    @property
+    def location(self) -> str:
+        """Dotted logical location, e.g. ``2mm/nest0/S0``."""
+        parts = [p for p in (self.kernel, self.nest, self.statement) if p]
+        return "/".join(parts)
+
+    def with_kernel(self, kernel: str) -> "Diagnostic":
+        """A copy bound to a kernel name (used when a nest-level check
+        runs before the kernel name is known)."""
+        return replace(self, kernel=kernel)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; empty optional fields are omitted."""
+        out: dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "category": self.category.value,
+            "message": self.message,
+        }
+        for key in ("kernel", "nest", "statement", "array", "loop", "hint"):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Diagnostic":
+        try:
+            return cls(
+                rule_id=raw["rule"],
+                severity=Severity(raw["severity"]),
+                category=Category(raw["category"]),
+                message=raw["message"],
+                kernel=raw.get("kernel", ""),
+                nest=raw.get("nest", ""),
+                statement=raw.get("statement", ""),
+                array=raw.get("array", ""),
+                loop=raw.get("loop", ""),
+                hint=raw.get("hint", ""),
+            )
+        except (KeyError, ValueError) as exc:
+            raise LintError(f"malformed diagnostic dict: {exc}") from None
+
+    def __str__(self) -> str:
+        loc = f" [{self.location}]" if self.location else ""
+        hint = f" ({self.hint})" if self.hint else ""
+        return f"{self.severity.value}: {self.rule_id}:{loc} {self.message}{hint}"
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics during one analysis walk.
+
+    Rules emit into the sink; the driver snapshots it afterwards.  The
+    sink keeps arrival order (rules run in registration order, nests in
+    program order) so reports are stable.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: "list[Diagnostic] | tuple[Diagnostic, ...]") -> None:
+        self.diagnostics.extend(diags)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def max_severity(self) -> "Severity | None":
+        """The worst severity collected (None when empty)."""
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics), key=lambda s: s.rank)
+
+    def at_least(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """All findings at ``severity`` or worse."""
+        return tuple(d for d in self.diagnostics if d.severity.at_least(severity))
+
+    def by_rule(self) -> dict[str, tuple[Diagnostic, ...]]:
+        """Findings grouped by rule id, in first-seen order."""
+        out: dict[str, list[Diagnostic]] = {}
+        for d in self.diagnostics:
+            out.setdefault(d.rule_id, []).append(d)
+        return {rule: tuple(ds) for rule, ds in out.items()}
+
+    def snapshot(self) -> tuple[Diagnostic, ...]:
+        return tuple(self.diagnostics)
+
+
+def max_severity(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> "Severity | None":
+    """Worst severity in a collection (None when empty)."""
+    if not diags:
+        return None
+    return max((d.severity for d in diags), key=lambda s: s.rank)
+
+
+def has_at_least(
+    diags: "tuple[Diagnostic, ...] | list[Diagnostic]", severity: Severity
+) -> bool:
+    """True when any finding is at ``severity`` or worse."""
+    return any(d.severity.at_least(severity) for d in diags)

@@ -1,0 +1,180 @@
+"""The analysis driver: one walk over a kernel, dispatching to rules.
+
+:func:`analyze_kernel` is the single entry point everything else wraps:
+the compiler model runs it pre-compile and attaches the findings to the
+:class:`~repro.compilers.base.CompiledKernel`, the campaign engine runs
+it per benchmark to enforce ``lint_policy``, and the CLI ``lint``
+subcommand runs it over whole suites.
+
+The :class:`AnalysisContext` memoizes the expensive shared inputs —
+dependence sets per nest, structural validation per kernel — so that
+six rules walking the same nest pay for one ``nest_dependences()``
+call, and repeated analyses of the same benchmark (one per campaign
+cell) pay for one analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.ir.dependence import Dependence, nest_dependences
+from repro.ir.kernel import Kernel
+from repro.ir.loop import LoopNest
+from repro.machine.a64fx import a64fx
+from repro.machine.machine import Machine
+from repro.staticanalysis.diagnostics import Diagnostic, DiagnosticSink, max_severity
+from repro.staticanalysis.registry import Rule, select_rules
+from repro.telemetry.recorder import SPAN_LINT
+
+#: Telemetry counter prefix; full names are ``lint.findings.<RULEID>``.
+FINDINGS_COUNTER_PREFIX = "lint.findings."
+
+
+@dataclass
+class AnalysisContext:
+    """Shared state for one analysis run (memoized expensive inputs).
+
+    Rules receive the context as their second argument and pull the
+    dependence sets, the structural-validation findings, and machine
+    parameters (cache line size for the stride cost model) from it.
+    """
+
+    machine: Machine = field(default_factory=a64fx)
+    _deps: dict = field(default_factory=dict, repr=False)
+    _validated: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def line_bytes(self) -> int:
+        return self.machine.line_bytes
+
+    def deps(self, nest: LoopNest) -> tuple[Dependence, ...]:
+        """Dependences of ``nest``, memoized by object identity."""
+        key = id(nest)
+        found = self._deps.get(key)
+        if found is None:
+            found = nest_dependences(nest)
+            self._deps[key] = found
+        return found
+
+    def validated(self, kernel: Kernel) -> tuple[Diagnostic, ...]:
+        """Structural validation of ``kernel`` (STRUCT001/BND002
+        diagnostics), memoized by object identity."""
+        key = id(kernel)
+        found = self._validated.get(key)
+        if found is None:
+            # Late import: repro.ir.validate is the last module of the
+            # ir package init and may not exist yet when this module
+            # loads.
+            from repro.ir.validate import validate_kernel
+
+            found = tuple(validate_kernel(kernel))
+            self._validated[key] = found
+        return found
+
+
+def analyze_kernel(
+    kernel: Kernel,
+    *,
+    rules: "tuple[Rule, ...] | None" = None,
+    ctx: "AnalysisContext | None" = None,
+    machine: "Machine | None" = None,
+) -> tuple[Diagnostic, ...]:
+    """Run the rule set over one kernel; findings in rule order.
+
+    ``rules`` defaults to every registered rule; pass the result of
+    :func:`~repro.staticanalysis.registry.select_rules` to restrict.
+    Supply a shared ``ctx`` to amortize dependence analysis across
+    kernels; ``machine`` builds a fresh context (A64FX by default —
+    the stride cost model needs a cache line size).
+    """
+    if ctx is None:
+        ctx = AnalysisContext(machine=machine) if machine is not None else AnalysisContext()
+    active = rules if rules is not None else select_rules()
+    sink = DiagnosticSink()
+    with telemetry.span(SPAN_LINT, kernel=kernel.name, rules=len(active)):
+        for rule in active:
+            for diag in rule.run(kernel, ctx):
+                if not diag.kernel:
+                    diag = diag.with_kernel(kernel.name)
+                sink.emit(diag)
+                telemetry.count(FINDINGS_COUNTER_PREFIX + diag.rule_id)
+    return sink.snapshot()
+
+
+def analyze_benchmark(
+    benchmark,
+    *,
+    rules: "tuple[Rule, ...] | None" = None,
+    ctx: "AnalysisContext | None" = None,
+    machine: "Machine | None" = None,
+) -> tuple[Diagnostic, ...]:
+    """Analyze every kernel of a benchmark (suite ``Benchmark`` object)."""
+    if ctx is None:
+        ctx = AnalysisContext(machine=machine) if machine is not None else AnalysisContext()
+    out: list[Diagnostic] = []
+    for kernel in benchmark.kernels():
+        out.extend(analyze_kernel(kernel, rules=rules, ctx=ctx))
+    return tuple(out)
+
+
+# -- per-benchmark memo for the campaign engine ----------------------------
+#
+# A campaign analyzes the same benchmark once per cell (dozens of
+# variants x thread counts); the findings depend only on the kernel IR
+# and the machine, so memoize by identity the way the engine memoizes
+# benchmark fingerprints.  Keyed on (id(benchmark), machine name); the
+# benchmark object is kept in the value to pin it against id() reuse.
+
+_BENCH_DIAGNOSTICS: dict = {}
+_KERNEL_DIAGNOSTICS: dict = {}
+
+
+def _reemit(kernel_names: "tuple[str, ...]", diags: tuple) -> None:
+    """Emit the lint span/counters for a memo hit.
+
+    Telemetry totals must not depend on process-local memo warmth —
+    a campaign over 4 workers (cold memos everywhere) and over 1
+    worker (warm main process) must record identical span and counter
+    populations — so cache hits re-emit exactly what a fresh analysis
+    would have.
+    """
+    for name in kernel_names:
+        with telemetry.span(SPAN_LINT, kernel=name, cached=True):
+            for diag in diags:
+                if diag.kernel == name:
+                    telemetry.count(FINDINGS_COUNTER_PREFIX + diag.rule_id)
+
+
+def analyze_kernel_cached(kernel: Kernel, machine: Machine) -> tuple[Diagnostic, ...]:
+    """Memoized :func:`analyze_kernel` (identity-keyed, per process).
+
+    The compile driver calls this once per (kernel, variant) cell;
+    suite kernels are module-level singletons, so the identity key
+    collapses the five variants (and every thread count) to one walk.
+    """
+    key = (id(kernel), machine.name)
+    hit = _KERNEL_DIAGNOSTICS.get(key)
+    if hit is not None and hit[0] is kernel:
+        _reemit((kernel.name,), hit[1])
+        return hit[1]
+    diags = analyze_kernel(kernel, machine=machine)
+    _KERNEL_DIAGNOSTICS[key] = (kernel, diags)
+    return diags
+
+
+def analyze_benchmark_cached(benchmark, machine: Machine) -> tuple[Diagnostic, ...]:
+    """Memoized :func:`analyze_benchmark` (identity-keyed, per process)."""
+    key = (id(benchmark), machine.name)
+    hit = _BENCH_DIAGNOSTICS.get(key)
+    if hit is not None and hit[0] is benchmark:
+        _reemit(tuple(k.name for k in benchmark.kernels()), hit[1])
+        return hit[1]
+    diags = analyze_benchmark(benchmark, machine=machine)
+    _BENCH_DIAGNOSTICS[key] = (benchmark, diags)
+    return diags
+
+
+def worst_severity(diags: tuple[Diagnostic, ...]):
+    """Convenience re-export: worst severity in a finding set."""
+    return max_severity(diags)

@@ -1,0 +1,103 @@
+"""Rule registry: stable IDs, metadata, and the plugin decorator.
+
+A rule is a plain function ``(kernel, ctx) -> iterable of Diagnostic``
+registered under a stable ID with the :func:`rule` decorator::
+
+    @rule(
+        "OPT010",
+        title="profitable legal loop interchange not taken",
+        category=Category.PERFORMANCE,
+        severity=Severity.WARNING,
+    )
+    def interchange_opportunity(kernel, ctx):
+        ...
+        yield ctx.diag(...)
+
+Rule IDs are part of the output contract (SARIF ``ruleId``, telemetry
+counter names, ``--rule`` CLI filters) and must never be reused for a
+different check; retired IDs stay retired.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.staticanalysis.diagnostics import Category, Diagnostic, LintError, Severity
+
+#: A rule body: walks one kernel, yields findings.
+RuleFn = Callable[..., "Iterable[Diagnostic]"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule (metadata + body)."""
+
+    rule_id: str
+    title: str
+    category: Category
+    #: Default severity; rule bodies may emit at other severities (e.g.
+    #: a definite race is an ERROR, a possible one a WARNING).
+    severity: Severity
+    fn: RuleFn = field(repr=False, compare=False)
+    #: Longer help text for the catalog / SARIF rule descriptor.
+    help_text: str = ""
+
+    def run(self, kernel, ctx) -> tuple[Diagnostic, ...]:
+        return tuple(self.fn(kernel, ctx))
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    title: str,
+    category: Category,
+    severity: Severity,
+    help_text: str = "",
+) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule function under a stable ID (decorator)."""
+
+    def register(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise LintError(f"rule id {rule_id!r} registered twice")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id,
+            title=title,
+            category=category,
+            severity=severity,
+            fn=fn,
+            help_text=help_text or (fn.__doc__ or "").strip(),
+        )
+        return fn
+
+    return register
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in registration order."""
+    # Import for the registration side effect; late so that the module
+    # graph stays acyclic (rules import IR machinery which may still be
+    # initializing when this module is first imported).
+    from repro.staticanalysis import rules as _builtin  # noqa: F401
+
+    return tuple(_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> Rule:
+    from repro.staticanalysis import rules as _builtin  # noqa: F401
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise LintError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+def select_rules(rule_ids: "Iterable[str] | None" = None) -> tuple[Rule, ...]:
+    """The rules to run: all of them, or the named subset (validated)."""
+    if rule_ids is None:
+        return all_rules()
+    return tuple(get_rule(rid) for rid in rule_ids)

@@ -1,0 +1,149 @@
+"""Lint output formats: human text, plain JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI systems ingest (GitHub code
+scanning among them); :func:`to_sarif` emits one run with the rule
+catalog as ``tool.driver.rules`` and one result per finding, using
+logical locations (``kernel/nest/statement`` — the IR has no source
+files).  :func:`validate_sarif` structurally checks a document the way
+:func:`repro.telemetry.export.validate_chrome_trace` checks traces:
+enough to catch schema drift in tests and CI without a schema library.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticanalysis.diagnostics import SARIF_LEVELS, Diagnostic, Severity
+from repro.staticanalysis.registry import Rule, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+#: SARIF requires a URI for artifact locations; the IR is synthetic,
+#: so findings carry only logical locations under this namespace.
+LOGICAL_KIND = "module"
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.help_text or rule.title},
+        "defaultConfiguration": {"level": SARIF_LEVELS[rule.severity]},
+        "properties": {"category": rule.category.value},
+    }
+
+
+def _result(diag: Diagnostic) -> dict:
+    out: dict = {
+        "ruleId": diag.rule_id,
+        "level": SARIF_LEVELS[diag.severity],
+        "message": {"text": diag.message},
+    }
+    if diag.location:
+        out["locations"] = [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": diag.location,
+                        "kind": LOGICAL_KIND,
+                    }
+                ]
+            }
+        ]
+    props = {
+        key: getattr(diag, key)
+        for key in ("kernel", "nest", "statement", "array", "loop", "hint")
+        if getattr(diag, key)
+    }
+    props["category"] = diag.category.value
+    out["properties"] = props
+    return out
+
+
+def to_sarif(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> dict:
+    """A SARIF 2.1.0 document (dict) for one lint run."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://github.com/",
+                        "rules": [_rule_descriptor(r) for r in all_rules()],
+                    }
+                },
+                "results": [_result(d) for d in diags],
+            }
+        ],
+    }
+
+
+def validate_sarif(doc: dict) -> list[str]:
+    """Structural problems of a SARIF document (empty = valid).
+
+    Checks the invariants this package relies on: version, the runs
+    array, tool driver naming, rule descriptors, and per-result
+    ``ruleId``/``level``/``message`` with levels from the SARIF set
+    and rule IDs resolving against the declared rules.
+    """
+    problems: list[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version is {doc.get('version')!r}, expected {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty list"]
+    levels = set(SARIF_LEVELS.values()) | {"none"}
+    for i, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            problems.append(f"run {i}: tool.driver.name missing")
+        declared = set()
+        for j, rule in enumerate(driver.get("rules", [])):
+            rid = rule.get("id")
+            if not rid:
+                problems.append(f"run {i}: rule {j} has no id")
+            else:
+                declared.add(rid)
+        for j, result in enumerate(run.get("results", [])):
+            rid = result.get("ruleId")
+            if not rid:
+                problems.append(f"run {i}: result {j} has no ruleId")
+            elif declared and rid not in declared:
+                problems.append(f"run {i}: result {j} ruleId {rid!r} undeclared")
+            if result.get("level") not in levels:
+                problems.append(
+                    f"run {i}: result {j} level {result.get('level')!r} invalid"
+                )
+            if "text" not in result.get("message", {}):
+                problems.append(f"run {i}: result {j} has no message.text")
+    return problems
+
+
+# -- text / JSON renderers -------------------------------------------------
+
+
+def render_text(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [str(d) for d in diags]
+    counts = {sev: 0 for sev in Severity}
+    for d in diags:
+        counts[d.severity] += 1
+    summary = (
+        f"{len(lines)} finding(s): "
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.NOTE]} note(s)"
+    )
+    return "\n".join(lines + [summary]) if lines else summary
+
+
+def findings_to_json(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> str:
+    """Plain-JSON form: ``{"findings": [...]}`` with diagnostic dicts."""
+    return json.dumps({"findings": [d.to_dict() for d in diags]}, indent=2)

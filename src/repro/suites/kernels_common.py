@@ -398,6 +398,11 @@ def pointer_chase(
 # ---------------------------------------------------------------------------
 
 
+#: Chunk length of the parallel byte-stream scan: long enough that the
+#: per-chunk recurrence dominates, short enough for load balance.
+_INT_SCAN_CHUNK = 1 << 16
+
+
 def int_scan(
     name: str,
     n: int,
@@ -410,24 +415,47 @@ def int_scan(
     """Byte-stream state machine (compression/parsing flavour) —
     integer-dominant with a loop-carried state recurrence, so no
     compiler can vectorize it: a pure scalar-integer-codegen contest,
-    the GNU-vs-FJtrad discriminator of Sec. 3.3."""
+    the GNU-vs-FJtrad discriminator of Sec. 3.3.
+
+    The parallel form scans independent chunks concurrently (how the
+    real codes parallelize — tasks per alignment/sequence/block); the
+    state recurrence stays sequential *within* each chunk, so the
+    scalar-codegen contest is unchanged."""
     b = KernelBuilder(name, lang, notes="integer state machine scan")
     b.array("buf", (n,), dtype=DType.I8)
     b.array("out", (n,), dtype=DType.I8)
-    b.nest(
-        [("i", 1, n)],
-        [
-            b.stmt(
-                write("out", "i"),
-                read("out", "i-1"),  # carried state: defeats vectorization
-                read("buf", "i"),
-                iops=iops,
-                branches=branches,
-                predicated=True,
-            )
-        ],
-        parallel=_par(parallel),
-    )
+    if parallel:
+        chunk = _INT_SCAN_CHUNK
+        stride = min(chunk, n)
+        b.nest(
+            [("c", n // stride), ("i", 1, stride)],
+            [
+                b.stmt(
+                    write("out", f"{stride}*c+i"),
+                    # carried state: defeats vectorization of the scan
+                    read("out", f"{stride}*c+i-1"),
+                    read("buf", f"{stride}*c+i"),
+                    iops=iops,
+                    branches=branches,
+                    predicated=True,
+                )
+            ],
+            parallel=("c",),
+        )
+    else:
+        b.nest(
+            [("i", 1, n)],
+            [
+                b.stmt(
+                    write("out", "i"),
+                    read("out", "i-1"),  # carried state: defeats vectorization
+                    read("buf", "i"),
+                    iops=iops,
+                    branches=branches,
+                    predicated=True,
+                )
+            ],
+        )
     return b.build(Feature.INTEGER_DOMINANT, Feature.BRANCH_HEAVY)
 
 

@@ -48,6 +48,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.recorder import (
     SPAN_CAMPAIGN,
     SPAN_CELL,
+    SPAN_LINT,
     FlightReport,
     PhaseStat,
     flight_report,
@@ -66,6 +67,7 @@ __all__ = [
     "PhaseStat",
     "SPAN_CAMPAIGN",
     "SPAN_CELL",
+    "SPAN_LINT",
     "Span",
     "TIME_BUCKETS_S",
     "Telemetry",

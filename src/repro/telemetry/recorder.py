@@ -24,6 +24,7 @@ from repro.telemetry.spans import Span
 #: Span names (see docs/TELEMETRY.md for the span model).
 SPAN_CAMPAIGN = "campaign"
 SPAN_CELL = "cell"
+SPAN_LINT = "lint"
 
 #: Slowest-cell rows kept in a report.
 SLOWEST_CELLS = 8

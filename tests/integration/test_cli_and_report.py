@@ -169,3 +169,50 @@ class TestCliTrace:
         assert "parallel efficiency" in section
         # Results saved without telemetry render no section at all.
         assert flight_recorder_markdown(CampaignResult(machine="A64FX")) == ""
+
+
+class TestCliLint:
+    def test_polybench_flags_2mm_3mm_interchange(self, capsys):
+        assert main(["lint", "--suite", "polybench"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT010" in out
+        assert "[2mm/" in out and "[3mm/" in out
+        assert "icc does, fcc does not" in out
+        assert "finding(s):" in out
+
+    def test_single_benchmark_rule_filter(self, capsys):
+        assert main(["lint", "--benchmark", "polybench.2mm",
+                     "--rule", "OPT010"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT010" in out
+        assert "VEC003" not in out
+
+    def test_sarif_output_validates(self, capsys, tmp_path):
+        from repro.staticanalysis import validate_sarif
+
+        path = tmp_path / "lint.sarif"
+        assert main(["lint", "--suite", "polybench", "--format", "sarif",
+                     "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert validate_sarif(doc) == []
+        assert any(
+            r["ruleId"] == "OPT010"
+            for r in doc["runs"][0]["results"]
+        )
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "--benchmark", "polybench.2mm",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(f["rule"] == "OPT010" for f in doc["findings"])
+
+    def test_fail_on_warning_trips_on_findings(self, capsys):
+        assert main(["lint", "--benchmark", "polybench.2mm",
+                     "--fail-on", "warning"]) == 1
+        err = capsys.readouterr().err
+        assert "lint gate" in err
+
+    def test_fail_on_error_passes_clean_suites(self, capsys):
+        # The shipped suites must stay free of ERROR-severity findings
+        # (this is the CI lint gate's invariant).
+        assert main(["lint", "--fail-on", "error"]) == 0

@@ -107,7 +107,8 @@ class TestValidation:
         b.array("A", (8,))
         b.nest([("i", 8)], [b.stmt(update("A", "i+1"))])
         problems = validate_kernel(b.build())
-        assert problems and "spans" in problems[0]
+        assert problems and "spans" in problems[0].message
+        assert problems[0].rule_id == "BND002"
 
     def test_in_bounds_passes(self):
         b = KernelBuilder("k", Language.C)

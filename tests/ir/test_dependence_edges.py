@@ -1,0 +1,171 @@
+"""Edge cases for the dependence analysis: reversed (negative-stride)
+traversals, coupled subscripts, zero-trip loops, and interchange
+legality on triangularly-coupled dependence patterns.
+
+These pin down the conservative behaviour the static analyzer
+(:mod:`repro.staticanalysis`) builds on: a may-dependence must never be
+silently dropped, and a proven distance must carry the right sign.
+"""
+
+import pytest
+
+from repro.ir import (
+    DepKind,
+    Direction,
+    KernelBuilder,
+    Language,
+    carried_dependences,
+    innermost_vectorization_legality,
+    nest_dependences,
+    permutation_legal,
+    read,
+    write,
+)
+
+
+def _builder(name="edge"):
+    b = KernelBuilder(name, Language.C)
+    b.array("A", (16,))
+    b.array("B", (16,))
+    b.array("G", (16, 16))
+    return b
+
+
+class TestNegativeStride:
+    """Subscripts that walk arrays backwards (coefficient -1)."""
+
+    def test_reversed_copy_has_no_dependence(self):
+        # B[i] = A[15-i]: distinct arrays, no dependence at all.
+        b = _builder()
+        nest = b.nest(
+            [("i", 16)],
+            [b.stmt(write("B", "i"), read("A", "15-i"), fadd=1)],
+        )
+        assert nest_dependences(nest) == ()
+
+    def test_reversed_recurrence_direction(self):
+        # A[15-i] = f(A[16-i]): iteration i+1 reads what iteration i
+        # wrote (15-i == 16-(i+1)), a flow dependence carried forward
+        # even though both accesses walk the array backwards.
+        b = _builder()
+        nest = b.nest(
+            [("i", 15)],
+            [b.stmt(write("A", "15-i"), read("A", "16-i"), fadd=1)],
+        )
+        deps = nest_dependences(nest)
+        flows = [d for d in deps if d.kind is DepKind.FLOW]
+        assert flows, "reversed recurrence must report a flow dependence"
+        assert any(d.directions[0] is Direction.LT for d in flows)
+        # The proven distance must be +1 in iteration space, not -1 in
+        # address space.
+        assert any(d.distances[0] == 1 for d in flows if d.distances[0] is not None)
+
+    def test_array_reversal_in_place_is_conservative(self):
+        # A[i] = A[15-i]: a weak-crossing pair meeting mid-array.  The
+        # analysis may not prove the exact crossing point, but it must
+        # report *some* dependence rather than declaring independence.
+        b = _builder()
+        nest = b.nest(
+            [("i", 16)],
+            [b.stmt(write("A", "i"), read("A", "15-i"), fadd=1)],
+        )
+        assert nest_dependences(nest), "crossing pair must not be dropped"
+
+
+class TestCoupledSubscripts:
+    """MIV subscripts mixing several loop variables (A[i+j])."""
+
+    def test_diagonal_recurrence_reported(self):
+        b = _builder()
+        b.array("D", (40,))
+        nest = b.nest(
+            [("i", 16), ("j", 16)],
+            [b.stmt(write("D", "i+j"), read("D", "i+j-1"), fadd=1)],
+        )
+        deps = nest_dependences(nest)
+        flows = [d for d in deps if d.kind is DepKind.FLOW]
+        assert flows, "anti-diagonal recurrence must carry a flow dependence"
+
+    def test_diagonal_recurrence_blocks_vectorization(self):
+        # The same element D[i+j] is touched along every anti-diagonal,
+        # so vectorizing j is illegal; a sound analysis must not claim
+        # otherwise.
+        b = _builder()
+        b.array("D", (40,))
+        nest = b.nest(
+            [("i", 16), ("j", 16)],
+            [b.stmt(write("D", "i+j"), read("D", "i+j-1"), fadd=1)],
+        )
+        verdict = innermost_vectorization_legality(nest)
+        assert not verdict.legal
+
+    def test_coupled_interchange_rejected(self):
+        # The anti-diagonal recurrence has a genuine (<, >) crossing —
+        # e.g. (i=2, j=4) writes D[6], (i=3, j=3) reads it — so
+        # interchanging (i, j) would reverse a dependence and must be
+        # rejected.
+        b = _builder()
+        b.array("D", (40,))
+        nest = b.nest(
+            [("i", 16), ("j", 16)],
+            [b.stmt(write("D", "i+j"), read("D", "i+j-1"), fadd=1)],
+        )
+        deps = nest_dependences(nest)
+        assert permutation_legal(deps, nest.loop_vars, ("i", "j"))
+        assert not permutation_legal(deps, nest.loop_vars, ("j", "i"))
+
+
+class TestZeroTripLoops:
+    """Loops whose range is empty execute nothing and carry nothing."""
+
+    def test_zero_trip_loop_has_no_dependences(self):
+        b = _builder()
+        nest = b.nest(
+            [("i", 0)],
+            [b.stmt(write("A", "i"), read("A", "i-1"), fadd=1)],
+        )
+        assert nest.loops[0].trip_count == 0
+        assert nest_dependences(nest) == ()
+
+    def test_zero_trip_inner_loop(self):
+        b = _builder()
+        nest = b.nest(
+            [("i", 16), ("j", 4, 4)],
+            [b.stmt(write("G", "i", "j"), read("G", "i-1", "j"), fadd=1)],
+        )
+        assert nest.loops[1].trip_count == 0
+        assert nest_dependences(nest) == ()
+
+
+class TestTriangularInterchange:
+    """Interchange legality with triangularly-coupled direction vectors."""
+
+    def _skewed_nest(self):
+        # G[i][j] = f(G[i-1][j+1]): distance (+1, -1), directions
+        # (<, >) — the canonical "legal as written, illegal when
+        # interchanged" pattern (wavefront/triangular coupling).
+        b = _builder()
+        return b.nest(
+            [("i", 1, 16), ("j", 0, 15)],
+            [b.stmt(write("G", "i", "j"), read("G", "i-1", "j+1"), fadd=1)],
+        )
+
+    def test_skewed_dependence_vector(self):
+        deps = nest_dependences(self._skewed_nest())
+        flows = [d for d in deps if d.kind is DepKind.FLOW]
+        assert flows
+        assert any(
+            d.directions == (Direction.LT, Direction.GT) for d in flows
+        )
+
+    def test_interchange_reverses_skewed_dependence(self):
+        nest = self._skewed_nest()
+        deps = nest_dependences(nest)
+        assert permutation_legal(deps, nest.loop_vars, ("i", "j"))
+        assert not permutation_legal(deps, nest.loop_vars, ("j", "i"))
+
+    def test_skewed_dependence_carried_outermost(self):
+        deps = nest_dependences(self._skewed_nest())
+        assert carried_dependences(deps, 0)
+        flows = [d for d in deps if d.kind is DepKind.FLOW]
+        assert all(d.carried_level() == 0 for d in flows)

@@ -1,0 +1,116 @@
+"""Tests for the diagnostics model: severities, findings, sinks."""
+
+import pytest
+
+from repro.staticanalysis import (
+    Category,
+    Diagnostic,
+    DiagnosticSink,
+    LintError,
+    Severity,
+    has_at_least,
+    max_severity,
+)
+
+
+def _diag(rule="RACE001", severity=Severity.ERROR, **kw):
+    return Diagnostic(
+        rule_id=rule,
+        severity=severity,
+        category=Category.CORRECTNESS,
+        message=kw.pop("message", "iterations race"),
+        **kw,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.NOTE.rank
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert Severity.WARNING.at_least(Severity.WARNING)
+        assert not Severity.NOTE.at_least(Severity.WARNING)
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("Warning") is Severity.WARNING
+        assert Severity.parse(Severity.NOTE) is Severity.NOTE
+
+    def test_parse_unknown(self):
+        with pytest.raises(LintError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def test_requires_rule_and_message(self):
+        with pytest.raises(LintError):
+            _diag(rule="")
+        with pytest.raises(LintError):
+            _diag(message="")
+
+    def test_location(self):
+        d = _diag(kernel="2mm", nest="nest0", statement="S1")
+        assert d.location == "2mm/nest0/S1"
+        assert _diag().location == ""
+        assert _diag(kernel="2mm", statement="S1").location == "2mm/S1"
+
+    def test_with_kernel(self):
+        d = _diag(nest="nest0").with_kernel("gemm")
+        assert d.kernel == "gemm"
+        assert d.nest == "nest0"
+
+    def test_roundtrip(self):
+        d = _diag(kernel="2mm", nest="nest0", array="C", loop="j", hint="fix it")
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+    def test_to_dict_omits_empty(self):
+        raw = _diag().to_dict()
+        assert set(raw) == {"rule", "severity", "category", "message"}
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(LintError, match="malformed"):
+            Diagnostic.from_dict({"rule": "X001"})
+
+    def test_str_contains_parts(self):
+        text = str(_diag(kernel="2mm", hint="privatize"))
+        assert "error: RACE001:" in text
+        assert "[2mm]" in text
+        assert "(privatize)" in text
+
+
+class TestSink:
+    def test_collects_in_order(self):
+        sink = DiagnosticSink()
+        first = _diag(severity=Severity.NOTE)
+        second = _diag(rule="OPT010", severity=Severity.WARNING)
+        sink.emit(first)
+        sink.extend([second])
+        assert sink.snapshot() == (first, second)
+        assert len(sink) == 2
+
+    def test_max_severity_and_filter(self):
+        sink = DiagnosticSink()
+        assert sink.max_severity is None
+        sink.emit(_diag(severity=Severity.NOTE))
+        sink.emit(_diag(severity=Severity.ERROR))
+        assert sink.max_severity is Severity.ERROR
+        assert len(sink.at_least(Severity.WARNING)) == 1
+
+    def test_by_rule(self):
+        sink = DiagnosticSink()
+        sink.emit(_diag())
+        sink.emit(_diag(rule="OPT010", severity=Severity.WARNING))
+        sink.emit(_diag())
+        grouped = sink.by_rule()
+        assert list(grouped) == ["RACE001", "OPT010"]
+        assert len(grouped["RACE001"]) == 2
+
+
+class TestModuleHelpers:
+    def test_max_severity_empty(self):
+        assert max_severity(()) is None
+
+    def test_has_at_least(self):
+        diags = [_diag(severity=Severity.WARNING)]
+        assert has_at_least(diags, Severity.WARNING)
+        assert not has_at_least(diags, Severity.ERROR)
+        assert not has_at_least((), Severity.NOTE)

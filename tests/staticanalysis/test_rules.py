@@ -1,0 +1,251 @@
+"""Tests for the built-in rule set on small fixture kernels."""
+
+import pytest
+
+from repro.ir import KernelBuilder, Language, read, update, write
+from repro.staticanalysis import (
+    AnalysisContext,
+    LintError,
+    Severity,
+    all_rules,
+    analyze_kernel,
+    get_rule,
+    select_rules,
+)
+
+
+def _rules(*ids):
+    return select_rules(ids)
+
+
+def _findings(kernel, *rule_ids):
+    rules = _rules(*rule_ids) if rule_ids else None
+    return analyze_kernel(kernel, rules=rules)
+
+
+def racy_kernel(n=64):
+    """A proven distance-1 recurrence on a loop marked parallel."""
+    b = KernelBuilder("racy", Language.C)
+    b.array("a", (n,))
+    b.nest(
+        [("i", 1, n)],
+        [b.stmt(write("a", "i"), read("a", "i-1"), fadd=1)],
+        parallel=("i",),
+    )
+    return b.build()
+
+
+def gemm_kernel(n=32, order=("i", "j", "k")):
+    b = KernelBuilder("gemm_fixture", Language.C)
+    b.array("A", (n, n))
+    b.array("B", (n, n))
+    b.array("C", (n, n))
+    subscripts = {"i": ("i", "k"), "j": ("k", "j")}
+    b.nest(
+        [(v, n) for v in order],
+        [
+            b.stmt(
+                update("C", "i", "j"),
+                read("A", "i", "k"),
+                read("B", "k", "j"),
+                fma=1,
+                reduction="k",
+            )
+        ],
+    )
+    return b.build()
+
+
+class TestRegistry:
+    def test_catalog_is_complete(self):
+        ids = {r.rule_id for r in all_rules()}
+        assert {
+            "STRUCT001",
+            "BND002",
+            "RACE001",
+            "VEC003",
+            "INIT004",
+            "RED005",
+            "OPT010",
+        } <= ids
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            get_rule("NOPE999")
+
+    def test_select_subset(self):
+        rules = select_rules(["RACE001", "OPT010"])
+        assert [r.rule_id for r in rules] == ["RACE001", "OPT010"]
+
+
+class TestRace001:
+    def test_definite_race_is_error(self):
+        findings = _findings(racy_kernel(), "RACE001")
+        assert findings, "distance-1 recurrence on a parallel loop must fire"
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].loop == "i"
+        assert findings[0].array == "a"
+
+    def test_serial_recurrence_is_clean(self):
+        b = KernelBuilder("serial_scan", Language.C)
+        b.array("a", (64,))
+        b.nest([("i", 1, 64)], [b.stmt(write("a", "i"), read("a", "i-1"), fadd=1)])
+        assert _findings(b.build(), "RACE001") == ()
+
+    def test_reduction_exempt(self):
+        # gemm's k-recurrence is a recognized reduction; parallelizing
+        # i (which the dependence does not cross) is race-free.
+        b = KernelBuilder("par_gemm", Language.C)
+        n = 16
+        b.array("A", (n, n))
+        b.array("B", (n, n))
+        b.array("C", (n, n))
+        b.nest(
+            [("i", n), ("j", n), ("k", n)],
+            [
+                b.stmt(
+                    update("C", "i", "j"),
+                    read("A", "i", "k"),
+                    read("B", "k", "j"),
+                    fma=1,
+                    reduction="k",
+                )
+            ],
+            parallel=("i",),
+        )
+        assert _findings(b.build(), "RACE001") == ()
+
+    def test_may_dependence_downgraded_to_warning(self):
+        # i+j coupling defeats the exact tests: the race is possible,
+        # not proven, and must surface as a WARNING.
+        b = KernelBuilder("maybe_racy", Language.C)
+        b.array("D", (40,))
+        b.nest(
+            [("i", 16), ("j", 16)],
+            [b.stmt(write("D", "i+j"), read("D", "i+j-1"), fadd=1)],
+            parallel=("i",),
+        )
+        findings = _findings(b.build(), "RACE001")
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+        assert any("inconclusive" in f.message for f in findings)
+
+
+class TestVec003:
+    def test_innermost_recurrence_blocks_simd(self):
+        findings = _findings(racy_kernel(), "VEC003")
+        assert findings and findings[0].severity is Severity.WARNING
+        assert "cannot be vectorized" in findings[0].message
+
+    def test_fp_reduction_notes_reassociation(self):
+        findings = _findings(gemm_kernel(), "VEC003")
+        assert findings
+        assert findings[0].severity is Severity.NOTE
+        assert "reassociating" in findings[0].message
+
+
+class TestInit004:
+    def test_read_before_write_flagged(self):
+        b = KernelBuilder("swapped", Language.C)
+        b.array("t", (64,))
+        b.array("x", (64,))
+        b.nest(
+            [("i", 64)],
+            [
+                b.stmt(write("x", "i"), read("t", "i"), fadd=1),
+                b.stmt(write("t", "i"), read("x", "i"), fadd=1),
+            ],
+        )
+        findings = _findings(b.build(), "INIT004")
+        assert len(findings) == 1
+        assert findings[0].array == "t"
+        assert findings[0].statement == "S0"
+
+    def test_write_then_read_is_clean(self):
+        # t is written before it is read; x is an input that is never
+        # overwritten; y is a pure output.  Nothing to flag.
+        b = KernelBuilder("ordered", Language.C)
+        b.array("t", (64,))
+        b.array("x", (64,))
+        b.array("y", (64,))
+        b.nest(
+            [("i", 64)],
+            [
+                b.stmt(write("t", "i"), read("x", "i"), fadd=1),
+                b.stmt(write("y", "i"), read("t", "i"), fadd=1),
+            ],
+        )
+        assert _findings(b.build(), "INIT004") == ()
+
+
+class TestRed005:
+    def test_unannotated_parallel_update_is_error(self):
+        b = KernelBuilder("bad_sum", Language.C)
+        b.array("acc", (1,))
+        b.array("x", (64,))
+        b.nest(
+            [("i", 64)],
+            [b.stmt(update("acc", 0), read("x", "i"), fadd=1)],
+            parallel=("i",),
+        )
+        findings = _findings(b.build(), "RED005")
+        assert findings and findings[0].severity is Severity.ERROR
+        assert "without a matching reduction annotation" in findings[0].message
+
+    def test_annotated_fp_reduction_warns_portability(self):
+        b = KernelBuilder("fp_sum", Language.C)
+        b.array("acc", (1,))
+        b.array("x", (64,))
+        b.nest(
+            [("i", 64)],
+            [b.stmt(update("acc", 0), read("x", "i"), fadd=1, reduction="i")],
+            parallel=("i",),
+        )
+        findings = _findings(b.build(), "RED005")
+        assert findings and findings[0].severity is Severity.WARNING
+        assert "reassociates" in findings[0].message
+
+    def test_moving_target_is_clean(self):
+        b = KernelBuilder("axpy", Language.C)
+        b.array("y", (64,))
+        b.array("x", (64,))
+        b.nest(
+            [("i", 64)],
+            [b.stmt(update("y", "i"), read("x", "i"), fma=1)],
+            parallel=("i",),
+        )
+        assert _findings(b.build(), "RED005") == ()
+
+
+class TestOpt010:
+    def test_ijk_gemm_suggests_ikj(self):
+        findings = _findings(gemm_kernel(), "OPT010")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.severity is Severity.WARNING
+        assert "ikj" in finding.message
+        assert "icc does, fcc does not" in finding.message
+
+    def test_good_order_is_clean(self):
+        assert _findings(gemm_kernel(order=("i", "k", "j")), "OPT010") == ()
+
+    def test_machine_line_size_matters(self):
+        # The stride cost counts cache lines; the context's machine
+        # provides the line size, so the rule must run under any model.
+        from repro.machine import xeon
+
+        ctx = AnalysisContext(machine=xeon())
+        findings = analyze_kernel(
+            gemm_kernel(), rules=select_rules(["OPT010"]), ctx=ctx
+        )
+        assert findings, "ijk gemm loses on 64-byte lines too"
+
+
+class TestBounds:
+    def test_bnd002_through_rules(self):
+        b = KernelBuilder("oob", Language.C)
+        b.array("a", (8,))
+        b.nest([("i", 16)], [b.stmt(write("a", "i"), fadd=1)])
+        findings = _findings(b.build(), "BND002")
+        assert findings and findings[0].severity is Severity.ERROR
+        assert "spans" in findings[0].message

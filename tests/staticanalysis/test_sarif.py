@@ -1,0 +1,81 @@
+"""Tests for the lint output formats: text, JSON, and SARIF 2.1.0."""
+
+import json
+
+from repro.staticanalysis import (
+    Category,
+    Diagnostic,
+    Severity,
+    analyze_benchmark,
+    findings_to_json,
+    render_text,
+    to_sarif,
+    validate_sarif,
+)
+from repro.staticanalysis.sarif import SARIF_VERSION, TOOL_NAME
+from repro.suites import get_benchmark
+
+
+def _diag(rule="RACE001", severity=Severity.ERROR, **kw):
+    return Diagnostic(
+        rule_id=rule,
+        severity=severity,
+        category=Category.CORRECTNESS,
+        message=kw.pop("message", "iterations race"),
+        **kw,
+    )
+
+
+class TestSarif:
+    def test_empty_document_validates(self):
+        doc = to_sarif(())
+        assert validate_sarif(doc) == []
+        assert doc["version"] == SARIF_VERSION
+        assert doc["runs"][0]["tool"]["driver"]["name"] == TOOL_NAME
+
+    def test_rule_catalog_embedded(self):
+        doc = to_sarif(())
+        ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert "RACE001" in ids and "OPT010" in ids
+
+    def test_results_carry_logical_locations(self):
+        doc = to_sarif([_diag(kernel="2mm", nest="nest0", statement="S0")])
+        assert validate_sarif(doc) == []
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "RACE001"
+        assert result["level"] == "error"
+        logical = result["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == "2mm/nest0/S0"
+
+    def test_validator_catches_drift(self):
+        doc = to_sarif([_diag()])
+        doc["runs"][0]["results"][0]["ruleId"] = "GHOST999"
+        assert any("GHOST999" in p for p in validate_sarif(doc))
+        bad_version = to_sarif(())
+        bad_version["version"] = "1.0.0"
+        assert validate_sarif(bad_version)
+
+    def test_real_suite_findings_validate(self):
+        findings = analyze_benchmark(get_benchmark("polybench.2mm"))
+        assert findings
+        doc = to_sarif(findings)
+        assert validate_sarif(doc) == []
+        # The document is plain JSON-serializable data.
+        json.dumps(doc)
+
+
+class TestTextAndJson:
+    def test_render_text_summary(self):
+        text = render_text(
+            [_diag(), _diag(rule="OPT010", severity=Severity.WARNING)]
+        )
+        assert "2 finding(s): 1 error(s), 1 warning(s), 0 note(s)" in text
+        assert "RACE001" in text
+
+    def test_render_text_empty(self):
+        assert "0 finding(s)" in render_text(())
+
+    def test_findings_to_json_roundtrip(self):
+        findings = [_diag(kernel="2mm", hint="privatize")]
+        raw = json.loads(findings_to_json(findings))
+        assert [Diagnostic.from_dict(d) for d in raw["findings"]] == findings
