@@ -14,9 +14,14 @@ Also exports the span tree as Chrome ``trace_event`` JSON — open
 to see each worker process as its own swim-lane with
 cell -> compile/simulate nesting.
 
-Run:  python examples/flight_recorder.py
+Run:  python examples/flight_recorder.py [--out DIR]
+
+Outputs land in a temporary directory by default (pass ``--out`` to
+keep them somewhere specific) — the example never litters the
+working tree.
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
@@ -25,7 +30,16 @@ from repro.api import CampaignConfig, CampaignSession
 
 
 def main() -> None:
-    cache_dir = Path(tempfile.mkdtemp(prefix="flight-"))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="directory for the exported trace (default: a temp dir)",
+    )
+    args = parser.parse_args()
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp(prefix="flight-"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="flight-cache-"))
     config = CampaignConfig(
         suites=("micro", "top500"),
         workers=4,
@@ -45,7 +59,7 @@ def main() -> None:
     print(telemetry.render_flight_report(report))
 
     # The same recording, exported for the trace viewer.
-    trace = Path("flight-trace.json")
+    trace = out_dir / "flight-trace.json"
     telemetry.write_chrome_trace(trace, tel)
     print(f"\nChrome trace written to {trace} — open it in ui.perfetto.dev")
 

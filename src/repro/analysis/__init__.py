@@ -19,6 +19,7 @@ from repro.analysis.report import (
     experiments_markdown,
     flight_recorder_markdown,
     lint_markdown,
+    resilience_markdown,
 )
 from repro.analysis.svg import figure1_svg, figure2_svg, gain_color
 from repro.analysis.stats import (
@@ -51,6 +52,7 @@ __all__ = [
     "experiments_markdown",
     "flight_recorder_markdown",
     "lint_markdown",
+    "resilience_markdown",
     "figure1",
     "figure1_svg",
     "figure2",

@@ -18,6 +18,7 @@ from repro.analysis.figures import figure1
 from repro.analysis.gains import benchmark_gains, overall_summary, suite_summary
 from repro.analysis.stats import variability_report
 from repro.harness.results import (
+    FAILURE_STATUSES,
     STATUS_COMPILE_ERROR,
     STATUS_LINT_ERROR,
     STATUS_RUNTIME_ERROR,
@@ -320,6 +321,67 @@ def lint_markdown(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def resilience_markdown(result: CampaignResult) -> str:
+    """The resilient-execution section (empty for a clean campaign run
+    without retries, timeouts, worker restarts, or a fault plan).
+
+    Summarizes what the engine absorbed (retried cells, worker
+    restarts, injected cache losses) and what degraded into failure
+    cells, broken down by taxonomy status.  Failed cells are listed
+    with their fault site so a chaos run's report shows exactly where
+    each fault landed.
+    """
+    meta = result.meta or {}
+    # Only taxonomy-degraded cells count: the model's own deterministic
+    # error cells (Figure 2's grey squares) are part of the paper's
+    # reproduction, not resilience events, and carry no failure block.
+    failed = [r for r in result.records.values()
+              if r.status in FAILURE_STATUSES and r.failure is not None]
+    retried = meta.get("retried", 0)
+    timeouts = meta.get("timeouts", 0)
+    restarts = meta.get("worker_restarts", 0)
+    cache_faults = meta.get("cache_faults", 0)
+    plan = meta.get("fault_plan")
+    if not (failed or retried or timeouts or restarts or cache_faults or plan):
+        return ""
+    lines = ["## Resilience", ""]
+    if plan:
+        lines.append(
+            f"- fault plan `{plan[:12]}` (seed {meta.get('fault_seed', 0)}) "
+            "injected deterministic faults into this campaign"
+        )
+    lines.append(
+        f"- {retried} cell retr{'y' if retried == 1 else 'ies'} absorbed "
+        f"(budget: {meta.get('max_retries', 0)} per cell), "
+        f"{restarts} worker-pool restart(s), "
+        f"{cache_faults} injected cache loss(es)"
+    )
+    budget = meta.get("cell_timeout_s")
+    lines.append(
+        f"- per-cell wall-clock budget: {budget}s, {timeouts} cell(s) over budget"
+        if budget is not None
+        else "- per-cell wall-clock budget: none"
+    )
+    if failed:
+        counts: dict[str, int] = {}
+        for record in failed:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        summary = ", ".join(f"{counts[s]} {s}" for s in FAILURE_STATUSES if s in counts)
+        lines.append(f"- {len(failed)} cell(s) degraded to failure records: {summary}")
+        lines += ["", "| cell | status | site | transient | attempts |", "|---|---|---|---|---|"]
+        for record in sorted(failed, key=lambda r: (r.benchmark, r.variant)):
+            info = record.failure
+            lines.append(
+                f"| {record.benchmark}/{record.variant} | {record.status} "
+                f"| {info.site} | {'yes' if info.transient else 'no'} "
+                f"| {info.attempts} |"
+            )
+    else:
+        lines.append("- every cell completed; no failure records")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiments_markdown(
     result: CampaignResult, xeon_result: CampaignResult | None = None
 ) -> str:
@@ -369,6 +431,9 @@ def experiments_markdown(
     lint = lint_markdown(result)
     if lint:
         lines.append(lint)
+    resilience = resilience_markdown(result)
+    if resilience:
+        lines.append(resilience)
     recorder = flight_recorder_markdown(result)
     if recorder:
         lines.append(recorder)

@@ -41,6 +41,7 @@ from pathlib import Path
 from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import STUDY_VARIANTS
 from repro.errors import HarnessError
+from repro.faults import FaultPlan
 from repro.harness.engine import (
     CampaignEngine,
     CampaignEvent,
@@ -117,6 +118,20 @@ class CampaignConfig:
     #: cell record, ``"error"`` additionally skips cells whose kernels
     #: carry ERROR-severity findings (recorded as ``lint error`` cells).
     lint_policy: str = "off"
+    #: Seed-stable chaos plan (:mod:`repro.faults`): deterministic
+    #: fault injection at the compile/run/timeout/verify/worker/cache
+    #: sites.  ``None`` (default) injects nothing.
+    fault_plan: "FaultPlan | None" = None
+    #: Retry budget per cell for transient faults (injected chaos,
+    #: environmental errors, timeouts).  Deterministic model failures
+    #: never consume retries, so the default costs nothing.
+    max_retries: int = 1
+    #: Per-cell wall-clock budget in seconds; blown budgets classify as
+    #: :class:`~repro.faults.taxonomy.TimeoutFault` and record
+    #: ``"timeout"`` cells.  ``None`` disables the check.
+    cell_timeout_s: "float | None" = None
+    #: Base of the seeded exponential retry backoff (0 = immediate).
+    retry_backoff_s: float = 0.05
 
     def with_(self, **kwargs: object) -> "CampaignConfig":
         """A copy with the given fields replaced."""
@@ -175,6 +190,10 @@ class CampaignSession:
             runs=cfg.runs,
             telemetry=self._telemetry,
             lint_policy=cfg.lint_policy,
+            fault_plan=cfg.fault_plan,
+            max_retries=cfg.max_retries,
+            cell_timeout_s=cfg.cell_timeout_s,
+            retry_backoff_s=cfg.retry_backoff_s,
         )
 
     def cells(self) -> tuple[CellTask, ...]:

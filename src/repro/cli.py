@@ -49,8 +49,11 @@ def _progress_printer(total_hint: int = 0):
         if event.kind is EventKind.CAMPAIGN_FINISHED:
             print(f"  {event.message} in {event.elapsed_s:.1f}s", file=sys.stderr)
             return
+        if event.kind is EventKind.WORKER_LOST:
+            print(f"  worker lost: {event.message}", file=sys.stderr)
+            return
         if event.kind not in (EventKind.CELL_FINISHED, EventKind.CELL_FAILED,
-                              EventKind.CACHE_HIT):
+                              EventKind.CELL_TIMED_OUT, EventKind.CACHE_HIT):
             return
         decile = 10 * event.completed // max(event.total, 1)
         if decile > state["last"]:
@@ -67,6 +70,16 @@ def _progress_printer(total_hint: int = 0):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry_on = bool(args.trace or args.span_log or args.metrics)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        print(
+            f"fault plan {args.fault_plan}: seed {fault_plan.seed}, "
+            f"{len(fault_plan.rules)} rule(s), digest {fault_plan.digest()[:12]}",
+            file=sys.stderr,
+        )
     config = CampaignConfig(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -75,6 +88,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         benchmarks=tuple(args.benchmark) if args.benchmark else None,
         variants=tuple(args.variant) if args.variant else CampaignConfig.variants,
         telemetry=telemetry_on,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        cell_timeout_s=args.cell_timeout,
+        retry_backoff_s=args.retry_backoff,
     )
     session = CampaignSession(config)
     session.subscribe(_progress_printer())
@@ -405,6 +422,24 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run.add_argument(
         "--variant", action="append", metavar="NAME",
         help="limit the campaign to this compiler variant (repeatable)",
+    )
+    p_run.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; blown cells record as 'timeout' "
+             "(default: no limit)",
+    )
+    p_run.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="retry budget per cell for transient faults (default: 1)",
+    )
+    p_run.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base of the seeded exponential retry backoff (default: 0.05)",
+    )
+    p_run.add_argument(
+        "--fault-plan", metavar="PATH",
+        help="inject deterministic faults from this JSON plan "
+             "(see repro.faults.FaultPlan) — chaos testing",
     )
     p_run.set_defaults(func=_cmd_run)
 

@@ -1,0 +1,242 @@
+"""Deterministic fault plans: reproducible chaos for campaign runs.
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultRule` s,
+each aiming one taxonomy fault at an execution site (compile, run,
+timeout, verify, worker, cache) for a glob-selected set of cells.  The
+:class:`FaultInjector` turns the plan into per-(site, cell, attempt)
+decisions by hashing the identity tuple with SHA-256 — the same plan
+therefore fires the same faults in the same places on every run, in
+every process, under every ``PYTHONHASHSEED``.  That is what makes
+chaos testing *regression* testing: a CI job can inject worker
+crashes, compiler faults, and timeouts into a campaign and assert the
+resilient engine still produces exactly the fault-free result.
+
+:class:`RetryPolicy` carries the retry budget and the exponential
+backoff with seeded jitter (same determinism argument: backoff delays
+must not change the records, but they should still be reproducible for
+trace comparison).
+
+Plans round-trip through JSON (``FaultPlan.save``/``load``) so a chaos
+campaign is fully described by one committed file — see
+``tools/chaos_plan.json`` and ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import HarnessError
+from repro.faults.taxonomy import (
+    FAULT_FOR_SITE,
+    SITE_TIMEOUT,
+    SITES,
+    Fault,
+    TimeoutFault,
+)
+
+
+def _unit(*key_parts: object) -> float:
+    """Deterministic U(0,1) from a hashable identity tuple (the same
+    construction :mod:`repro.perf.noise` uses for measurement noise)."""
+    digest = hashlib.sha256("|".join(str(p) for p in key_parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One targeted fault: *where* it strikes and *how often*.
+
+    ``benchmark``/``variant`` are ``fnmatch`` globs over the cell
+    identity.  ``probability`` is evaluated deterministically per
+    (cell, attempt).  ``first_attempts`` bounds injection to the first
+    N attempts of a cell (the default 1 makes the fault *heal* on
+    retry — the transient-fault shape the chaos gate exercises);
+    ``None`` fires on every attempt, which exhausts the retry budget.
+    """
+
+    site: str
+    benchmark: str = "*"
+    variant: str = "*"
+    probability: float = 1.0
+    transient: bool = False
+    first_attempts: "int | None" = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise HarnessError(
+                f"unknown fault site {self.site!r}; choose from {SITES}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise HarnessError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.first_attempts is not None and self.first_attempts < 1:
+            raise HarnessError("first_attempts must be >= 1 (or null)")
+
+    def matches(self, benchmark: str, variant: str, attempt: int) -> bool:
+        if self.first_attempts is not None and attempt >= self.first_attempts:
+            return False
+        return fnmatch.fnmatchcase(benchmark, self.benchmark) and fnmatch.fnmatchcase(
+            variant, self.variant
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "benchmark": self.benchmark,
+            "variant": self.variant,
+            "probability": self.probability,
+            "transient": self.transient,
+            "first_attempts": self.first_attempts,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultRule":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py310 compat
+        unknown = set(raw) - known
+        if unknown:
+            raise HarnessError(
+                f"unknown fault-rule field(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "site" not in raw:
+            raise HarnessError("fault rule needs a 'site'")
+        kwargs = dict(raw)
+        if "first_attempts" in kwargs and kwargs["first_attempts"] is not None:
+            kwargs["first_attempts"] = int(kwargs["first_attempts"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rule list — the full description of a chaos run."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def digest(self) -> str:
+        """Content hash of the plan (participates in cache keys so a
+        chaos run never aliases a fault-free run's cached cells)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise HarnessError(f"fault plan must be a JSON object, got {type(raw).__name__}")
+        rules = raw.get("rules", [])
+        if not isinstance(rules, list):
+            raise HarnessError("fault plan 'rules' must be a list")
+        return cls(
+            seed=int(raw.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except ValueError as exc:
+            raise HarnessError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(raw)
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise HarnessError(f"cannot read fault plan {path}: {exc}") from None
+        return cls.from_json(text)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at execution sites.
+
+    Stateless and picklable by construction (it holds only the frozen
+    plan), so worker processes rebuild identical injectors and the
+    serial and parallel paths make identical decisions.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def decide(
+        self, site: str, benchmark: str, variant: str, attempt: int
+    ) -> "Fault | None":
+        """The fault (if any) striking this (site, cell, attempt).
+
+        The first matching rule whose deterministic coin lands under
+        its probability wins; rule order is therefore part of the plan.
+        """
+        for index, rule in enumerate(self.plan.rules):
+            if rule.site != site or not rule.matches(benchmark, variant, attempt):
+                continue
+            u = _unit(self.plan.seed, index, site, benchmark, variant, attempt)
+            if u >= rule.probability:
+                continue
+            message = rule.message or (
+                f"injected {site} fault (rule {index}, attempt {attempt})"
+            )
+            cls = FAULT_FOR_SITE[site]
+            kwargs: dict = dict(
+                message=message, transient=rule.transient, injected=True
+            )
+            if cls is TimeoutFault and site == SITE_TIMEOUT:
+                kwargs["elapsed_s"] = 0.0
+            return cls(**kwargs)
+        return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and seeded exponential backoff for transient faults.
+
+    ``delay_s`` grows as ``backoff_s * multiplier**(attempt-1)`` capped
+    at ``max_backoff_s``, times a deterministic jitter factor in
+    ``[1, 1+jitter]`` keyed on (seed, cell, attempt) — reproducible, yet
+    decorrelated across cells so a requeue stampede spreads out.
+    """
+
+    max_retries: int = 1
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise HarnessError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise HarnessError("backoff times must be >= 0")
+
+    def should_retry(self, fault: Fault, attempt: int) -> bool:
+        """May the cell run again after ``fault`` ended attempt
+        ``attempt`` (0-based)?"""
+        return fault.transient and attempt < self.max_retries
+
+    def delay_s(self, benchmark: str, variant: str, attempt: int) -> float:
+        if self.backoff_s == 0:
+            return 0.0
+        base = min(
+            self.backoff_s * self.multiplier ** max(0, attempt), self.max_backoff_s
+        )
+        return base * (1.0 + self.jitter * _unit(self.seed, "backoff", benchmark, variant, attempt))

@@ -24,16 +24,26 @@ from repro.harness.exploration import (
     placement_candidates,
 )
 from repro.harness.results import (
+    FAILURE_STATUSES,
     RESULT_SCHEMA_VERSION,
     STATUS_COMPILE_ERROR,
     STATUS_OK,
     STATUS_RUNTIME_ERROR,
+    STATUS_TIMEOUT,
+    STATUS_VERIFICATION_ERROR,
+    STATUS_WORKER_CRASH,
     CampaignResult,
     RunRecord,
     record_from_dict,
     record_to_dict,
 )
-from repro.harness.runner import PERFORMANCE_RUNS, run_benchmark
+from repro.harness.runner import (
+    PERFORMANCE_RUNS,
+    CellOutcome,
+    CellRetry,
+    run_benchmark,
+    run_cell,
+)
 
 __all__ = [
     "CampaignEngine",
@@ -41,16 +51,22 @@ __all__ = [
     "CampaignJournal",
     "CampaignResult",
     "CellCache",
+    "CellOutcome",
+    "CellRetry",
     "CellTask",
     "ENGINE_VERSION",
     "EXPLORATION_TRIALS",
     "EventKind",
+    "FAILURE_STATUSES",
     "PERFORMANCE_RUNS",
     "RESULT_SCHEMA_VERSION",
     "RunRecord",
     "STATUS_COMPILE_ERROR",
     "STATUS_OK",
     "STATUS_RUNTIME_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_VERIFICATION_ERROR",
+    "STATUS_WORKER_CRASH",
     "benchmark_fingerprint",
     "cell_cache_key",
     "explore",
@@ -60,5 +76,6 @@ __all__ = [
     "record_to_dict",
     "run_benchmark",
     "run_campaign",
+    "run_cell",
     "run_polybench_xeon",
 ]

@@ -52,21 +52,29 @@ import tempfile
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import STUDY_VARIANTS
 from repro.errors import HarnessError
+from repro.faults.plan import FaultInjector, FaultPlan, RetryPolicy
+from repro.faults.taxonomy import SITE_CACHE, SITE_WORKER
 from repro.harness.results import (
     STATUS_LINT_ERROR,
     STATUS_OK,
+    STATUS_TIMEOUT,
     CampaignResult,
     RunRecord,
     record_from_dict,
     record_to_dict,
 )
-from repro.harness.runner import PERFORMANCE_RUNS, run_benchmark
+from repro.harness.runner import (
+    PERFORMANCE_RUNS,
+    CellOutcome,
+    run_cell,
+)
 from repro.machine.a64fx import a64fx
 from repro.machine.machine import Machine
 from repro.perf.cost import (
@@ -110,6 +118,15 @@ class EventKind(enum.Enum):
     #: The pre-flight lint gate skipped the cell (``lint_policy="error"``
     #: and the benchmark's kernels carry ERROR-severity findings).
     CELL_LINT_FAILED = "lint-failed"
+    #: A transient fault struck the cell and it is being re-attempted
+    #: (the message names the fault and the attempt).
+    CELL_RETRIED = "cell-retried"
+    #: The cell's final status is ``timeout`` (wall-clock budget blown,
+    #: or an injected :class:`~repro.faults.taxonomy.TimeoutFault`).
+    CELL_TIMED_OUT = "cell-timed-out"
+    #: A worker process died; its in-flight cells were requeued (or,
+    #: past the restart budget, fell back to in-process execution).
+    WORKER_LOST = "worker-lost"
     CAMPAIGN_FINISHED = "campaign-finished"
 
 
@@ -222,12 +239,16 @@ def cell_cache_key(
     flags: CompilerFlags | None,
     runs: int = PERFORMANCE_RUNS,
     lint_policy: str = LINT_OFF,
+    resilience: str = "",
 ) -> str:
     """Content-addressed key for one finished (benchmark, variant) cell.
 
     ``lint_policy`` participates only when the gate is on: linted runs
     attach findings (or skip cells) and must not alias records produced
     without the gate — while every pre-gate cache entry keeps its key.
+    ``resilience`` (the engine's fault-plan/timeout digest) follows the
+    same rule: a chaos run's failure records must never poison the
+    fault-free cache, and default-configured runs keep their old keys.
     """
     parts = (
         f"cell|e{ENGINE_VERSION}|c{CACHE_SCHEMA_VERSION}",
@@ -240,6 +261,8 @@ def cell_cache_key(
     )
     if lint_policy != LINT_OFF:
         parts = parts + (f"lint={lint_policy}",)
+    if resilience:
+        parts = parts + (resilience,)
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
@@ -395,33 +418,49 @@ class CampaignJournal:
 _WORKER_CACHES: dict[tuple[str, str], CompilationCache] = {}
 
 
-def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, RunRecord]], dict | None]":
+def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, CellOutcome]], dict | None]":
     """Execute one chunk of cell tasks inside a worker process.
 
     With telemetry enabled, the chunk records its cell spans and
     metrics into a fresh in-worker :class:`Telemetry` and ships its
-    snapshot back alongside the records; the parent merges it into the
+    snapshot back alongside the outcomes; the parent merges it into the
     campaign trace (the snapshot is plain JSON-able data, so it crosses
     the ``ProcessPoolExecutor`` pickle boundary).
+
+    When the campaign carries a fault plan with worker-site rules, the
+    injector is consulted once per cell before the chunk runs; a firing
+    rule kills this worker with ``os._exit`` — an abrupt death the
+    parent observes as :class:`BrokenProcessPool`, exactly like a real
+    OOM kill or node loss.  ``chunk_attempt`` keys those decisions so a
+    requeued chunk does not crash forever.
     """
-    machine, flags, runs, kernel_dir, telemetry_on, items = payload
+    (machine, flags, runs, kernel_dir, telemetry_on, items,
+     plan, retry, timeout_s, chunk_attempt) = payload
+    injector = FaultInjector(plan) if plan is not None else None
+    if injector is not None:
+        for _index, bench, variant in items:
+            crash = injector.decide(SITE_WORKER, bench.full_name, variant, chunk_attempt)
+            if crash is not None:
+                os._exit(3)  # simulate the worker dying mid-chunk
     cache_key = (machine.name, str(kernel_dir))
     cache = _WORKER_CACHES.get(cache_key)
     if cache is None:
         cache = CompilationCache(persist_dir=kernel_dir)
         _WORKER_CACHES[cache_key] = cache
     tel = Telemetry() if telemetry_on else None
-    out: list[tuple[int, RunRecord]] = []
+    out: list[tuple[int, CellOutcome]] = []
     with telemetry.active(tel):
         for index, bench, variant in items:
             t0 = time.monotonic()
             with telemetry.span("cell", benchmark=bench.full_name,
                                 variant=variant, index=index):
-                record = run_benchmark(
-                    bench, variant, machine, flags=flags, cache=cache, runs=runs
+                outcome = run_cell(
+                    bench, variant, machine, flags=flags, cache=cache,
+                    runs=runs, injector=injector, retry=retry,
+                    timeout_s=timeout_s,
                 )
             telemetry.observe("engine.cell_s", time.monotonic() - t0)
-            out.append((index, record))
+            out.append((index, outcome))
     return out, (tel.snapshot() if tel is not None else None)
 
 
@@ -476,6 +515,27 @@ class CampaignEngine:
         carry ERROR-severity findings, recording a ``lint error``
         status (with the findings) instead of burning model time —
         the pre-flight vetting the paper's failure cells motivate.
+    ``fault_plan``
+        A :class:`repro.faults.FaultPlan` aimed at the campaign's
+        compile/run/timeout/verify/worker/cache sites (chaos runs;
+        seed-stable, so reproducible).  ``None`` injects nothing.
+    ``max_retries``
+        Retry budget per cell for *transient* faults (injected chaos,
+        environmental errors, timeouts).  The model's deterministic
+        failure cells never consume retries.  Default 1 — free on the
+        happy path, one second chance everywhere else.
+    ``cell_timeout_s``
+        Per-cell wall-clock budget; a cell exceeding it is classified
+        as a (transient) :class:`~repro.faults.taxonomy.TimeoutFault`
+        and, once the budget is out, recorded with status
+        ``"timeout"``.  ``None`` (default) disables the check.
+    ``retry_backoff_s``
+        Base of the exponential backoff between retries (seeded
+        jitter on top); 0 retries immediately.
+    ``max_worker_restarts``
+        How many times the parallel path rebuilds a broken process
+        pool (worker crash / node loss) before degrading to in-process
+        execution of the remaining cells.
     """
 
     def __init__(
@@ -492,6 +552,11 @@ class CampaignEngine:
         runs: int = PERFORMANCE_RUNS,
         telemetry: "Telemetry | None" = None,
         lint_policy: str = LINT_OFF,
+        fault_plan: "FaultPlan | None" = None,
+        max_retries: int = 1,
+        cell_timeout_s: "float | None" = None,
+        retry_backoff_s: float = 0.05,
+        max_worker_restarts: int = 3,
     ) -> None:
         if workers < 1:
             raise HarnessError(f"workers must be >= 1, got {workers}")
@@ -499,6 +564,10 @@ class CampaignEngine:
             raise HarnessError(
                 f"unknown lint_policy {lint_policy!r}; choose from {LINT_POLICIES}"
             )
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise HarnessError(f"cell_timeout_s must be > 0, got {cell_timeout_s}")
+        if max_worker_restarts < 0:
+            raise HarnessError("max_worker_restarts must be >= 0")
         self.machine = machine if machine is not None else a64fx()
         self.variants = tuple(variants)
         if benchmarks is None:
@@ -512,6 +581,15 @@ class CampaignEngine:
         self.runs = runs
         self.telemetry = telemetry
         self.lint_policy = lint_policy
+        self.fault_plan = fault_plan
+        self.cell_timeout_s = cell_timeout_s
+        self.max_worker_restarts = max_worker_restarts
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff_s=retry_backoff_s,
+            seed=fault_plan.seed if fault_plan is not None else 0,
+        )
+        self._injector = FaultInjector(fault_plan) if fault_plan is not None else None
 
     # -- campaign shape --------------------------------------------------
 
@@ -538,7 +616,25 @@ class CampaignEngine:
         if self.lint_policy != LINT_OFF:
             # Only when gated, so pre-gate journals stay resumable.
             parts.append(f"lint={self.lint_policy}")
+        resilience = self._resilience_key()
+        if resilience:
+            parts.append(resilience)
         return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+    def _resilience_key(self) -> str:
+        """Cache/journal key fragment for non-default resilience options.
+
+        Empty for plain campaigns, so existing caches and journals keep
+        their identity; chaos/timeout runs get their own namespace
+        because faults change the records themselves.
+        """
+        parts = []
+        if self.fault_plan is not None:
+            parts.append(f"faults={self.fault_plan.digest()}")
+            parts.append(f"retries={self.retry_policy.max_retries}")
+        if self.cell_timeout_s is not None:
+            parts.append(f"timeout={self.cell_timeout_s}")
+        return ",".join(parts)
 
     @property
     def journal_path(self) -> Path | None:
@@ -578,7 +674,10 @@ class CampaignEngine:
         tasks = self.cells()
         total = len(tasks)
         done: dict[tuple[str, str], RunRecord] = {}
-        stats = {"cache_hits": 0, "resumed": 0, "executed": 0, "lint_skipped": 0}
+        stats = {
+            "cache_hits": 0, "resumed": 0, "executed": 0, "lint_skipped": 0,
+            "retried": 0, "timeouts": 0, "worker_restarts": 0, "cache_faults": 0,
+        }
         lint_diags, lint_blocked = self._lint_benchmarks()
 
         def send(kind: EventKind, task: CellTask | None = None, **kw) -> None:
@@ -616,10 +715,11 @@ class CampaignEngine:
         kernel_dir = self.cache_dir / "kernels" if self.cache_dir else None
         cell_keys: dict[int, str] = {}
         if cell_cache is not None:
+            resilience = self._resilience_key()
             cell_keys = {
                 t.index: cell_cache_key(
                     t.benchmark, t.variant, self.machine, self.flags,
-                    self.runs, self.lint_policy,
+                    self.runs, self.lint_policy, resilience,
                 )
                 for t in tasks
             }
@@ -641,17 +741,32 @@ class CampaignEngine:
                      message=STATUS_LINT_ERROR)
                 continue
             if cell_cache is not None:
-                hit = cell_cache.get(cell_keys[task.index])
-                if hit is not None:
-                    done[task.name] = hit
-                    stats["cache_hits"] += 1
-                    if journal is not None:
-                        journal.append(hit)
-                    send(EventKind.CACHE_HIT, task, record=hit, from_cache=True)
-                    continue
+                if self._cache_fault(task):
+                    # Injected cache loss: pretend the entry vanished
+                    # (scratch-file rot); the cell simply re-executes.
+                    stats["cache_faults"] += 1
+                    telemetry.count("faults.injected")
+                    telemetry.count(f"faults.site.{SITE_CACHE}")
+                else:
+                    hit = cell_cache.get(cell_keys[task.index])
+                    if hit is not None:
+                        done[task.name] = hit
+                        stats["cache_hits"] += 1
+                        if journal is not None:
+                            journal.append(hit)
+                        send(EventKind.CACHE_HIT, task, record=hit, from_cache=True)
+                        continue
             pending.append(task)
 
-        def record_finished(task: CellTask, record: RunRecord) -> None:
+        def finish_outcome(task: CellTask, outcome: CellOutcome) -> None:
+            for retry in outcome.retries:
+                stats["retried"] += 1
+                send(
+                    EventKind.CELL_RETRIED, task,
+                    message=f"attempt {retry.attempt + 1} retried after "
+                    f"{retry.fault.kind} ({retry.fault.message})",
+                )
+            record = outcome.record
             diags = lint_diags.get(task.benchmark.full_name, ())
             if diags:
                 record = dataclasses.replace(record, lint=diags)
@@ -662,15 +777,22 @@ class CampaignEngine:
                 cell_cache.put(cell_keys[task.index], record)
             if journal is not None:
                 journal.append(record)
-            kind = EventKind.CELL_FINISHED if record.status == STATUS_OK else EventKind.CELL_FAILED
-            send(kind, task, record=record, message="" if record.status == STATUS_OK else record.status)
+            if record.status == STATUS_OK:
+                send(EventKind.CELL_FINISHED, task, record=record)
+            elif record.status == STATUS_TIMEOUT:
+                stats["timeouts"] += 1
+                send(EventKind.CELL_TIMED_OUT, task, record=record,
+                     message=record.status)
+            else:
+                send(EventKind.CELL_FAILED, task, record=record,
+                     message=record.status)
 
         try:
             if self.workers == 1 or len(pending) <= 1:
-                self._run_serial(pending, kernel_dir, record_finished, send)
+                self._run_serial(pending, kernel_dir, finish_outcome, send)
             else:
-                self._run_parallel(pending, kernel_dir, record_finished, send,
-                                   tel, root)
+                self._run_parallel(pending, kernel_dir, finish_outcome, send,
+                                   tel, root, stats)
         finally:
             if journal is not None and len(done) < total:
                 journal.close()  # keep the partial journal for --resume
@@ -678,6 +800,10 @@ class CampaignEngine:
         result = CampaignResult(machine=self.machine.name)
         for task in tasks:
             result.add(done[task.name])
+        failures = sum(
+            1 for r in done.values()
+            if r.status not in (STATUS_OK, STATUS_LINT_ERROR)
+        )
         result.meta = {
             "engine_version": ENGINE_VERSION,
             "workers": self.workers,
@@ -689,13 +815,34 @@ class CampaignEngine:
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
             "lint_policy": self.lint_policy,
             "lint_skipped": stats["lint_skipped"],
+            "failures": failures,
+            "retried": stats["retried"],
+            "timeouts": stats["timeouts"],
+            "worker_restarts": stats["worker_restarts"],
+            "max_retries": self.retry_policy.max_retries,
+            "cell_timeout_s": self.cell_timeout_s,
+            "fault_plan": self.fault_plan.digest() if self.fault_plan else None,
+            "fault_seed": self.fault_plan.seed if self.fault_plan else None,
+            "cache_faults": stats["cache_faults"],
         }
         if journal is not None:
             journal.done()
         send(EventKind.CAMPAIGN_FINISHED, message=f"{stats['executed']} executed, "
              f"{stats['cache_hits']} cache hits, {stats['resumed']} resumed, "
-             f"{stats['lint_skipped']} lint-skipped")
+             f"{stats['lint_skipped']} lint-skipped, {stats['retried']} retried, "
+             f"{failures} failed")
         return result
+
+    def _cache_fault(self, task: CellTask) -> bool:
+        """Did the plan inject a cache fault for this cell's lookup?"""
+        if self._injector is None:
+            return False
+        return (
+            self._injector.decide(
+                SITE_CACHE, task.benchmark.full_name, task.variant, 0
+            )
+            is not None
+        )
 
     # -- internals -------------------------------------------------------
 
@@ -763,19 +910,21 @@ class CampaignEngine:
             send(EventKind.CACHE_HIT, task, record=record, from_cache=True,
                  message="resumed from journal")
 
-    def _run_serial(self, pending, kernel_dir, record_finished, send) -> None:
+    def _run_serial(self, pending, kernel_dir, finish_outcome, send) -> None:
         cache = CompilationCache(persist_dir=kernel_dir)
         for task in pending:
             send(EventKind.CELL_STARTED, task)
             t0 = time.monotonic()
             with telemetry.span("cell", benchmark=task.benchmark.full_name,
                                 variant=task.variant, index=task.index):
-                record = run_benchmark(
+                outcome = run_cell(
                     task.benchmark, task.variant, self.machine,
                     flags=self.flags, cache=cache, runs=self.runs,
+                    injector=self._injector, retry=self.retry_policy,
+                    timeout_s=self.cell_timeout_s,
                 )
             telemetry.observe("engine.cell_s", time.monotonic() - t0)
-            record_finished(task, record)
+            finish_outcome(task, outcome)
 
     def _chunk(self, pending: list[CellTask]) -> list[list[CellTask]]:
         """Benchmark-major chunks: a benchmark's variants stay together
@@ -791,30 +940,101 @@ class CampaignEngine:
             chunks.append([t for g in group_list[i : i + per_chunk] for t in g])
         return chunks
 
-    def _run_parallel(self, pending, kernel_dir, record_finished, send,
-                      tel=None, root=None) -> None:
-        chunks = self._chunk(pending)
+    def _chunk_payload(self, chunk, kernel_dir, telemetry_on, attempt) -> tuple:
+        return (
+            self.machine,
+            self.flags,
+            self.runs,
+            str(kernel_dir) if kernel_dir else None,
+            telemetry_on,
+            [(t.index, t.benchmark, t.variant) for t in chunk],
+            self.fault_plan,
+            self.retry_policy,
+            self.cell_timeout_s,
+            attempt,
+        )
+
+    def _run_parallel(self, pending, kernel_dir, finish_outcome, send,
+                      tel=None, root=None, stats=None) -> None:
+        """Fan chunks out over a process pool, surviving worker loss.
+
+        A worker that dies (OOM kill, node loss, injected
+        :class:`~repro.faults.taxonomy.WorkerCrash`) breaks the whole
+        ``ProcessPoolExecutor``: every in-flight future fails with
+        :class:`BrokenProcessPool`.  Finished chunks keep their
+        results; the lost ones are requeued — at ``attempt + 1``, so
+        attempt-bounded crash rules stop firing — on a fresh pool.
+        After ``max_worker_restarts`` rebuilds the engine degrades
+        gracefully and runs the remaining cells in-process instead.
+        """
+        stats = stats if stats is not None else {"worker_restarts": 0}
         by_index = {t.index: t for t in pending}
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = set()
-            for chunk in chunks:
-                for task in chunk:
-                    send(EventKind.CELL_STARTED, task)
-                payload = (
-                    self.machine,
-                    self.flags,
-                    self.runs,
-                    str(kernel_dir) if kernel_dir else None,
-                    tel is not None,
-                    [(t.index, t.benchmark, t.variant) for t in chunk],
+        queue: list[tuple[list[CellTask], int]] = [
+            (chunk, 0) for chunk in self._chunk(pending)
+        ]
+        for chunk, _attempt in queue:
+            for task in chunk:
+                send(EventKind.CELL_STARTED, task)
+        restarts = 0
+        while queue:
+            requeue: list[tuple[list[CellTask], int]] = []
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(
+                        _run_chunk,
+                        self._chunk_payload(chunk, kernel_dir, tel is not None, attempt),
+                    ): (chunk, attempt)
+                    for chunk, attempt in queue
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        chunk, attempt = futures[future]
+                        try:
+                            outcomes, snapshot = future.result()
+                        except (BrokenProcessPool, OSError) as exc:
+                            # The pool is gone; every still-pending future
+                            # fails the same way and lands in the requeue.
+                            requeue.append((chunk, attempt + 1))
+                            telemetry.count("engine.worker_lost")
+                            send(
+                                EventKind.WORKER_LOST,
+                                chunk[0] if chunk else None,
+                                message=f"worker died ({type(exc).__name__}); "
+                                f"requeued {len(chunk)} cell(s) at attempt {attempt + 1}",
+                            )
+                            continue
+                        if snapshot is not None and tel is not None:
+                            # Worker spans nest under the campaign root.
+                            tel.merge(snapshot, parent=root)
+                        for index, outcome in outcomes:
+                            finish_outcome(by_index[index], outcome)
+            queue = requeue
+            if not queue:
+                break
+            restarts += 1
+            stats["worker_restarts"] = stats.get("worker_restarts", 0) + 1
+            telemetry.count("engine.worker_restarts")
+            if restarts > self.max_worker_restarts:
+                # Graceful degradation: no pool left to trust — finish
+                # the remaining cells in this process.
+                leftovers = [t for chunk, _a in queue for t in chunk]
+                send(
+                    EventKind.WORKER_LOST,
+                    message=f"worker restart budget ({self.max_worker_restarts}) "
+                    f"exhausted; running {len(leftovers)} remaining cell(s) "
+                    f"in-process",
                 )
-                futures.add(pool.submit(_run_chunk, payload))
-            while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    records, snapshot = future.result()
-                    if snapshot is not None and tel is not None:
-                        # Worker spans nest under the campaign root.
-                        tel.merge(snapshot, parent=root)
-                    for index, record in records:
-                        record_finished(by_index[index], record)
+                cache = CompilationCache(persist_dir=kernel_dir)
+                for task in leftovers:
+                    with telemetry.span("cell", benchmark=task.benchmark.full_name,
+                                        variant=task.variant, index=task.index):
+                        outcome = run_cell(
+                            task.benchmark, task.variant, self.machine,
+                            flags=self.flags, cache=cache, runs=self.runs,
+                            injector=self._injector, retry=self.retry_policy,
+                            timeout_s=self.cell_timeout_s,
+                        )
+                    finish_outcome(task, outcome)
+                return

@@ -15,6 +15,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.errors import AnalysisError, HarnessError
+from repro.faults.taxonomy import FailureInfo
 from repro.machine.topology import Placement
 from repro.staticanalysis.diagnostics import Diagnostic
 
@@ -22,10 +23,30 @@ from repro.staticanalysis.diagnostics import Diagnostic
 STATUS_OK = "ok"
 STATUS_COMPILE_ERROR = "compiler error"
 STATUS_RUNTIME_ERROR = "runtime error"
+#: The cell exceeded its wall-clock budget (``cell_timeout_s`` or an
+#: injected :class:`~repro.faults.taxonomy.TimeoutFault`) — the paper's
+#: cells that never produce a time-to-solution.
+STATUS_TIMEOUT = "timeout"
+#: The run completed but produced wrong answers.
+STATUS_VERIFICATION_ERROR = "verification error"
+#: The worker executing the cell died and the failure outlived every
+#: requeue (multi-node campaigns; single-node runs degrade to serial
+#: execution instead of ever recording this).
+STATUS_WORKER_CRASH = "worker crash"
 #: The cell was skipped by the pre-flight lint gate
 #: (``CampaignConfig.lint_policy="error"``); its diagnostics are in
 #: :attr:`RunRecord.lint`.
 STATUS_LINT_ERROR = "lint error"
+
+#: Statuses that mark a failed execution (Figure 2 error cells) as
+#: opposed to a skipped (lint) or successful one.
+FAILURE_STATUSES = (
+    STATUS_COMPILE_ERROR,
+    STATUS_RUNTIME_ERROR,
+    STATUS_TIMEOUT,
+    STATUS_VERIFICATION_ERROR,
+    STATUS_WORKER_CRASH,
+)
 
 #: Current on-disk schema for :meth:`CampaignResult.to_json`.  Version 2
 #: adds the top-level ``schema`` marker and an ``engine`` metadata block
@@ -34,8 +55,10 @@ STATUS_LINT_ERROR = "lint error"
 #: accepted by :meth:`CampaignResult.load`.  Version 2 files may also
 #: carry an optional top-level ``telemetry`` flight-recorder block —
 #: files without it load unchanged.  Records may additionally carry an
-#: optional ``lint`` list of static-analysis findings (additive: files
-#: with or without it round-trip at version 2).
+#: optional ``lint`` list of static-analysis findings and an optional
+#: structured ``failure`` block (:class:`repro.faults.FailureInfo`);
+#: both are additive: files with or without them round-trip at
+#: version 2.
 RESULT_SCHEMA_VERSION = 2
 
 
@@ -57,6 +80,10 @@ class RunRecord:
     #: Static-analysis findings for the cell's kernels (populated when
     #: the campaign runs with ``lint_policy`` other than ``"off"``).
     lint: tuple[Diagnostic, ...] = ()
+    #: Structured failure taxonomy for failed cells (``None`` for
+    #: successful ones and for records written before the fault
+    #: subsystem existed).
+    failure: "FailureInfo | None" = None
 
     @property
     def valid(self) -> bool:
@@ -98,10 +125,13 @@ def record_to_dict(record: RunRecord, *, compact: bool = True) -> dict:
     """
     raw = asdict(record)
     raw["lint"] = [d.to_dict() for d in record.lint]
+    raw["failure"] = record.failure.to_dict() if record.failure else None
     if compact:
         for optional in ("exploration", "diagnostics", "lint"):
             if not raw[optional]:
                 del raw[optional]
+        if raw["failure"] is None:
+            del raw["failure"]
         if raw["status"] == STATUS_OK:
             del raw["status"]
     return raw
@@ -123,6 +153,8 @@ def record_from_dict(raw: dict) -> RunRecord:
     raw["exploration"] = tuple(tuple(e) for e in raw.get("exploration", ()))
     raw["diagnostics"] = tuple(raw.get("diagnostics", ()))
     raw["lint"] = tuple(Diagnostic.from_dict(d) for d in raw.get("lint", ()))
+    failure = raw.get("failure")
+    raw["failure"] = FailureInfo.from_dict(failure) if failure else None
     raw.setdefault("status", STATUS_OK)
     return RunRecord(**raw)
 

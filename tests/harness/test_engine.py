@@ -193,7 +193,7 @@ class TestCellCacheAndWarmRuns:
         def boom(*a, **k):
             raise AssertionError("model re-evaluated on a warm cache")
 
-        monkeypatch.setattr("repro.harness.engine.run_benchmark", boom)
+        monkeypatch.setattr("repro.harness.runner.run_benchmark", boom)
         warm = CampaignEngine(
             a64fx_machine, benchmarks=benches, cache_dir=tmp_path
         ).run()
@@ -253,15 +253,15 @@ class TestJournalResume:
             p.unlink()
         # ...and resume: the 6 journaled cells are replayed, not re-run.
         calls = []
-        import repro.harness.engine as engine_mod
+        import repro.harness.runner as runner_mod
 
-        real = engine_mod.run_benchmark
+        real = runner_mod.run_benchmark
 
         def counting(*args, **kwargs):
             calls.append(args[0].full_name)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr("repro.harness.engine.run_benchmark", counting)
+        monkeypatch.setattr("repro.harness.runner.run_benchmark", counting)
         resumed = self._engine(a64fx_machine, tmp_path, resume=True).run()
         assert resumed.meta["resumed"] == 6
         total = len(resumed.records)

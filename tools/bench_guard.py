@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Engine performance regression guard.
+
+Times the campaign engine's three load-bearing scenarios —
+
+- ``cold_serial_s``: full polybench x 3 variants, workers=1, no cache;
+- ``cold_parallel_s``: the same grid across 4 worker processes;
+- ``warm_cache_s``: an identical repeat against a populated cell cache
+  (must be nearly free);
+- ``chaos_overhead_s``: the serial grid under the committed fault plan
+  (resilience machinery must not dominate)
+
+— writes the measurements to ``--out`` (``BENCH_engine.json``) and
+compares them against the committed baseline
+(``benchmarks/BENCH_engine.baseline.json``).
+
+Two kinds of check:
+
+- *absolute*, with a generous ``tolerance`` multiplier (default 3x) so
+  slow CI runners don't flap the gate — this catches order-of-magnitude
+  regressions (an accidentally quadratic loop, a cache that stopped
+  caching);
+- *ratio*, machine-independent: warm-cache repeats must stay far
+  cheaper than cold runs, and chaos bookkeeping must stay cheap
+  relative to the work it wraps.
+
+Refresh the baseline after an intentional perf change::
+
+    python tools/bench_guard.py --update-baseline
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import CampaignConfig, CampaignSession  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+
+BASELINE = ROOT / "benchmarks" / "BENCH_engine.baseline.json"
+SUITES = ("polybench",)
+VARIANTS = ("GNU", "FJtrad", "LLVM")
+REPEATS = 3
+
+#: Absolute tolerance: measured may be up to this multiple of baseline.
+TOLERANCE = 3.0
+#: Warm-cache repeat must cost at most this fraction of a cold run.
+WARM_RATIO_MAX = 0.5
+#: The chaos run may cost at most this multiple of the plain serial run
+#: (it does strictly more work: every transient fault re-runs a cell).
+CHAOS_RATIO_MAX = 3.0
+
+
+def _time(fn) -> float:
+    """Best-of-REPEATS wall-clock of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure() -> dict:
+    base = CampaignConfig(suites=SUITES, variants=VARIANTS)
+    plan = FaultPlan.load(ROOT / "tools" / "chaos_plan.json")
+    chaos = base.with_(fault_plan=plan, max_retries=2, retry_backoff_s=0.0)
+
+    results: dict[str, float] = {}
+    results["cold_serial_s"] = _time(lambda: CampaignSession(base).run())
+    results["cold_parallel_s"] = _time(
+        lambda: CampaignSession(base.with_(workers=4)).run()
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        warm = base.with_(cache_dir=cache_dir)
+        CampaignSession(warm).run()  # populate
+        results["warm_cache_s"] = _time(lambda: CampaignSession(warm).run())
+
+    results["chaos_overhead_s"] = _time(lambda: CampaignSession(chaos).run())
+    return {
+        "scenarios": {k: round(v, 4) for k, v in results.items()},
+        "grid": {"suites": list(SUITES), "variants": list(VARIANTS)},
+        "repeats": REPEATS,
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+    }
+
+
+def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
+    broken: list[str] = []
+    scenarios = measured["scenarios"]
+    for name, base_s in baseline.get("scenarios", {}).items():
+        got = scenarios.get(name)
+        if got is None:
+            broken.append(f"scenario {name!r} missing from measurement")
+            continue
+        limit = base_s * tolerance
+        verdict = "ok" if got <= limit else "REGRESSION"
+        print(f"  {verdict}: {name} = {got:.3f}s "
+              f"(baseline {base_s:.3f}s, limit {limit:.3f}s)")
+        if got > limit:
+            broken.append(
+                f"{name}: {got:.3f}s exceeds {tolerance:.1f}x baseline "
+                f"({base_s:.3f}s)"
+            )
+
+    # Machine-independent ratios.
+    cold = scenarios["cold_serial_s"]
+    warm = scenarios["warm_cache_s"]
+    chaos = scenarios["chaos_overhead_s"]
+    ratio = warm / cold if cold else 0.0
+    verdict = "ok" if ratio <= WARM_RATIO_MAX else "REGRESSION"
+    print(f"  {verdict}: warm/cold ratio = {ratio:.3f} "
+          f"(limit {WARM_RATIO_MAX})")
+    if ratio > WARM_RATIO_MAX:
+        broken.append(
+            f"warm-cache repeat costs {ratio:.2f}x a cold run "
+            f"(limit {WARM_RATIO_MAX}) — the cell cache stopped caching"
+        )
+    ratio = chaos / cold if cold else 0.0
+    verdict = "ok" if ratio <= CHAOS_RATIO_MAX else "REGRESSION"
+    print(f"  {verdict}: chaos/cold ratio = {ratio:.3f} "
+          f"(limit {CHAOS_RATIO_MAX})")
+    if ratio > CHAOS_RATIO_MAX:
+        broken.append(
+            f"chaos campaign costs {ratio:.2f}x a plain run "
+            f"(limit {CHAOS_RATIO_MAX}) — resilience bookkeeping too heavy"
+        )
+    return broken
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measurement to --baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"measuring engine scenarios ({REPEATS} repeats, best-of) ...")
+    measured = measure()
+    for name, seconds in measured["scenarios"].items():
+        print(f"  {name} = {seconds:.3f}s")
+    Path(args.out).write_text(json.dumps(measured, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        Path(args.baseline).write_text(json.dumps(measured, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    print(f"comparing against {baseline_path} "
+          f"(tolerance {args.tolerance:.1f}x):")
+    broken = compare(measured, baseline, args.tolerance)
+    if broken:
+        for line in broken:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print("regression guard: all scenarios within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Chaos gate: a seeded fault-injection campaign must self-heal.
+
+Runs the same campaign three ways — fault-free, chaos at ``workers=1``,
+chaos at ``workers=4`` — under the committed fault plan
+(``tools/chaos_plan.json``) and asserts the resilience contract:
+
+1. every chaos campaign *completes* (no raised exception, full grid);
+2. cells hit only by transient faults retry and produce records
+   byte-identical to the fault-free run, serial and parallel alike;
+3. cells under a permanent rule degrade to failure records carrying
+   the right taxonomy status and a structured ``failure`` block;
+4. the engine surfaces what happened (retries, worker restarts,
+   injected cache losses) in ``CampaignResult.meta``.
+
+Writes a JSON report (``--out``, default ``chaos-report.json``) and
+exits non-zero on the first broken assertion.  CI runs this as the
+``chaos`` job; run it locally after touching the engine, runner, or
+faults subsystem::
+
+    python tools/chaos_check.py --out chaos-report.json
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import resilience_markdown  # noqa: E402
+from repro.api import CampaignConfig, CampaignSession  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.harness.results import FAILURE_STATUSES  # noqa: E402
+
+#: Campaign slice the gate exercises (small enough for CI, big enough
+#: for every fault site in the plan to fire somewhere).
+SUITES = ("polybench",)
+VARIANTS = ("GNU", "FJtrad", "LLVM")
+
+#: Benchmarks the committed plan permanently breaks, and the taxonomy
+#: status each must degrade to.
+EXPECTED_PERMANENT = {
+    "polybench.2mm": "compiler error",
+    "polybench.3mm": "runtime error",
+    "polybench.atax": "timeout",
+}
+
+
+class ChaosCheckError(AssertionError):
+    pass
+
+
+def _check(condition: bool, message: str, failures: list) -> None:
+    if condition:
+        print(f"  ok: {message}")
+    else:
+        print(f"  BROKEN: {message}", file=sys.stderr)
+        failures.append(message)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--plan", default=str(ROOT / "tools" / "chaos_plan.json"),
+        help="fault plan JSON (default: tools/chaos_plan.json)",
+    )
+    parser.add_argument(
+        "--out", default="chaos-report.json", help="report path"
+    )
+    args = parser.parse_args(argv)
+
+    plan = FaultPlan.load(args.plan)
+    print(f"fault plan: seed {plan.seed}, {len(plan.rules)} rules, "
+          f"digest {plan.digest()[:12]}")
+
+    base = CampaignConfig(suites=SUITES, variants=VARIANTS)
+    chaos_cfg = base.with_(fault_plan=plan, max_retries=2, retry_backoff_s=0.0)
+
+    t0 = time.monotonic()
+    free = CampaignSession(base).run()
+    chaos1 = CampaignSession(chaos_cfg).run()
+    chaos4 = CampaignSession(chaos_cfg.with_(workers=4)).run()
+    elapsed = time.monotonic() - t0
+
+    failures: list[str] = []
+    report: dict = {
+        "plan": {"path": args.plan, "seed": plan.seed,
+                 "digest": plan.digest(), "rules": len(plan.rules)},
+        "cells": len(free.records),
+        "elapsed_s": round(elapsed, 3),
+    }
+
+    # 1. completion: the chaos grids are as large as the clean grid.
+    print("completion:")
+    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+        _check(set(res.records) == set(free.records),
+               f"chaos {label} campaign completed the full "
+               f"{len(free.records)}-cell grid", failures)
+
+    # 2. self-healing: outside the permanently-broken benchmarks, chaos
+    # records equal the fault-free run bit for bit.
+    print("self-healing:")
+    healthy = {k: r for k, r in free.records.items()
+               if k[0] not in EXPECTED_PERMANENT}
+    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+        subset = {k: r for k, r in res.records.items()
+                  if k[0] not in EXPECTED_PERMANENT}
+        _check(subset == healthy,
+               f"chaos {label}: all {len(healthy)} transiently-faulted "
+               "cells healed to fault-free records", failures)
+    _check(chaos1.meta.get("retried", 0) > 0,
+           f"chaos workers=1 absorbed retries "
+           f"({chaos1.meta.get('retried', 0)})", failures)
+    _check(chaos4.meta.get("worker_restarts", 0) >= 1,
+           f"chaos workers=4 survived worker crashes "
+           f"({chaos4.meta.get('worker_restarts', 0)} pool restart(s))",
+           failures)
+    _check(chaos1.meta.get("cache_faults", 0) == 0,
+           "no cache dir, so no injected cache losses counted", failures)
+
+    # 3. taxonomy: permanent rules degrade to the right statuses.
+    print("taxonomy:")
+    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+        for bench, status in EXPECTED_PERMANENT.items():
+            cells = [r for k, r in res.records.items() if k[0] == bench]
+            _check(bool(cells) and all(r.status == status for r in cells),
+                   f"chaos {label}: {bench} degraded to {status!r}", failures)
+            _check(all(r.failure is not None
+                       and r.failure.site
+                       and r.failure.injected for r in cells),
+                   f"chaos {label}: {bench} carries a structured "
+                   "failure block", failures)
+    statuses = {r.status for r in chaos1.records.values()
+                if r.status in FAILURE_STATUSES}
+    _check(statuses == set(EXPECTED_PERMANENT.values()),
+           f"only the planned failure statuses appear: {sorted(statuses)}",
+           failures)
+
+    # 4. surfacing: meta and the report section record the chaos.
+    print("surfacing:")
+    for key in ("fault_plan", "fault_seed", "retried", "failures",
+                "timeouts", "worker_restarts"):
+        _check(key in chaos4.meta, f"meta carries {key!r}", failures)
+    _check(chaos4.meta.get("fault_plan") == plan.digest(),
+           "meta pins the plan digest", failures)
+    section = resilience_markdown(chaos1)
+    _check("## Resilience" in section and "timeout" in section,
+           "resilience report section renders the chaos run", failures)
+
+    report["chaos1"] = {k: chaos1.meta.get(k) for k in
+                        ("retried", "failures", "timeouts",
+                         "worker_restarts", "fault_plan")}
+    report["chaos4"] = {k: chaos4.meta.get(k) for k in
+                        ("retried", "failures", "timeouts",
+                         "worker_restarts", "fault_plan")}
+    report["broken"] = failures
+    report["ok"] = not failures
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report: {args.out}")
+
+    if failures:
+        print(f"{len(failures)} resilience assertion(s) broken",
+              file=sys.stderr)
+        return 1
+    print("chaos gate: all resilience assertions hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
