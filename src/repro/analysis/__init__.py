@@ -20,6 +20,7 @@ from repro.analysis.report import (
     flight_recorder_markdown,
     lint_markdown,
     resilience_markdown,
+    shard_markdown,
 )
 from repro.analysis.svg import figure1_svg, figure2_svg, gain_color
 from repro.analysis.stats import (
@@ -53,6 +54,7 @@ __all__ = [
     "flight_recorder_markdown",
     "lint_markdown",
     "resilience_markdown",
+    "shard_markdown",
     "figure1",
     "figure1_svg",
     "figure2",

@@ -368,16 +368,69 @@ def resilience_markdown(result: CampaignResult) -> str:
             counts[record.status] = counts.get(record.status, 0) + 1
         summary = ", ".join(f"{counts[s]} {s}" for s in FAILURE_STATUSES if s in counts)
         lines.append(f"- {len(failed)} cell(s) degraded to failure records: {summary}")
-        lines += ["", "| cell | status | site | transient | attempts |", "|---|---|---|---|---|"]
+        lines += ["", "| cell | status | site | transient | attempts | retry history |",
+                  "|---|---|---|---|---|---|"]
         for record in sorted(failed, key=lambda r: (r.benchmark, r.variant)):
             info = record.failure
+            # The per-retry fault/delay detail the record's failure
+            # block carries (empty for first-attempt failures and for
+            # results saved before the history existed).
+            history = "; ".join(
+                f"#{step.attempt} {step.kind}@{step.site}"
+                + (f" +{step.delay_s:.2f}s" if step.delay_s else "")
+                for step in info.history
+            ) or "—"
             lines.append(
                 f"| {record.benchmark}/{record.variant} | {record.status} "
                 f"| {info.site} | {'yes' if info.transient else 'no'} "
-                f"| {info.attempts} |"
+                f"| {info.attempts} | {history} |"
             )
     else:
         lines.append("- every cell completed; no failure records")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def shard_markdown(result: CampaignResult) -> str:
+    """The shard coverage section (empty for ordinary unsharded runs).
+
+    Renders for a single-shard result (``meta["shard"]``, as produced
+    by ``run --shard I/N``) and for a merged one
+    (``meta["merged_from"]``, as produced by ``journal merge`` /
+    :func:`repro.harness.journalstore.merged_result`), so a multi-node
+    campaign's report shows which nodes covered which slice of the
+    grid and which shards still owe cells.
+    """
+    meta = result.meta or {}
+    shard = meta.get("shard")
+    merged_from = meta.get("merged_from")
+    if not shard and not merged_from:
+        return ""
+    lines = ["## Shards", ""]
+    if shard:
+        lines.append(
+            f"- this result is shard {shard[0]}/{shard[1]} of a "
+            f"{meta.get('campaign_cells', '?')}-cell campaign "
+            f"({len(result.records)} cells); merge the shard journals "
+            f"(`a64fx-campaign journal merge`) for the full grid"
+        )
+    if merged_from:
+        missing = meta.get("missing", 0)
+        lines.append(
+            f"- merged from {len(merged_from)} journal(s): "
+            f"{len(result.records)}/{meta.get('cells', len(result.records))} "
+            f"cells" + (f", {missing} still missing" if missing else "")
+        )
+        lines += ["", "| shard | journal | cells | failures | state |",
+                  "|---|---|---|---|---|"]
+        for cov in merged_from:
+            index, count = cov.get("shard", (1, 1))
+            state = "done" if cov.get("finished") else "in progress"
+            lines.append(
+                f"| {index}/{count} | {cov.get('path', '?')} "
+                f"| {cov.get('completed', 0)}/{cov.get('assigned', 0)} "
+                f"| {cov.get('failures', 0)} | {state} |"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -434,6 +487,9 @@ def experiments_markdown(
     resilience = resilience_markdown(result)
     if resilience:
         lines.append(resilience)
+    shards = shard_markdown(result)
+    if shards:
+        lines.append(shards)
     recorder = flight_recorder_markdown(result)
     if recorder:
         lines.append(recorder)

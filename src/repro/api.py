@@ -132,6 +132,14 @@ class CampaignConfig:
     cell_timeout_s: "float | None" = None
     #: Base of the seeded exponential retry backoff (0 = immediate).
     retry_backoff_s: float = 0.05
+    #: Run only one shard of the campaign: ``(index, count)``, 1-based
+    #: (``(1, 4)`` is the first of four).  Cells are assigned
+    #: benchmark-major in canonical order
+    #: (:func:`repro.harness.journalstore.shard_cells`), each shard
+    #: checkpoints into its own journal in ``cache_dir``, and
+    #: ``a64fx-campaign journal merge`` folds the shards back into the
+    #: full campaign result.  ``None`` (default) runs every cell.
+    shard: "tuple[int, int] | None" = None
 
     def with_(self, **kwargs: object) -> "CampaignConfig":
         """A copy with the given fields replaced."""
@@ -194,6 +202,7 @@ class CampaignSession:
             max_retries=cfg.max_retries,
             cell_timeout_s=cfg.cell_timeout_s,
             retry_backoff_s=cfg.retry_backoff_s,
+            shard=cfg.shard,
         )
 
     def cells(self) -> tuple[CellTask, ...]:

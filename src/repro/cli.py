@@ -6,10 +6,15 @@ Usage::
         [--workers N]                             # parallel cell execution
         [--cache-dir DIR]                         # persistent kernel/cell cache
         [--resume]                                # continue an interrupted run
+        [--shard I/N]                             # run one shard (1-based) of the grid
         [--trace trace.json]                      # Chrome trace_event flight record
         [--span-log spans.jsonl]                  # flat JSONL span log
         [--metrics]                               # print the flight-recorder summary
         [--suite S ...] [--benchmark B ...]       # scope to a sub-campaign
+    a64fx-campaign journal status --cache-dir DIR # per-shard checkpoint coverage
+    a64fx-campaign journal merge --cache-dir DIR  # fold shard journals into a result
+        [--out results.json] [--allow-partial]
+        [--journal PATH ...]                      # explicit journal files instead
     a64fx-campaign trace summarize trace.json     # flight-recorder report of a trace
     a64fx-campaign trace validate trace.json      # shape-check a Chrome trace file
     a64fx-campaign lint [--suite S ...]           # static-analysis findings
@@ -68,6 +73,18 @@ def _progress_printer(total_hint: int = 0):
     return handler
 
 
+def _parse_shard(text: str) -> "tuple[int, int]":
+    """``"2/4"`` -> ``(2, 4)`` (1-based shard index / shard count)."""
+    import re
+
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 1/4, 1-based), got {text!r}"
+        )
+    return (int(match.group(1)), int(match.group(2)))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry_on = bool(args.trace or args.span_log or args.metrics)
     fault_plan = None
@@ -92,7 +109,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         cell_timeout_s=args.cell_timeout,
         retry_backoff_s=args.retry_backoff,
+        shard=args.shard,
     )
+    if args.shard and not args.cache_dir:
+        print(
+            "warning: --shard without --cache-dir writes no journal; the "
+            "shard's records cannot be merged back into the full campaign",
+            file=sys.stderr,
+        )
     session = CampaignSession(config)
     session.subscribe(_progress_printer())
     result = session.run()
@@ -117,6 +141,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 session.telemetry.spans, session.telemetry.metrics.snapshot()
             )
             print(telemetry.render_flight_report(report))
+    return 0
+
+
+def _journal_merged(args: argparse.Namespace):
+    """The merged journal view for the journal subcommands (or None)."""
+    from repro.harness.journalstore import DirectoryJournalStore, merge_journals
+
+    if args.journal:
+        return merge_journals(args.journal)
+    return DirectoryJournalStore(args.cache_dir).merge()
+
+
+def _cmd_journal_status(args: argparse.Namespace) -> int:
+    from repro.errors import HarnessError
+
+    try:
+        merged = _journal_merged(args)
+    except HarnessError as exc:
+        print(f"journal conflict: {exc}", file=sys.stderr)
+        return 1
+    if merged is None:
+        where = args.cache_dir if not args.journal else ", ".join(args.journal)
+        print(f"no campaign journals found in {where}")
+        return 1
+    print(f"campaign {merged.fingerprint[:12]} on {merged.machine}: "
+          f"{len(merged.records)}/{len(merged.cells)} cells checkpointed")
+    for cov in merged.shards:
+        state = "done" if cov.finished else "in progress"
+        failed = f", {cov.failures} failed" if cov.failures else ""
+        print(f"  shard {cov.label:>5s}  {cov.completed:4d}/{cov.assigned:4d} "
+              f"cells{failed}  [{state}]  {cov.path}")
+    missing = merged.missing
+    if missing:
+        preview = ", ".join(f"{b}/{v}" for b, v in missing[:5])
+        more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+        print(f"missing: {preview}{more}")
+        return 1
+    print("complete: every cell is checkpointed; "
+          "`a64fx-campaign journal merge` can assemble the full result")
+    return 0
+
+
+def _cmd_journal_merge(args: argparse.Namespace) -> int:
+    from repro.errors import HarnessError
+    from repro.harness.journalstore import merged_result
+
+    try:
+        merged = _journal_merged(args)
+        if merged is None:
+            where = args.cache_dir if not args.journal else ", ".join(args.journal)
+            print(f"no campaign journals found in {where}", file=sys.stderr)
+            return 1
+        result = merged_result(merged, allow_partial=args.allow_partial)
+    except HarnessError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+    shards = ", ".join(cov.label for cov in merged.shards)
+    print(f"merged {len(result.records)} records from shard(s) {shards}"
+          + (f" ({len(merged.missing)} cells still missing)"
+             if merged.missing else ""),
+          file=sys.stderr)
+    if args.out:
+        result.save(args.out)
+        print(f"saved {len(result.records)} records to {args.out}")
+    else:
+        print(result.to_json())
     return 0
 
 
@@ -441,7 +531,47 @@ def main(argv: "list[str] | None" = None) -> int:
         help="inject deterministic faults from this JSON plan "
              "(see repro.faults.FaultPlan) — chaos testing",
     )
+    p_run.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="run only shard I of N (1-based, deterministic benchmark-major "
+             "assignment); each shard journals separately under --cache-dir "
+             "and `journal merge` folds them back together",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_journal = sub.add_parser(
+        "journal", help="inspect and merge campaign checkpoint journals"
+    )
+    journal_sub = p_journal.add_subparsers(dest="journal_command", required=True)
+    p_jstat = journal_sub.add_parser(
+        "status", help="per-shard checkpoint coverage of a campaign"
+    )
+    p_jstat.add_argument(
+        "--cache-dir", default=".", metavar="DIR",
+        help="campaign cache root holding the journal files (default: .)",
+    )
+    p_jstat.add_argument(
+        "--journal", action="append", metavar="PATH",
+        help="inspect these journal files instead of --cache-dir (repeatable)",
+    )
+    p_jstat.set_defaults(func=_cmd_journal_status)
+    p_jmerge = journal_sub.add_parser(
+        "merge", help="fold shard journals into one campaign result"
+    )
+    p_jmerge.add_argument(
+        "--cache-dir", default=".", metavar="DIR",
+        help="campaign cache root holding the journal files (default: .)",
+    )
+    p_jmerge.add_argument(
+        "--journal", action="append", metavar="PATH",
+        help="merge these journal files instead of --cache-dir (repeatable)",
+    )
+    p_jmerge.add_argument("--out", help="write the merged results JSON here")
+    p_jmerge.add_argument(
+        "--allow-partial", action="store_true",
+        help="produce a result even when some cells have no checkpoint yet",
+    )
+    p_jmerge.set_defaults(func=_cmd_journal_merge)
 
     p_trace = sub.add_parser("trace", help="inspect recorded campaign traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

@@ -19,6 +19,7 @@ from repro.faults.taxonomy import (
     FAULT_KINDS,
     SITE_CACHE,
     SITE_COMPILE,
+    SITE_KERNEL_CACHE,
     SITE_RUN,
     SITE_TIMEOUT,
     SITE_VERIFY,
@@ -27,6 +28,7 @@ from repro.faults.taxonomy import (
     CompileFault,
     FailureInfo,
     Fault,
+    RetryStep,
     RuntimeFault,
     TimeoutFault,
     VerificationFault,
@@ -45,10 +47,12 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "RetryPolicy",
+    "RetryStep",
     "RuntimeFault",
     "SITES",
     "SITE_CACHE",
     "SITE_COMPILE",
+    "SITE_KERNEL_CACHE",
     "SITE_RUN",
     "SITE_TIMEOUT",
     "SITE_VERIFY",

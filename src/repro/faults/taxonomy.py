@@ -55,7 +55,19 @@ SITE_TIMEOUT = "timeout"
 SITE_VERIFY = "verify"
 SITE_WORKER = "worker"
 SITE_CACHE = "cache"
-SITES = (SITE_COMPILE, SITE_RUN, SITE_TIMEOUT, SITE_VERIFY, SITE_WORKER, SITE_CACHE)
+#: The compiled-kernel cache (``kernels/*.pkl``): a firing rule makes a
+#: disk lookup behave as if the entry rotted away, forcing a
+#: recompilation — never a status change (compilation is deterministic).
+SITE_KERNEL_CACHE = "kernel-cache"
+SITES = (
+    SITE_COMPILE,
+    SITE_RUN,
+    SITE_TIMEOUT,
+    SITE_VERIFY,
+    SITE_WORKER,
+    SITE_CACHE,
+    SITE_KERNEL_CACHE,
+)
 
 
 @dataclass(frozen=True)
@@ -140,6 +152,7 @@ FAULT_FOR_SITE: dict[str, type[Fault]] = {
     SITE_VERIFY: VerificationFault,
     SITE_WORKER: WorkerCrash,
     SITE_CACHE: Fault,  # cache faults only suppress hits; never a status
+    SITE_KERNEL_CACHE: Fault,  # ditto for the compiled-kernel cache
 }
 
 #: Taxonomy name -> class, for :meth:`FailureInfo.from_dict` validation.
@@ -168,12 +181,55 @@ def classify_exception(exc: BaseException) -> Fault:
 
 
 @dataclass(frozen=True)
+class RetryStep:
+    """One consumed retry in a failed cell's history: the fault that
+    ended the attempt, and the backoff slept before the next one.
+
+    Flat fields (not a nested :class:`FailureInfo`) keep the serialized
+    form small and non-recursive.
+    """
+
+    attempt: int  # 0-based attempt the fault struck
+    kind: str  # taxonomy class name of the fault
+    site: str
+    message: str = ""
+    transient: bool = False
+    injected: bool = False
+    #: Backoff slept before the next attempt (seconds).
+    delay_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "site": self.site,
+            "message": self.message,
+            "transient": self.transient,
+            "injected": self.injected,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RetryStep":
+        return cls(
+            attempt=int(raw.get("attempt", 0)),
+            kind=str(raw.get("kind", "Fault")),
+            site=str(raw.get("site", SITE_RUN)),
+            message=str(raw.get("message", "")),
+            transient=bool(raw.get("transient", False)),
+            injected=bool(raw.get("injected", False)),
+            delay_s=float(raw.get("delay_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
 class FailureInfo:
     """The structured ``failure`` block a failed record carries.
 
     Serialized additively into the schema-v2 result JSON: records
     without the block (all pre-fault-subsystem files) round-trip
-    unchanged.
+    unchanged, and the per-retry ``history`` is itself additive —
+    failure blocks written before it existed load as an empty history.
     """
 
     kind: str  # taxonomy class name, e.g. "TimeoutFault"
@@ -185,9 +241,12 @@ class FailureInfo:
     attempts: int = 1
     #: Retries consumed (``attempts - 1``).
     retries: int = 0
+    #: What each consumed retry absorbed (fault + backoff), in attempt
+    #: order; empty when the cell failed on its first attempt.
+    history: tuple[RetryStep, ...] = ()
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "kind": self.kind,
             "site": self.site,
             "message": self.message,
@@ -196,6 +255,11 @@ class FailureInfo:
             "attempts": self.attempts,
             "retries": self.retries,
         }
+        if self.history:
+            # Only when present, so pre-history failure blocks (and
+            # first-attempt failures) keep their exact serialized form.
+            doc["history"] = [step.to_dict() for step in self.history]
+        return doc
 
     @classmethod
     def from_dict(cls, raw: dict) -> "FailureInfo":
@@ -207,10 +271,17 @@ class FailureInfo:
             injected=bool(raw.get("injected", False)),
             attempts=int(raw.get("attempts", 1)),
             retries=int(raw.get("retries", 0)),
+            history=tuple(
+                RetryStep.from_dict(step) for step in raw.get("history", ())
+            ),
         )
 
 
-def failure_info(fault: Fault, attempts: int = 1) -> FailureInfo:
+def failure_info(
+    fault: Fault,
+    attempts: int = 1,
+    history: "tuple[RetryStep, ...]" = (),
+) -> FailureInfo:
     """The serializable failure block for a fault that ended a cell."""
     return FailureInfo(
         kind=fault.kind,
@@ -220,4 +291,5 @@ def failure_info(fault: Fault, attempts: int = 1) -> FailureInfo:
         injected=fault.injected,
         attempts=attempts,
         retries=max(0, attempts - 1),
+        history=history,
     )

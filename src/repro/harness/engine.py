@@ -25,9 +25,12 @@ Persistence has three layers, all rooted at ``cache_dir``:
 * ``cells/``   — content-addressed finished-cell records keyed by
   :func:`cell_cache_key`, so re-runs and flag ablations skip unchanged
   cells entirely (zero model re-evaluations on a warm cache);
-* ``journal.jsonl`` — an append-only per-campaign journal; an
-  interrupted campaign resumes from it (``resume=True``) by replaying
-  completed cells and running only the remainder.
+* ``journal.jsonl`` / ``journal-<i>of<n>.jsonl`` — append-only
+  per-(campaign, shard) journals (:mod:`repro.harness.journalstore`);
+  an interrupted campaign resumes (``resume=True``) by replaying the
+  *merged* stream of every journal present and running only the
+  remainder, so a sweep sharded across nodes (``shard=(i, n)``) can be
+  picked back up from any of them.
 
 Progress is reported through typed :class:`CampaignEvent` s instead of
 the old positional ``progress(benchmark, variant)`` callback.
@@ -50,6 +53,7 @@ import math
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -61,6 +65,13 @@ from repro.compilers.registry import STUDY_VARIANTS
 from repro.errors import HarnessError
 from repro.faults.plan import FaultInjector, FaultPlan, RetryPolicy
 from repro.faults.taxonomy import SITE_CACHE, SITE_WORKER
+from repro.harness.journalstore import (
+    CampaignJournal,
+    DirectoryJournalStore,
+    shard_cells,
+    shard_journal_name,
+    validate_shard,
+)
 from repro.harness.results import (
     STATUS_LINT_ERROR,
     STATUS_OK,
@@ -172,11 +183,18 @@ EventHandler = Callable[[CampaignEvent], None]
 # -- content-addressed cell cache ----------------------------------------
 
 
-#: Fingerprint memo keyed by object identity; the retained benchmark
-#: reference pins the id so it cannot be reused by a new object.
-#: Benchmarks come from the lru-cached suite registry, so this stays
-#: small.
-_BENCH_FINGERPRINTS: dict[int, tuple[Benchmark, str]] = {}
+#: Fingerprint memo keyed by object identity; a live entry retains the
+#: benchmark reference, pinning the id so it cannot be reused by a new
+#: object while the entry exists.  Registry benchmarks come from the
+#: lru-cached suite registry and stay resident, but long-lived sessions
+#: fingerprinting ad-hoc :class:`Benchmark` objects would otherwise
+#: grow the memo without limit — it is therefore an LRU bounded at
+#: :data:`_BENCH_FINGERPRINTS_MAX` entries (identity checks on lookup
+#: guard the evict-then-reuse corner).
+_BENCH_FINGERPRINTS: "OrderedDict[int, tuple[Benchmark, str]]" = OrderedDict()
+
+#: Comfortably above the study's 108 benchmarks plus ad-hoc churn.
+_BENCH_FINGERPRINTS_MAX = 1024
 
 
 def _canonical(obj: object) -> object:
@@ -224,11 +242,15 @@ def benchmark_fingerprint(bench: Benchmark) -> str:
     processes and hash seeds.
     """
     memo = _BENCH_FINGERPRINTS.get(id(bench))
-    if memo is not None:
+    if memo is not None and memo[0] is bench:
+        _BENCH_FINGERPRINTS.move_to_end(id(bench))
         return memo[1]
     canon = json.dumps(_canonical(bench), sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(canon.encode()).hexdigest()
     _BENCH_FINGERPRINTS[id(bench)] = (bench, digest)
+    _BENCH_FINGERPRINTS.move_to_end(id(bench))
+    while len(_BENCH_FINGERPRINTS) > _BENCH_FINGERPRINTS_MAX:
+        _BENCH_FINGERPRINTS.popitem(last=False)
     return digest
 
 
@@ -266,17 +288,27 @@ def cell_cache_key(
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def _atomic_write_text(path: Path, text: str) -> bool:
+    """Write ``text`` to ``path`` via temp file + ``os.replace``.
+
+    Returns ``False`` (after logging) when the write failed, so callers
+    can count the miss instead of mistaking it for success; the temp
+    file is removed on every path, including a failed ``os.replace``.
+    """
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text)
         os.replace(tmp, path)
-    except OSError:
+        return True
+    except OSError as exc:
+        _LOG.warning("atomic write to %s failed: %s", path, exc)
+        return False
+    finally:
         try:
             os.unlink(tmp)
         except OSError:
-            pass
+            pass  # the success path already renamed it away
 
 
 class CellCache:
@@ -320,95 +352,20 @@ class CellCache:
 
     def put(self, key: str, record: RunRecord) -> None:
         doc = {"key": key, "record": record_to_dict(record)}
-        _atomic_write_text(self._path(key), json.dumps(doc))
-        telemetry.count("cell_cache.put")
+        if _atomic_write_text(self._path(key), json.dumps(doc)):
+            telemetry.count("cell_cache.put")
+        else:
+            # The record is still in memory and in the journal; only the
+            # warm-cache shortcut for later runs is lost.
+            telemetry.count("cell_cache.write_error")
 
 
 # -- journal -------------------------------------------------------------
 
-
-class CampaignJournal:
-    """Append-only JSONL checkpoint of one campaign's progress.
-
-    Line 1 is a header identifying the campaign (machine, cell list,
-    and a fingerprint over everything that affects results); each
-    completed cell appends one ``cell`` line, flushed immediately so a
-    killed run loses at most the in-flight cells.  A final ``done``
-    line marks clean completion.  Partial trailing lines (from a kill
-    mid-write) are ignored on load.
-    """
-
-    def __init__(self, path: "str | Path") -> None:
-        self.path = Path(path)
-        self._fh = None
-
-    # -- writing ---------------------------------------------------------
-
-    def start(self, fingerprint: str, machine: str, cells: Sequence[tuple[str, str]]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "w")
-        self._write(
-            {
-                "kind": "header",
-                "engine_version": ENGINE_VERSION,
-                "fingerprint": fingerprint,
-                "machine": machine,
-                "cells": [list(c) for c in cells],
-            }
-        )
-
-    def append(self, record: RunRecord) -> None:
-        if self._fh is not None:
-            self._write({"kind": "cell", "record": record_to_dict(record)})
-
-    def done(self) -> None:
-        if self._fh is not None:
-            self._write({"kind": "done"})
-            self._fh.close()
-            self._fh = None
-
-    def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-
-    def _write(self, doc: dict) -> None:
-        assert self._fh is not None
-        self._fh.write(json.dumps(doc) + "\n")
-        # flush() hands the line to the kernel, which survives a killed
-        # process (the resume scenario); per-line fsync would only add
-        # OS-crash durability at ~3ms per cell.
-        self._fh.flush()
-
-    # -- reading ---------------------------------------------------------
-
-    def load(self) -> "tuple[dict, list[RunRecord], bool] | None":
-        """(header, completed records, finished cleanly) or ``None``."""
-        try:
-            text = self.path.read_text()
-        except OSError:
-            return None
-        header: dict | None = None
-        records: list[RunRecord] = []
-        finished = False
-        for line in text.splitlines():
-            try:
-                doc = json.loads(line)
-            except ValueError:
-                continue  # truncated trailing line from a killed run
-            kind = doc.get("kind")
-            if kind == "header":
-                header = doc
-            elif kind == "cell" and header is not None:
-                try:
-                    records.append(record_from_dict(doc["record"]))
-                except (HarnessError, KeyError, TypeError):
-                    continue
-            elif kind == "done":
-                finished = True
-        if header is None:
-            return None
-        return header, records, finished
+# The journal itself lives in repro.harness.journalstore (one
+# append-only shard journal per (campaign fingerprint, shard i/N), a
+# pluggable JournalStore, and the cross-shard merge); CampaignJournal
+# is re-exported above for compatibility with existing imports.
 
 
 # -- worker side ---------------------------------------------------------
@@ -447,6 +404,9 @@ def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, CellOutcome]], dict | N
     if cache is None:
         cache = CompilationCache(persist_dir=kernel_dir)
         _WORKER_CACHES[cache_key] = cache
+    # The cache outlives chunks (and campaigns) in this worker; aim the
+    # current campaign's injector at it for kernel-cache chaos.
+    cache.injector = injector
     tel = Telemetry() if telemetry_on else None
     out: list[tuple[int, CellOutcome]] = []
     with telemetry.active(tel):
@@ -536,6 +496,19 @@ class CampaignEngine:
         How many times the parallel path rebuilds a broken process
         pool (worker crash / node loss) before degrading to in-process
         execution of the remaining cells.
+    ``shard``
+        ``(index, count)``, 1-based: run only this shard of the
+        campaign's cells (deterministic benchmark-major assignment, see
+        :func:`repro.harness.journalstore.shard_cells`).  Each shard
+        checkpoints into its own journal
+        (``journal-<index>of<count>.jsonl``) next to the legacy
+        ``journal.jsonl``; ``a64fx-campaign journal merge`` (or
+        :func:`repro.harness.journalstore.merged_result`) folds the
+        shard results back into the full campaign.  With
+        ``resume=True`` the engine replays the *merged* stream of every
+        journal in the cache dir, so any node can pick up any shard —
+        or, unsharded, the whole sweep.  ``None`` (default) runs all
+        cells.
     """
 
     def __init__(
@@ -557,6 +530,7 @@ class CampaignEngine:
         cell_timeout_s: "float | None" = None,
         retry_backoff_s: float = 0.05,
         max_worker_restarts: int = 3,
+        shard: "tuple[int, int] | None" = None,
     ) -> None:
         if workers < 1:
             raise HarnessError(f"workers must be >= 1, got {workers}")
@@ -584,6 +558,7 @@ class CampaignEngine:
         self.fault_plan = fault_plan
         self.cell_timeout_s = cell_timeout_s
         self.max_worker_restarts = max_worker_restarts
+        self.shard = validate_shard(shard)
         self.retry_policy = RetryPolicy(
             max_retries=max_retries,
             backoff_s=retry_backoff_s,
@@ -600,6 +575,16 @@ class CampaignEngine:
             for variant in self.variants:
                 tasks.append(CellTask(len(tasks), bench, variant))
         return tuple(tasks)
+
+    def shard_tasks(self) -> tuple[CellTask, ...]:
+        """The cell tasks this engine executes: its shard's slice of
+        :meth:`cells` (all of them for an unsharded campaign), in
+        canonical order with campaign-wide indices preserved."""
+        tasks = self.cells()
+        if self.shard == (1, 1):
+            return tasks
+        wanted = set(shard_cells([t.name for t in tasks], *self.shard))
+        return tuple(t for t in tasks if t.name in wanted)
 
     def campaign_fingerprint(self) -> str:
         """Identity of this campaign for journal compatibility checks."""
@@ -638,7 +623,16 @@ class CampaignEngine:
 
     @property
     def journal_path(self) -> Path | None:
-        return self.cache_dir / "journal.jsonl" if self.cache_dir else None
+        """This shard's own journal file (the legacy ``journal.jsonl``
+        for an unsharded campaign)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / shard_journal_name(*self.shard)
+
+    @property
+    def journal_store(self) -> "DirectoryJournalStore | None":
+        """The store holding every shard journal of this campaign."""
+        return DirectoryJournalStore(self.cache_dir) if self.cache_dir else None
 
     # -- execution -------------------------------------------------------
 
@@ -671,7 +665,8 @@ class CampaignEngine:
         root,
     ) -> CampaignResult:
         t0 = time.monotonic()
-        tasks = self.cells()
+        campaign = self.cells()
+        tasks = self.shard_tasks()
         total = len(tasks)
         done: dict[tuple[str, str], RunRecord] = {}
         stats = {
@@ -701,15 +696,36 @@ class CampaignEngine:
                 )
             )
 
-        send(EventKind.CAMPAIGN_STARTED, message=f"{total} cells, workers={self.workers}")
+        started = f"{total} cells, workers={self.workers}"
+        if self.shard != (1, 1):
+            started += f", shard {self.shard[0]}/{self.shard[1]}"
+        send(EventKind.CAMPAIGN_STARTED, message=started)
 
-        journal = CampaignJournal(self.journal_path) if self.journal_path else None
+        store = self.journal_store
+        journal = store.journal(self.shard) if store is not None else None
         fingerprint = self.campaign_fingerprint()
-        self._replay_journal(journal, fingerprint, tasks, done, stats, send)
+        # Resume replays the *merged* stream of every journal in the
+        # store (this shard's, sibling shards', and any legacy
+        # journal.jsonl), so any node can pick the campaign back up.
+        self._replay_store(store, fingerprint, tasks, done, stats, send)
         if journal is not None:
-            journal.start(fingerprint, self.machine.name, [t.name for t in tasks])
-            for record in done.values():
-                journal.append(record)
+            # Append-only by construction: a matching existing journal
+            # is opened with "a" (its records never leave the disk), a
+            # fresh header goes through temp file + os.replace.  There
+            # is no instant at which a kill can lose checkpointed cells.
+            persisted = journal.start(
+                fingerprint,
+                self.machine.name,
+                [t.name for t in campaign],
+                shard=self.shard,
+                keep=self.resume,
+            )
+            for name, record in done.items():
+                # Re-persist records replayed from *other* journals so
+                # this shard's journal alone suffices for the next
+                # resume; our own checkpoints are already on disk.
+                if name not in persisted:
+                    journal.append(record)
 
         cell_cache = CellCache(self.cache_dir / "cells") if self.cache_dir else None
         kernel_dir = self.cache_dir / "kernels" if self.cache_dir else None
@@ -825,6 +841,10 @@ class CampaignEngine:
             "fault_seed": self.fault_plan.seed if self.fault_plan else None,
             "cache_faults": stats["cache_faults"],
         }
+        if self.shard != (1, 1):
+            result.meta["shard"] = list(self.shard)
+            result.meta["campaign_cells"] = len(campaign)
+            result.meta["fingerprint"] = fingerprint
         if journal is not None:
             journal.done()
         send(EventKind.CAMPAIGN_FINISHED, message=f"{stats['executed']} executed, "
@@ -885,22 +905,16 @@ class CampaignEngine:
             lint=diags,
         )
 
-    def _replay_journal(self, journal, fingerprint, tasks, done, stats, send) -> None:
-        if journal is None or not self.resume:
+    def _replay_store(self, store, fingerprint, tasks, done, stats, send) -> None:
+        """Fold every journal in the store and replay the cells of this
+        engine's task list; raises on journals from another campaign."""
+        if store is None or not self.resume:
             return
-        loaded = journal.load()
-        if loaded is None:
-            return  # no journal yet: fresh run
-        header, records, _finished = loaded
-        if header.get("fingerprint") != fingerprint:
-            raise HarnessError(
-                f"journal at {journal.path} belongs to a different campaign "
-                f"(machine/benchmarks/variants/flags changed); delete it or "
-                f"pick a fresh --cache-dir to start over"
-            )
+        merged = store.merge(expect_fingerprint=fingerprint)
+        if merged is None:
+            return  # no journals yet: fresh run
         by_name = {t.name: t for t in tasks}
-        for record in records:
-            name = (record.benchmark, record.variant)
+        for name, record in merged.records.items():
             task = by_name.get(name)
             if task is None or name in done:
                 continue
@@ -911,7 +925,7 @@ class CampaignEngine:
                  message="resumed from journal")
 
     def _run_serial(self, pending, kernel_dir, finish_outcome, send) -> None:
-        cache = CompilationCache(persist_dir=kernel_dir)
+        cache = CompilationCache(persist_dir=kernel_dir, injector=self._injector)
         for task in pending:
             send(EventKind.CELL_STARTED, task)
             t0 = time.monotonic()
@@ -1026,7 +1040,8 @@ class CampaignEngine:
                     f"exhausted; running {len(leftovers)} remaining cell(s) "
                     f"in-process",
                 )
-                cache = CompilationCache(persist_dir=kernel_dir)
+                cache = CompilationCache(persist_dir=kernel_dir,
+                                         injector=self._injector)
                 for task in leftovers:
                     with telemetry.span("cell", benchmark=task.benchmark.full_name,
                                         variant=task.variant, index=task.index):

@@ -31,6 +31,7 @@ from repro.faults.taxonomy import (
     SITE_VERIFY,
     FailureInfo,
     Fault,
+    RetryStep,
     TimeoutFault,
     classify_exception,
     failure_info,
@@ -147,7 +148,30 @@ class CellOutcome:
     retries: tuple[CellRetry, ...] = ()
 
 
-def _failure_record(bench: Benchmark, variant: str, fault: Fault, attempts: int) -> RunRecord:
+def _failure_record(
+    bench: Benchmark,
+    variant: str,
+    fault: Fault,
+    attempts: int,
+    retries: "tuple[CellRetry, ...]" = (),
+) -> RunRecord:
+    # The consumed retries become the failure block's history, so the
+    # per-retry fault/delay detail survives into the saved result
+    # (before, only events and telemetry counters saw it).  Healed
+    # cells never reach this path — their records stay byte-identical
+    # to a fault-free run.
+    history = tuple(
+        RetryStep(
+            attempt=r.attempt,
+            kind=r.fault.kind,
+            site=r.fault.site,
+            message=r.fault.message,
+            transient=r.fault.transient,
+            injected=r.fault.injected,
+            delay_s=r.delay_s,
+        )
+        for r in retries
+    )
     return RunRecord(
         benchmark=bench.full_name,
         suite=bench.suite,
@@ -157,7 +181,7 @@ def _failure_record(bench: Benchmark, variant: str, fault: Fault, attempts: int)
         runs=(),
         status=fault.status,
         diagnostics=(fault.message,) if fault.message else (),
-        failure=failure_info(fault, attempts),
+        failure=failure_info(fault, attempts, history),
     )
 
 
@@ -262,7 +286,7 @@ def run_cell(
             continue
         telemetry.count("runner.failed_cells")
         return CellOutcome(
-            _failure_record(bench, variant, fault, attempt + 1),
+            _failure_record(bench, variant, fault, attempt + 1, tuple(retries)),
             attempt + 1,
             tuple(retries),
         )

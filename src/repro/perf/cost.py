@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -22,6 +23,9 @@ from repro.compilers.base import CompiledKernel, CompileStatus
 from repro.compilers.flags import CompilerFlags
 from repro.compilers.registry import compile_kernel
 from repro.errors import HarnessError
+from repro.faults.taxonomy import SITE_KERNEL_CACHE
+
+_LOG = logging.getLogger(__name__)
 from repro.libs.mathlib import library_time_s
 from repro.machine.machine import Machine
 from repro.machine.topology import Placement
@@ -120,9 +124,19 @@ class CompilationCache:
     (and sibling worker processes) skip recompilation of unchanged
     kernels.  Writes are atomic (temp file + rename); unreadable or
     stale entries are recompiled and rewritten.
+
+    With an ``injector`` attached (chaos runs), a
+    :class:`~repro.faults.plan.FaultRule` aimed at the ``kernel-cache``
+    site makes a disk lookup behave as if the entry had rotted away:
+    the kernel is recompiled (and re-persisted) instead.  Compilation
+    is deterministic, so records never change — only the work done.
     """
 
-    def __init__(self, persist_dir: "str | Path | None" = None) -> None:
+    def __init__(
+        self,
+        persist_dir: "str | Path | None" = None,
+        injector: "object | None" = None,
+    ) -> None:
         self._cache: dict[tuple, CompiledKernel] = {}
         #: id(kernel) -> stable fingerprint memo (fingerprinting walks
         #: the whole IR; do it once per kernel object).
@@ -130,9 +144,13 @@ class CompilationCache:
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         if self.persist_dir is not None:
             self.persist_dir.mkdir(parents=True, exist_ok=True)
+        #: A :class:`~repro.faults.plan.FaultInjector` (or ``None``)
+        #: consulted at the ``kernel-cache`` site before disk reads.
+        self.injector = injector
         self.compile_count = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.fault_misses = 0
 
     def _disk_path(self, stable_key: str) -> Path:
         assert self.persist_dir is not None
@@ -157,15 +175,25 @@ class CompilationCache:
                 stable = compilation_cache_key(variant, kernel, machine, flags)
                 self._stable_keys[key] = stable
             path = self._disk_path(stable)
-            try:
-                with open(path, "rb") as fh:
-                    compiled = pickle.load(fh)
-                self.disk_hits += 1
-                telemetry.count("kernel_cache.disk_hit")
-                self._cache[key] = compiled
-                return compiled
-            except (OSError, pickle.PickleError, EOFError, AttributeError):
-                pass  # missing or unreadable entry: recompile below
+            if self._kernel_cache_fault(variant, kernel):
+                # Injected kernel-cache loss (simulated scratch-file
+                # rot): skip the disk entry and recompile below.  The
+                # compile is deterministic, so this costs work, never
+                # correctness.
+                self.fault_misses += 1
+                telemetry.count("kernel_cache.fault")
+                telemetry.count("faults.injected")
+                telemetry.count(f"faults.site.{SITE_KERNEL_CACHE}")
+            else:
+                try:
+                    with open(path, "rb") as fh:
+                        compiled = pickle.load(fh)
+                    self.disk_hits += 1
+                    telemetry.count("kernel_cache.disk_hit")
+                    self._cache[key] = compiled
+                    return compiled
+                except (OSError, pickle.PickleError, EOFError, AttributeError):
+                    pass  # missing or unreadable entry: recompile below
         compiled = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
         self.compile_count += 1
         telemetry.count("kernel_cache.compile")
@@ -176,6 +204,16 @@ class CompilationCache:
                           compiled)
         return compiled
 
+    def _kernel_cache_fault(self, variant: str, kernel: object) -> bool:
+        """Did the plan inject a kernel-cache fault for this lookup?"""
+        if self.injector is None:
+            return False
+        name = getattr(kernel, "name", "") or ""
+        return (
+            self.injector.decide(SITE_KERNEL_CACHE, name, variant, 0)
+            is not None
+        )
+
     def _persist(self, stable_key: str, compiled: CompiledKernel) -> None:
         assert self.persist_dir is not None
         fd, tmp = tempfile.mkstemp(dir=self.persist_dir, suffix=".tmp")
@@ -183,11 +221,18 @@ class CompilationCache:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(compiled, fh)
             os.replace(tmp, self._disk_path(stable_key))
-        except OSError:
+        except OSError as exc:
+            # A failed persist only costs a recompile next session.
+            _LOG.warning(
+                "kernel-cache write to %s failed: %s",
+                self._disk_path(stable_key), exc,
+            )
+            telemetry.count("kernel_cache.write_error")
+        finally:
             try:
                 os.unlink(tmp)
             except OSError:
-                pass
+                pass  # the success path already renamed it away
 
 
 def _rank_geometry(bench: Benchmark, machine: Machine, placement: Placement) -> tuple[int, int, float]:
