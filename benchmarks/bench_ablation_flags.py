@@ -8,7 +8,7 @@ Checks the semantic content of the paper's flag choices:
 """
 
 from repro.compilers import parse_flags
-from repro.harness import run_benchmark
+from repro.harness import measure_benchmark
 from repro.machine import a64fx
 from repro.suites import get_benchmark
 
@@ -18,36 +18,36 @@ def _regenerate():
     out = {}
 
     dot = get_benchmark("top500.babelstream")
-    out["gnu_o3"] = run_benchmark(
+    out["gnu_o3"] = measure_benchmark(
         dot, "GNU", machine, flags=parse_flags(["-O3", "-march=native", "-flto"])
     ).best_s
-    out["gnu_fastmath"] = run_benchmark(
+    out["gnu_fastmath"] = measure_benchmark(
         dot, "GNU", machine, flags=parse_flags(["-O3", "-march=native", "-flto", "-ffast-math"])
     ).best_s
 
     tuned = get_benchmark("micro.k01")  # vendor-tuned compute stencil
-    out["fj_kfast"] = run_benchmark(
+    out["fj_kfast"] = measure_benchmark(
         tuned, "FJtrad", machine, flags=parse_flags(["-Kfast,ocl,largepage,lto"])
     ).best_s
-    out["fj_o2"] = run_benchmark(
+    out["fj_o2"] = measure_benchmark(
         tuned, "FJtrad", machine, flags=parse_flags(["-O2"])
     ).best_s
     stream = get_benchmark("micro.k04")  # vendor-tuned stream triad
-    out["fj_stream_ocl"] = run_benchmark(
+    out["fj_stream_ocl"] = measure_benchmark(
         stream, "FJtrad", machine, flags=parse_flags(["-Kfast,ocl,largepage,lto"])
     ).best_s
-    out["fj_stream_noocl"] = run_benchmark(
+    out["fj_stream_noocl"] = measure_benchmark(
         stream, "FJtrad", machine, flags=parse_flags(["-Kfast,largepage,lto"])
     ).best_s
 
     gemm = get_benchmark("polybench.gemm")
-    out["llvm_ofast"] = run_benchmark(
+    out["llvm_ofast"] = measure_benchmark(
         gemm, "LLVM", machine, flags=parse_flags(["-Ofast", "-ffast-math", "-mcpu=native"])
     ).best_s
-    out["llvm_o1"] = run_benchmark(
+    out["llvm_o1"] = measure_benchmark(
         gemm, "LLVM", machine, flags=parse_flags(["-O1", "-mcpu=native"])
     ).best_s
-    out["llvm_no_native"] = run_benchmark(
+    out["llvm_no_native"] = measure_benchmark(
         gemm, "LLVM", machine, flags=parse_flags(["-Ofast", "-ffast-math"])
     ).best_s
     return out

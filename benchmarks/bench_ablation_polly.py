@@ -5,11 +5,13 @@ beneficial outside this benchmark set [PolyBench]" — XSBench being the
 one real-workload exception (Sec. 3.2).
 """
 
-from repro.harness import run_campaign
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(variants=("LLVM", "LLVM+Polly"))
+    return CampaignSession(
+        CampaignConfig(variants=("LLVM", "LLVM+Polly"))
+    ).run()
 
 
 def test_polly_rarely_helps_outside_polybench(benchmark):

@@ -8,7 +8,6 @@ time-to-solution more often than not".
 
 import pytest
 
-from repro.harness import run_campaign
 from repro.machine import Placement, a64fx
 from repro.perf import CompilationCache, benchmark_model
 from repro.suites import all_benchmarks

@@ -7,12 +7,14 @@ explicitly called out.
 """
 
 from repro.analysis import figure1
-from repro.harness import run_campaign, run_polybench_xeon
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
+from repro.harness import run_polybench_xeon
 
 
 def _regenerate():
-    a64 = run_campaign(suites=(get_suite("polybench"),), variants=("FJtrad",))
+    a64 = CampaignSession(
+        CampaignConfig(suites=("polybench",), variants=("FJtrad",))
+    ).run()
     xeon = run_polybench_xeon()
     return figure1(a64, xeon)
 

@@ -6,12 +6,11 @@ XSBench's 6.7x Polly win the salient cell.
 """
 
 from repro.analysis import benchmark_gains, figure2, suite_summary
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("ecp"),))
+    return CampaignSession(CampaignConfig(suites=("ecp",))).run()
 
 
 def test_figure2_ecp(benchmark):

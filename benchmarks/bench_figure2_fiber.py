@@ -6,12 +6,11 @@ consistent with the Micro Kernel results".
 """
 
 from repro.analysis import benchmark_gains, figure2
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("fiber"),))
+    return CampaignSession(CampaignConfig(suites=("fiber",))).run()
 
 
 def test_figure2_fiber(benchmark):

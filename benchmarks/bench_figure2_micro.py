@@ -6,12 +6,12 @@ errors, and Kernel 22 carries a compiler-error cell.
 """
 
 from repro.analysis import benchmark_gains, figure2, suite_summary
-from repro.harness import STATUS_COMPILE_ERROR, STATUS_RUNTIME_ERROR, run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
+from repro.harness import STATUS_COMPILE_ERROR, STATUS_RUNTIME_ERROR
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("micro"),))
+    return CampaignSession(CampaignConfig(suites=("micro",))).run()
 
 
 def test_figure2_micro(benchmark):

@@ -6,12 +6,11 @@ speedup 3.8x; mvt > 250,000x via the polyhedral configuration.
 """
 
 from repro.analysis import benchmark_gains, figure2, suite_summary
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("polybench"),))
+    return CampaignSession(CampaignConfig(suites=("polybench",))).run()
 
 
 def test_figure2_polybench(benchmark):

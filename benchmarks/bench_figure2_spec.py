@@ -8,12 +8,13 @@ best-compiler win.
 
 from repro.analysis import benchmark_gains, figure2
 from repro.analysis.report import SPEC_INT
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("spec_cpu"), get_suite("spec_omp")))
+    return CampaignSession(
+        CampaignConfig(suites=("spec_cpu", "spec_omp"))
+    ).run()
 
 
 def test_figure2_spec(benchmark):

@@ -6,12 +6,11 @@ LLVM or GNU.
 """
 
 from repro.analysis import benchmark_gains, figure2
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("top500"),))
+    return CampaignSession(CampaignConfig(suites=("top500",))).run()
 
 
 def test_figure2_top500(benchmark):

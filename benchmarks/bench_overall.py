@@ -3,11 +3,11 @@ and realistic workloads, we see that a median runtime improvement of
 16% is possible by selecting an appropriate compiler"."""
 
 from repro.analysis import overall_summary
-from repro.harness import run_campaign
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    result = run_campaign()
+    result = CampaignSession(CampaignConfig()).run()
     return overall_summary(result), result
 
 

@@ -6,12 +6,13 @@ speedup 3.8x; mvt over 250,000x.
 """
 
 from repro.analysis import overall_summary, suite_summary, summarize, benchmark_gains
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    result = run_campaign(suites=(get_suite("micro"), get_suite("polybench")))
+    result = CampaignSession(
+        CampaignConfig(suites=("micro", "polybench"))
+    ).run()
     return suite_summary(result, "micro"), suite_summary(result, "polybench"), result
 
 

@@ -6,14 +6,13 @@ Fujitsu dominates Fiber with FFB and mVMC the exceptions.
 """
 
 from repro.analysis import benchmark_gains, suite_summary
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(
-        suites=(get_suite("top500"), get_suite("ecp"), get_suite("fiber"))
-    )
+    return CampaignSession(
+        CampaignConfig(suites=("top500", "ecp", "fiber"))
+    ).run()
 
 
 def test_section32_statistics(benchmark):

@@ -7,12 +7,13 @@ Paper values: kdtree 16.5x; average improvement 49% in SPEC CPU and
 import statistics
 
 from repro.analysis import benchmark_gains, suite_summary
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    return run_campaign(suites=(get_suite("spec_cpu"), get_suite("spec_omp")))
+    return CampaignSession(
+        CampaignConfig(suites=("spec_cpu", "spec_omp"))
+    ).run()
 
 
 def test_section33_statistics(benchmark):

@@ -7,12 +7,13 @@ which is still noticeably smaller than the gap between compilers."
 """
 
 from repro.analysis import variability_report
-from repro.harness import run_campaign
-from repro.suites import get_suite
+from repro.api import CampaignConfig, CampaignSession
 
 
 def _regenerate():
-    result = run_campaign(suites=(get_suite("ecp"), get_suite("top500")))
+    result = CampaignSession(
+        CampaignConfig(suites=("ecp", "top500"))
+    ).run()
     return variability_report(result), result
 
 

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import run_campaign, run_polybench_xeon
-from repro.suites import all_suites, get_suite
+from repro.api import CampaignConfig, CampaignSession
+from repro.harness import run_polybench_xeon
 
 
 @pytest.fixture(scope="session")
 def full_campaign():
-    return run_campaign()
+    return CampaignSession(CampaignConfig()).run()
 
 
 @pytest.fixture(scope="session")
@@ -26,4 +26,4 @@ def xeon_reference():
 
 def suite_campaign(name: str):
     """Run the campaign for a single suite (used inside timed bodies)."""
-    return run_campaign(suites=(get_suite(name),))
+    return CampaignSession(CampaignConfig(suites=(name,))).run()

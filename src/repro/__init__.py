@@ -20,8 +20,10 @@ Quickstart::
     print(figure2(results).render())  # the paper's Figure 2 heatmap
     print(overall_summary(results))   # "median gain from best compiler"
 
-:class:`repro.api.CampaignSession` is the documented entry point; the
-legacy ``repro.harness.run_campaign()`` remains as a thin shim.
+:class:`repro.api.CampaignSession` is the documented entry point for
+measurement campaigns and :func:`repro.api.evaluate_grid` for batched
+model-space sweeps; the legacy ``repro.harness.run_campaign()`` shim
+emits ``DeprecationWarning`` and will be removed in 2.0.
 """
 
 __version__ = "1.1.0"
@@ -31,6 +33,8 @@ from repro.api import (  # noqa: E402  (re-export after docstring/version)
     CampaignEvent,
     CampaignSession,
     EventKind,
+    GridSpec,
+    evaluate_grid,
 )
 
 __all__ = [
@@ -38,5 +42,7 @@ __all__ = [
     "CampaignEvent",
     "CampaignSession",
     "EventKind",
+    "GridSpec",
+    "evaluate_grid",
     "__version__",
 ]

@@ -18,7 +18,15 @@ measurement campaigns.  It replaces the ad-hoc kwargs surface of
     The typed progress stream (cell started/finished/failed, cache
     hits, ETA), re-exported from the engine.
 
-Quickstart::
+:class:`GridSpec` / :func:`evaluate_grid`
+    The model-space companion (re-exported from
+    :mod:`repro.perf.batch`): batch-evaluate the noise-free cost model
+    over a (benchmark x variant x placement) grid without running a
+    measurement campaign.  Bit-identical to the scalar
+    :func:`repro.perf.cost.benchmark_model`, which remains the
+    reference oracle for differential testing.
+
+Quickstart (measurement campaign)::
 
     from repro.api import CampaignConfig, CampaignSession
 
@@ -30,7 +38,16 @@ Quickstart::
 
     result = session.run()
 
-The legacy ``run_campaign()`` remains as a thin deprecation shim.
+Quickstart (model grid)::
+
+    from repro.api import GridSpec, evaluate_grid
+
+    grid = evaluate_grid(GridSpec(suites=("polybench",), variants=("GNU",)))
+    cell = grid.cell("polybench.gemm", "GNU")   # one result per placement
+    print(cell.best.placement, cell.best.time_s)
+
+The legacy ``run_campaign()``/``run_benchmark()`` shims emit
+``DeprecationWarning`` and will be removed in 2.0.
 """
 
 from __future__ import annotations
@@ -51,11 +68,11 @@ from repro.harness.engine import (
 )
 from repro.harness.results import CampaignResult
 from repro.harness.runner import PERFORMANCE_RUNS
+from repro.perf.batch import GridCell, GridResult, GridSpec, evaluate_grid
 from repro.telemetry import Telemetry
-from repro.machine.a64fx import a64fx
 from repro.machine.machine import Machine
-from repro.machine.thunderx2 import thunderx2
-from repro.machine.xeon import xeon
+from repro.machine.select import MACHINES as _MACHINES
+from repro.machine.select import resolve_machine as _resolve_machine
 from repro.suites.registry import get_benchmark, get_suite
 
 __all__ = [
@@ -63,22 +80,11 @@ __all__ = [
     "CampaignEvent",
     "CampaignSession",
     "EventKind",
+    "GridCell",
+    "GridResult",
+    "GridSpec",
+    "evaluate_grid",
 ]
-
-#: Machine registry for :attr:`CampaignConfig.machine` given by name.
-_MACHINES = {"a64fx": a64fx, "xeon": xeon, "thunderx2": thunderx2}
-
-
-def _resolve_machine(machine: "Machine | str | None") -> Machine:
-    if machine is None:
-        return a64fx()
-    if isinstance(machine, Machine):
-        return machine
-    factory = _MACHINES.get(machine.lower())
-    if factory is None:
-        known = ", ".join(sorted(_MACHINES))
-        raise HarnessError(f"unknown machine {machine!r}; known machines: {known}")
-    return factory()
 
 
 @dataclass(frozen=True)

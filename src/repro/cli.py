@@ -42,7 +42,7 @@ from repro.analysis import (
     figure2_svg,
 )
 from repro.api import CampaignConfig, CampaignSession, EventKind
-from repro.harness import run_campaign, run_polybench_xeon
+from repro.harness import run_polybench_xeon
 from repro.suites import all_suites
 
 
@@ -302,7 +302,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    a64 = run_campaign(suites=(next(s for s in all_suites() if s.name == "polybench"),))
+    a64 = CampaignSession(CampaignConfig(suites=("polybench",))).run()
     xeon = run_polybench_xeon()
     fig = figure1(a64, xeon)
     print(fig.render())
@@ -314,7 +314,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    result = run_campaign()
+    result = CampaignSession(CampaignConfig()).run()
     fig = figure2(result)
     print(fig.render())
     if args.csv:
@@ -329,7 +329,7 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    result = run_campaign()
+    result = CampaignSession(CampaignConfig()).run()
     xeon = run_polybench_xeon()
     text = experiments_markdown(result, xeon)
     if args.out:
@@ -404,7 +404,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_show(args: argparse.Namespace) -> int:
     from repro.compilers import STUDY_VARIANTS, compile_kernel
-    from repro.harness import run_benchmark
+    from repro.harness import measure_benchmark
     from repro.machine import a64fx
     from repro.suites import get_benchmark
     from repro.units import pretty_seconds
@@ -418,7 +418,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
     )
     base_time = None
     for variant in STUDY_VARIANTS:
-        record = run_benchmark(bench, variant, machine)
+        record = measure_benchmark(bench, variant, machine)
         if not record.valid:
             print(f"  {variant:12s} {record.status}")
             continue
@@ -452,7 +452,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.analysis import advice_report
 
-    result = run_campaign()
+    result = CampaignSession(CampaignConfig()).run()
     print(advice_report(result))
     return 0
 
@@ -462,6 +462,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"{suite.display} ({suite.name}): {len(suite)} benchmarks")
         for b in suite.benchmarks:
             print(f"  {b.full_name:28s} [{b.language.value:7s}] {b.notes}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """Batch-evaluate the noise-free model grid (no measurement runs)."""
+    from repro.api import GridSpec, evaluate_grid
+    from repro.units import pretty_seconds
+
+    spec = GridSpec(
+        machine=args.machine,
+        variants=tuple(args.variants) if args.variants else GridSpec().variants,
+        suites=tuple(args.suites) if args.suites else None,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+    )
+    grid = evaluate_grid(spec)
+    print(f"model grid on {grid.machine}: {len(grid.cells)} cells")
+    for cell in grid.cells:
+        best = cell.best
+        if not best.valid:
+            print(f"  {cell.benchmark:28s} {cell.variant:8s} (build failed)")
+            continue
+        print(
+            f"  {cell.benchmark:28s} {cell.variant:8s} "
+            f"best={pretty_seconds(best.time_s):>10s} "
+            f"placement={best.placement.ranks}x{best.placement.threads} "
+            f"({len(cell.placements)} placements)"
+        )
     return 0
 
 
@@ -654,6 +681,26 @@ def main(argv: "list[str] | None" = None) -> int:
 
     p_list = sub.add_parser("list", help="list suites and benchmarks")
     p_list.set_defaults(func=_cmd_list)
+
+    p_grid = sub.add_parser(
+        "grid", help="batch-evaluate the noise-free model grid"
+    )
+    p_grid.add_argument(
+        "--machine", default=None, help="machine name (default: a64fx)"
+    )
+    p_grid.add_argument(
+        "--variant", dest="variants", action="append", default=None,
+        help="compiler variant (repeatable; default: all five)",
+    )
+    p_grid.add_argument(
+        "--suite", dest="suites", action="append", default=None,
+        help="suite name (repeatable; default: all seven)",
+    )
+    p_grid.add_argument(
+        "--benchmark", dest="benchmarks", action="append", default=None,
+        help="benchmark full name (repeatable; overrides --suite)",
+    )
+    p_grid.set_defaults(func=_cmd_grid)
 
     args = parser.parse_args(argv)
     try:

@@ -5,11 +5,12 @@ study variant on an A64FX node — the complete Figure 2 — and
 ``run_polybench_xeon()`` produces the icc/Xeon reference column that
 Figure 1 compares against.
 
-Both are now thin wrappers over :class:`repro.harness.engine.
-CampaignEngine`; the documented entry point for new code is
+Both are thin wrappers over :class:`repro.harness.engine.
+CampaignEngine`; the documented entry point is
 :class:`repro.api.CampaignSession`, which adds parallel workers,
 persistent caching, resume, and typed progress events on the same
-deterministic core.
+deterministic core.  ``run_campaign()`` is deprecated (it emits a
+``DeprecationWarning``) and will be removed in 2.0.
 """
 
 from __future__ import annotations
@@ -54,11 +55,22 @@ def run_campaign(
     ``suites``/``benchmarks`` restrict the campaign; ``flags`` overrides
     every variant's paper flags (for the flag-ablation studies).
 
-    .. deprecated::
-        The positional ``progress`` callback is deprecated; subscribe a
-        :class:`repro.api.CampaignSession` to its typed event stream
-        instead.
+    .. deprecated:: 1.1
+        Use :class:`repro.api.CampaignSession`, which runs the same
+        deterministic engine and adds workers, persistent caching,
+        resume, and typed progress events::
+
+            CampaignSession(CampaignConfig(suites=("polybench",))).run()
+
+        The shim (and the old ``progress`` callback) will be removed
+        in 2.0.
     """
+    warnings.warn(
+        "run_campaign() is deprecated and will be removed in 2.0; use "
+        'repro.api.CampaignSession(CampaignConfig(...)).run() instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     emit = None
     if progress is not None:
         warnings.warn(
@@ -84,4 +96,7 @@ def run_polybench_xeon() -> CampaignResult:
     """The Figure 1 reference: PolyBench under icc on the Xeon node."""
     from repro.suites.polybench import polybench_suite
 
-    return run_campaign(xeon(), variants=("icc",), suites=(polybench_suite(),))
+    engine = CampaignEngine(
+        xeon(), variants=("icc",), suites=(polybench_suite(),), workers=1
+    )
+    return engine.run()

@@ -17,7 +17,8 @@ from __future__ import annotations
 from repro.compilers.flags import CompilerFlags
 from repro.machine.machine import Machine
 from repro.machine.topology import Placement, candidate_placements
-from repro.perf.cost import CompilationCache, ModelResult, benchmark_model
+from repro.perf.batch import evaluate_placements
+from repro.perf.cost import CompilationCache, ModelResult
 from repro.perf.noise import noise_multiplier
 from repro.suites.base import Benchmark, ParallelKind, ScalingKind
 
@@ -74,17 +75,29 @@ def explore(
     placement with the fastest single trial wins (per the paper).
     Failed builds return the recommended placement unexplored — the
     failure will be recorded by the performance runner anyway.
+
+    The whole candidate sweep is costed in one call to
+    :func:`repro.perf.batch.evaluate_placements` (kernels compile once,
+    features extract once, the per-placement arithmetic is batched);
+    the results are bit-identical to evaluating the scalar
+    :func:`repro.perf.cost.benchmark_model` per candidate.
     """
     cache = cache if cache is not None else CompilationCache()
+    candidates = placement_candidates(bench, machine)
+    models = evaluate_placements(
+        bench, variant, machine, candidates, flags=flags, cache=cache
+    )
+    if not models[0].valid:
+        # Build failures are placement-independent; the scalar loop
+        # bailed on its first candidate, so hand back the first model.
+        return machine.recommended_placement(), (), models[0]
+
     log: list[tuple[int, int, float]] = []
     best_placement: Placement | None = None
     best_time = float("inf")
     best_model: ModelResult | None = None
 
-    for placement in placement_candidates(bench, machine):
-        model = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
-        if not model.valid:
-            return machine.recommended_placement(), (), model
+    for placement, model in zip(candidates, models):
         fastest_trial = min(
             model.time_s
             * noise_multiplier(

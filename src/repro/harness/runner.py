@@ -17,6 +17,7 @@ campaign always completes with a (possibly partial) result.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 from repro import telemetry
@@ -44,7 +45,7 @@ from repro.harness.results import (
     RunRecord,
 )
 from repro.machine.machine import Machine
-from repro.perf.cost import CompilationCache, benchmark_model
+from repro.perf.cost import CompilationCache
 from repro.perf.noise import noise_multiplier, timer_resolution_floor
 from repro.suites.base import Benchmark
 
@@ -58,6 +59,35 @@ _STATUS_MAP = {
 
 
 def run_benchmark(
+    bench: Benchmark,
+    variant: str,
+    machine: Machine,
+    *,
+    flags: CompilerFlags | None = None,
+    cache: CompilationCache | None = None,
+    runs: int = PERFORMANCE_RUNS,
+) -> RunRecord:
+    """Deprecated shim over :func:`measure_benchmark`.
+
+    .. deprecated:: 1.1
+        Use ``CampaignSession(CampaignConfig(benchmarks=(name,),
+        variants=(variant,))).run()`` for measurement campaigns, or
+        :func:`measure_benchmark` for a single bare cell.  The shim
+        will be removed in 2.0.
+    """
+    warnings.warn(
+        "run_benchmark() is deprecated and will be removed in 2.0; use "
+        "repro.api.CampaignSession (or repro.harness.measure_benchmark "
+        "for a single cell)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return measure_benchmark(
+        bench, variant, machine, flags=flags, cache=cache, runs=runs
+    )
+
+
+def measure_benchmark(
     bench: Benchmark,
     variant: str,
     machine: Machine,
@@ -90,12 +120,13 @@ def run_benchmark(
             diagnostics=model.diagnostics,
         )
 
-    # Re-evaluate at the chosen placement (the exploration may have kept
-    # a different model instance) and add per-run noise.
+    # The exploration's winner model *is* the model at the chosen
+    # placement (the batched sweep keeps every candidate's result, and
+    # the model is deterministic); add per-run noise on top of it.
     t0 = time.monotonic()
     with telemetry.span("simulate", benchmark=bench.full_name, variant=variant,
                         runs=runs, placement=f"{placement.ranks}x{placement.threads}"):
-        final = benchmark_model(bench, variant, machine, placement, flags=flags, cache=cache)
+        final = model
         times = tuple(
             timer_resolution_floor(
                 final.time_s
@@ -207,7 +238,7 @@ def _attempt(
             return None, fault
     t0 = time.monotonic()
     try:
-        record = run_benchmark(
+        record = measure_benchmark(
             bench, variant, machine, flags=flags, cache=cache, runs=runs
         )
     except ReproError:

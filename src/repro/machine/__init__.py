@@ -21,6 +21,7 @@ from repro.machine.isa import (
 )
 from repro.machine.machine import Machine
 from repro.machine.memory import MemorySystem
+from repro.machine.select import MACHINES, resolve_machine
 from repro.machine.topology import Placement, Topology, candidate_placements
 from repro.machine.thunderx2 import thunderx2
 from repro.machine.xeon import xeon
@@ -34,8 +35,10 @@ __all__ = [
     "CacheLevel",
     "CacheStats",
     "CoreModel",
+    "MACHINES",
     "Machine",
     "MemorySystem",
+    "resolve_machine",
     "NEON",
     "Placement",
     "SCALAR",

@@ -63,10 +63,25 @@ class MemorySystem:
         k = max(self.cores_to_half_saturation, 1e-9)
         return self.sustained_bandwidth * c / (c + k - 1.0)
 
-    def latency_bound_rate(self, concurrency: float) -> float:
+    def latency_bound_rate(
+        self,
+        concurrency: float,
+        line_bytes: float,
+        *,
+        latency: "float | None" = None,
+    ) -> float:
         """Bytes/s a latency-bound stream achieves given ``concurrency``
-        outstanding cache lines (Little's law with 256B granularity
-        folded into the caller's line accounting)."""
+        outstanding cache lines of ``line_bytes`` each (Little's law).
+
+        ``line_bytes`` comes from the machine model's cache geometry
+        (``machine.line_bytes`` — 256 B on A64FX), never a hard-coded
+        constant, so the batch and scalar model paths share one
+        geometry source.  ``latency`` overrides the idle latency when
+        the caller has already folded in TLB-walk penalties.
+        """
         if concurrency <= 0:
             raise MachineConfigError("concurrency must be positive")
-        return concurrency * 256.0 / self.latency
+        if line_bytes <= 0:
+            raise MachineConfigError("line_bytes must be positive")
+        effective_latency = self.latency if latency is None else latency
+        return concurrency * line_bytes / effective_latency

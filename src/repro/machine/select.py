@@ -1,0 +1,31 @@
+"""Machine registry: resolve a machine model by name.
+
+One registry shared by every configuration surface (``CampaignConfig``,
+``GridSpec``, the CLI) so "a64fx"/"xeon"/"thunderx2" mean the same
+node model everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HarnessError
+from repro.machine.a64fx import a64fx
+from repro.machine.machine import Machine
+from repro.machine.thunderx2 import thunderx2
+from repro.machine.xeon import xeon
+
+#: Factories by registry name.
+MACHINES = {"a64fx": a64fx, "xeon": xeon, "thunderx2": thunderx2}
+
+
+def resolve_machine(machine: "Machine | str | None") -> Machine:
+    """A :class:`Machine` from an instance, registry name, or ``None``
+    (the paper's A64FX node)."""
+    if machine is None:
+        return a64fx()
+    if isinstance(machine, Machine):
+        return machine
+    factory = MACHINES.get(machine.lower())
+    if factory is None:
+        known = ", ".join(sorted(MACHINES))
+        raise HarnessError(f"unknown machine {machine!r}; known machines: {known}")
+    return factory()

@@ -1,6 +1,15 @@
-"""Performance models: traffic, ECM costing, scaling, noise, and the
-top-level benchmark cost model."""
+"""Performance models: traffic, ECM costing, scaling, noise, the
+top-level benchmark cost model, and its batched grid evaluator."""
 
+from repro.perf.batch import (
+    GridCell,
+    GridResult,
+    GridSpec,
+    NestFeatures,
+    evaluate_grid,
+    evaluate_placements,
+    nest_features,
+)
 from repro.perf.cost import (
     CACHE_SCHEMA_VERSION,
     CompilationCache,
@@ -10,6 +19,7 @@ from repro.perf.cost import (
     compilation_cache_key,
     kernel_fingerprint,
     machine_fingerprint,
+    machine_memo_key,
 )
 from repro.perf.ecm import NestTime, cycles_per_iteration, nest_time
 from repro.perf.energy import (
@@ -41,13 +51,21 @@ __all__ = [
     "benchmark_energy",
     "power_model_for",
     "CompilationCache",
+    "GridCell",
+    "GridResult",
+    "GridSpec",
     "ModelResult",
+    "NestFeatures",
     "NestTime",
     "RooflinePoint",
     "TrafficReport",
     "UnitBreakdown",
     "benchmark_model",
     "cycles_per_iteration",
+    "evaluate_grid",
+    "evaluate_placements",
+    "machine_memo_key",
+    "nest_features",
     "nest_time",
     "nest_traffic",
     "machine_balance",

@@ -15,6 +15,7 @@ import logging
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -91,6 +92,61 @@ def machine_fingerprint(machine: Machine) -> str:
     # Machine is a frozen dataclass tree of plain values; its repr is
     # deterministic and content-complete.
     return hashlib.sha256(repr(machine).encode()).hexdigest()
+
+
+#: Identity-pinned LRU of machine content keys.  Machine factories
+#: (a64fx() & co.) build a fresh frozen instance per call, so bare
+#: id() keys would miss across sessions while re-hashing the repr on
+#: every lookup would cost more than the model evaluation it guards.
+_MACHINE_KEYS: "OrderedDict[int, tuple[Machine, str]]" = OrderedDict()
+_MACHINE_KEYS_MAX = 64
+
+
+def machine_memo_key(machine: Machine) -> str:
+    """Content key for a machine instance, memoized by identity."""
+    memo = _MACHINE_KEYS.get(id(machine))
+    if memo is not None and memo[0] is machine:
+        _MACHINE_KEYS.move_to_end(id(machine))
+        return memo[1]
+    key = f"{machine.name}:{machine_fingerprint(machine)}"
+    _MACHINE_KEYS[id(machine)] = (machine, key)
+    if len(_MACHINE_KEYS) > _MACHINE_KEYS_MAX:
+        _MACHINE_KEYS.popitem(last=False)
+    return key
+
+
+#: Process-global memo of compilations.  Compilation is deterministic,
+#: so equal inputs always produce an equal CompiledKernel; memoizing at
+#: the compile_kernel() call site means per-cache counters
+#: (compile_count, disk_hits, fault_misses) keep their semantics — only
+#: the redundant compilation *work* is skipped.  Keys pin the kernel
+#: object so ids cannot be recycled while an entry lives.
+_COMPILE_MEMO: "OrderedDict[tuple, tuple[object, CompiledKernel]]" = OrderedDict()
+_COMPILE_MEMO_MAX = 2048
+
+
+def _memoized_compile(
+    variant: str,
+    kernel: object,
+    machine: Machine,
+    flags: "CompilerFlags | None",
+) -> CompiledKernel:
+    # The flight recorder traces compile/lint spans from inside
+    # compile_kernel(); a memo hit would silently drop them and make the
+    # span population depend on what ran earlier in the process.  Trace
+    # fidelity wins over speed whenever telemetry is active.
+    if telemetry.current() is not None:
+        return compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
+    key = (variant, id(kernel), machine_memo_key(machine), flags)
+    memo = _COMPILE_MEMO.get(key)
+    if memo is not None and memo[0] is kernel:
+        _COMPILE_MEMO.move_to_end(key)
+        return memo[1]
+    compiled = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
+    _COMPILE_MEMO[key] = (kernel, compiled)
+    if len(_COMPILE_MEMO) > _COMPILE_MEMO_MAX:
+        _COMPILE_MEMO.popitem(last=False)
+    return compiled
 
 
 def compilation_cache_key(
@@ -194,7 +250,7 @@ class CompilationCache:
                     return compiled
                 except (OSError, pickle.PickleError, EOFError, AttributeError):
                     pass  # missing or unreadable entry: recompile below
-        compiled = compile_kernel(variant, kernel, machine, flags)  # type: ignore[arg-type]
+        compiled = _memoized_compile(variant, kernel, machine, flags)
         self.compile_count += 1
         telemetry.count("kernel_cache.compile")
         self._cache[key] = compiled

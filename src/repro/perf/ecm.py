@@ -182,7 +182,9 @@ def nest_time(
                     latency *= 1.0 + 12e-9 / machine.memory.latency * (
                         65536 / max(machine.base_page_bytes, 4096)
                     ) * 0.25
-                rate_per_core = concurrency * machine.line_bytes / latency
+                rate_per_core = machine.memory.latency_bound_rate(
+                    concurrency, machine.line_bytes, latency=latency
+                )
                 rate = min(rate_per_core * threads, bw)
                 t += irregular / rate
             transfer.append(t * numa_penalty)

@@ -63,18 +63,18 @@ class TestCompare:
 
     def test_end_to_end_flag_ablation(self, tmp_path, a64fx_machine):
         """The documented workflow: two campaigns, save, diff."""
+        from repro.api import CampaignConfig, CampaignSession
         from repro.compilers import parse_flags
-        from repro.harness import run_campaign
-        from repro.suites import get_suite
 
-        suite = get_suite("top500")
-        base = run_campaign(a64fx_machine, variants=("GNU",), suites=(suite,))
-        fast = run_campaign(
-            a64fx_machine,
-            variants=("GNU",),
-            suites=(suite,),
-            flags=parse_flags(["-O3", "-march=native", "-flto", "-ffast-math"]),
+        cfg = CampaignConfig(
+            machine=a64fx_machine, variants=("GNU",), suites=("top500",)
         )
+        base = CampaignSession(cfg).run()
+        fast = CampaignSession(
+            cfg.with_(
+                flags=parse_flags(["-O3", "-march=native", "-flto", "-ffast-math"])
+            )
+        ).run()
         p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
         base.save(p1)
         fast.save(p2)

@@ -67,9 +67,9 @@ def stream_kernel():
 @pytest.fixture(scope="session")
 def campaign_result():
     """The full 108x5 A64FX campaign (computed once per test session)."""
-    from repro.harness import run_campaign
+    from repro.api import CampaignConfig, CampaignSession
 
-    return run_campaign()
+    return CampaignSession(CampaignConfig()).run()
 
 
 @pytest.fixture(scope="session")

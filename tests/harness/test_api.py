@@ -103,7 +103,7 @@ class TestCampaignSession:
         assert loaded.meta["engine_version"] == session.result.meta["engine_version"]
 
 
-class TestLegacyProgressShim:
+class TestLegacyShims:
     def test_old_callback_adapted_with_warning(self, a64fx_machine):
         seen = []
         with pytest.warns(DeprecationWarning, match="progress"):
@@ -116,12 +116,22 @@ class TestLegacyProgressShim:
         assert len(seen) == 2
         assert seen[0][1] == "FJtrad"
 
-    def test_no_warning_without_callback(self, a64fx_machine, recwarn):
-        run_campaign(
-            a64fx_machine, variants=("FJtrad",),
-            benchmarks=micro_suite().benchmarks[:1],
-        )
-        assert not [w for w in recwarn if w.category is DeprecationWarning]
+    def test_run_campaign_deprecated(self, a64fx_machine):
+        # The shim itself is deprecated (removal: 2.0) and must say so
+        # even without the legacy progress callback.
+        with pytest.warns(DeprecationWarning, match="CampaignSession"):
+            run_campaign(
+                a64fx_machine, variants=("FJtrad",),
+                benchmarks=micro_suite().benchmarks[:1],
+            )
+
+    def test_run_benchmark_deprecated(self, a64fx_machine):
+        from repro.harness import measure_benchmark, run_benchmark
+
+        bench = micro_suite().benchmarks[0]
+        with pytest.warns(DeprecationWarning, match="measure_benchmark"):
+            shimmed = run_benchmark(bench, "GNU", a64fx_machine)
+        assert shimmed == measure_benchmark(bench, "GNU", a64fx_machine)
 
 
 class TestResultSchemaVersioning:

@@ -10,7 +10,6 @@ import pytest
 
 from repro.compilers.flags import GNU_FLAGS, LLVM_FLAGS
 from repro.errors import HarnessError
-from repro.harness import run_campaign
 from repro import telemetry
 from repro.harness.engine import (
     CampaignEngine,
@@ -137,8 +136,15 @@ class TestPersistentCompilationCache:
 
 class TestEngineSerial:
     def test_workers_one_matches_legacy_loop(self, a64fx_machine):
+        # The deprecated shim must keep producing engine-identical records
+        # until its 2.0 removal.
+        from repro.harness import run_campaign
+
         benches = micro_suite().benchmarks[:4]
-        legacy = run_campaign(a64fx_machine, variants=("FJtrad", "GNU"), benchmarks=benches)
+        with pytest.warns(DeprecationWarning, match="run_campaign"):
+            legacy = run_campaign(
+                a64fx_machine, variants=("FJtrad", "GNU"), benchmarks=benches
+            )
         engine = CampaignEngine(
             a64fx_machine, variants=("FJtrad", "GNU"), benchmarks=benches, workers=1
         )
@@ -188,12 +194,12 @@ class TestCellCacheAndWarmRuns:
         ).run()
         assert cold.meta["cache_hits"] == 0
         assert cold.meta["executed"] == len(cold.records)
-        # The warm run must never reach the model: make run_benchmark
+        # The warm run must never reach the model: make measure_benchmark
         # explode if it does.
         def boom(*a, **k):
             raise AssertionError("model re-evaluated on a warm cache")
 
-        monkeypatch.setattr("repro.harness.runner.run_benchmark", boom)
+        monkeypatch.setattr("repro.harness.runner.measure_benchmark", boom)
         warm = CampaignEngine(
             a64fx_machine, benchmarks=benches, cache_dir=tmp_path
         ).run()
@@ -255,13 +261,13 @@ class TestJournalResume:
         calls = []
         import repro.harness.runner as runner_mod
 
-        real = runner_mod.run_benchmark
+        real = runner_mod.measure_benchmark
 
         def counting(*args, **kwargs):
             calls.append(args[0].full_name)
             return real(*args, **kwargs)
 
-        monkeypatch.setattr("repro.harness.runner.run_benchmark", counting)
+        monkeypatch.setattr("repro.harness.runner.measure_benchmark", counting)
         resumed = self._engine(a64fx_machine, tmp_path, resume=True).run()
         assert resumed.meta["resumed"] == 6
         total = len(resumed.records)

@@ -31,7 +31,7 @@ from repro.harness.results import (
     STATUS_TIMEOUT,
     CampaignResult,
 )
-from repro.harness.runner import run_benchmark, run_cell
+from repro.harness.runner import measure_benchmark, run_cell
 from repro.suites import get_suite, micro_suite
 
 
@@ -219,7 +219,7 @@ class TestRunCell:
 
     def test_transient_fault_heals_to_identical_record(self, a64fx_machine):
         bench = _micro_bench("k01")
-        clean = run_benchmark(bench, "GNU", a64fx_machine)
+        clean = measure_benchmark(bench, "GNU", a64fx_machine)
         injector = FaultInjector(FaultPlan(seed=1, rules=(
             FaultRule(site="run", probability=1.0, transient=True),)))
         outcome = run_cell(
@@ -294,7 +294,7 @@ class TestRunCell:
         # deterministic model failure, not a fault — no retries burned,
         # no failure block attached.
         bench = _micro_bench("k22")
-        clean = run_benchmark(bench, "FJclang", a64fx_machine)
+        clean = measure_benchmark(bench, "FJclang", a64fx_machine)
         assert clean.status != STATUS_OK
         outcome = run_cell(
             bench, "FJclang", a64fx_machine,

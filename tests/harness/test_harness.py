@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import CampaignConfig, CampaignSession, EventKind
 from repro.harness import (
     EXPLORATION_TRIALS,
     PERFORMANCE_RUNS,
@@ -11,9 +12,8 @@ from repro.harness import (
     CampaignResult,
     RunRecord,
     explore,
+    measure_benchmark,
     placement_candidates,
-    run_benchmark,
-    run_campaign,
 )
 from repro.errors import AnalysisError, HarnessError
 from repro.machine import Placement
@@ -134,51 +134,57 @@ class TestExploration:
 class TestRunner:
     def test_ten_runs_recorded(self, a64fx_machine):
         b = polybench_suite().get("gemm")
-        rec = run_benchmark(b, "LLVM", a64fx_machine)
+        rec = measure_benchmark(b, "LLVM", a64fx_machine)
         assert len(rec.runs) == PERFORMANCE_RUNS == 10
         assert rec.status == STATUS_OK
         assert rec.best_s <= min(rec.runs) + 1e-12
 
     def test_compile_error_recorded(self, a64fx_machine):
         b = micro_suite().get("k22")
-        rec = run_benchmark(b, "FJclang", a64fx_machine)
+        rec = measure_benchmark(b, "FJclang", a64fx_machine)
         assert rec.status == STATUS_COMPILE_ERROR
         assert rec.runs == ()
 
     def test_runtime_fault_recorded(self, a64fx_machine):
         b = micro_suite().get("k03")
-        rec = run_benchmark(b, "GNU", a64fx_machine)
+        rec = measure_benchmark(b, "GNU", a64fx_machine)
         assert rec.status == STATUS_RUNTIME_ERROR
 
     def test_noise_makes_runs_differ(self, a64fx_machine):
         b = get_benchmark("top500.babelstream")
-        rec = run_benchmark(b, "LLVM", a64fx_machine)
+        rec = measure_benchmark(b, "LLVM", a64fx_machine)
         assert len(set(rec.runs)) > 1
 
     def test_runner_deterministic(self, a64fx_machine):
         b = polybench_suite().get("gemm")
-        r1 = run_benchmark(b, "GNU", a64fx_machine)
-        r2 = run_benchmark(b, "GNU", a64fx_machine)
+        r1 = measure_benchmark(b, "GNU", a64fx_machine)
+        r2 = measure_benchmark(b, "GNU", a64fx_machine)
         assert r1.runs == r2.runs
 
 
 class TestCampaignDriver:
     def test_restricted_campaign(self, a64fx_machine):
-        suite = micro_suite()
-        result = run_campaign(
-            a64fx_machine,
-            variants=("FJtrad", "GNU"),
-            benchmarks=suite.benchmarks[:3],
+        names = tuple(b.full_name for b in micro_suite().benchmarks[:3])
+        session = CampaignSession(
+            CampaignConfig(
+                machine=a64fx_machine, variants=("FJtrad", "GNU"), benchmarks=names
+            )
         )
+        result = session.run()
         assert len(result.records) == 6
         assert result.machine == "A64FX"
 
-    def test_progress_callback(self, a64fx_machine):
+    def test_progress_events(self, a64fx_machine):
         seen = []
-        run_campaign(
-            a64fx_machine,
-            variants=("FJtrad",),
-            benchmarks=micro_suite().benchmarks[:2],
-            progress=lambda b, v: seen.append((b, v)),
+        names = tuple(b.full_name for b in micro_suite().benchmarks[:2])
+        session = CampaignSession(
+            CampaignConfig(machine=a64fx_machine, variants=("FJtrad",), benchmarks=names)
         )
+
+        @session.subscribe
+        def on_event(event):
+            if event.kind is EventKind.CELL_STARTED:
+                seen.append((event.benchmark, event.variant))
+
+        session.run()
         assert len(seen) == 2

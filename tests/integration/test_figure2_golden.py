@@ -9,9 +9,10 @@ passing their aggregate bands.
 If an *intentional* model change alters winners, regenerate with:
 
     python - <<'PY'
-    from repro.harness import run_campaign
+    from repro.api import CampaignConfig, CampaignSession
     from repro.analysis import benchmark_gains
-    for g in benchmark_gains(run_campaign()):
+    result = CampaignSession(CampaignConfig()).run()
+    for g in benchmark_gains(result):
         w = g.best_variant if g.best_gain > 1.05 else "FJtrad~"
         print(f'    "{g.benchmark}": "{w}",')
     PY

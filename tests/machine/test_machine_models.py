@@ -69,6 +69,29 @@ class TestMemorySystem:
         with pytest.raises(MachineConfigError):
             MemorySystem("m", 1e9, 1.5, 1e-7)
 
+    def test_latency_bound_rate_uses_machine_line_size(self):
+        # Little's law: rate = concurrency * line / latency.  The line
+        # size is the machine model's (256 B on A64FX), not a constant.
+        m = self._mem()
+        assert m.latency_bound_rate(8.0, 256) == 8.0 * 256 / 130e-9
+        assert m.latency_bound_rate(8.0, 64) == 8.0 * 64 / 130e-9
+        a64 = a64fx()
+        assert a64.line_bytes == 256
+        assert a64.memory.latency_bound_rate(10.0, a64.line_bytes) == pytest.approx(
+            10.0 * 256 / a64.memory.latency
+        )
+
+    def test_latency_bound_rate_latency_override(self):
+        m = self._mem()
+        assert m.latency_bound_rate(4.0, 256, latency=260e-9) == 4.0 * 256 / 260e-9
+
+    def test_latency_bound_rate_validation(self):
+        m = self._mem()
+        with pytest.raises(MachineConfigError):
+            m.latency_bound_rate(0, 256)
+        with pytest.raises(MachineConfigError):
+            m.latency_bound_rate(4.0, 0)
+
 
 class TestPlacement:
     def _topo(self):

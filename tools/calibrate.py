@@ -17,7 +17,8 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import benchmark_gains, evaluate, suite_summary
-from repro.harness import run_campaign, run_polybench_xeon
+from repro.api import CampaignConfig, CampaignSession
+from repro.harness import run_polybench_xeon
 from repro.suites import all_suites
 
 PAPER_TARGETS = {
@@ -33,7 +34,7 @@ PAPER_TARGETS = {
 
 def main(argv: list[str]) -> int:
     wanted = set(argv) or {s.name for s in all_suites()}
-    result = run_campaign()
+    result = CampaignSession(CampaignConfig()).run()
     gains = {g.benchmark: g for g in benchmark_gains(result)}
     variants = result.variants()
 
