@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Live status: watch a sharded campaign from outside the engine.
+
+Runs shard 1/2 of a two-shard micro-suite campaign with the
+observatory endpoint on, scraping ``/metrics`` and ``/progress``
+mid-flight from a subscriber, then reads the *artifacts* the shard
+left behind — exactly what ``a64fx-campaign status`` and ``doctor`` do
+from any node that can see the cache directory:
+
+* mid-campaign: the Prometheus exposition and the live progress JSON
+  served by ``--serve``;
+* after shard 1: ``campaign_status`` shows the sweep half done, with
+  throughput from the metrics history and the missing cells counted;
+* after shard 2: the campaign completes and the doctor reads the
+  merged journals + histories.
+
+Run:  python examples/live_status.py
+"""
+
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.api import CampaignConfig, CampaignSession
+from repro.harness.engine import EventKind
+from repro.harness.observatory import (
+    campaign_status,
+    doctor_from_cache_dir,
+    render_doctor,
+    render_status,
+)
+
+
+def main() -> None:
+    cache_dir = Path(tempfile.mkdtemp(prefix="live-status-"))
+    base = CampaignConfig(
+        suites=("micro",),
+        variants=("GNU", "LLVM"),
+        cache_dir=cache_dir,
+        telemetry=True,
+        serve=0,  # ephemeral port; session.observatory.url knows it
+    )
+
+    print("Shard 1/2, with the observatory endpoint live ...")
+    session = CampaignSession(base.with_(shard=(1, 2)))
+    scraped = {}
+
+    @session.subscribe
+    def scrape(event) -> None:
+        # One scrape as soon as cells complete: the engine thread
+        # blocks here while the endpoint's daemon thread answers, so
+        # this demonstrably serves *during* the campaign.
+        if scraped or event.kind is not EventKind.CELL_FINISHED:
+            return
+        url = session.observatory.url
+        for route in ("/metrics", "/progress"):
+            with urllib.request.urlopen(url + route, timeout=5) as resp:
+                scraped[route] = resp.read().decode()
+
+    session.run()
+
+    progress = json.loads(scraped["/progress"])
+    print(f"\nmid-campaign /progress: {progress['completed']}/"
+          f"{progress['total']} cells, state={progress['state']}")
+    prom = [line for line in scraped["/metrics"].splitlines()
+            if line.startswith("a64fx_engine_progress")]
+    print("mid-campaign /metrics (excerpt):")
+    for line in prom[:4]:
+        print(f"  {line}")
+
+    print("\nWhat `a64fx-campaign status` sees after shard 1:")
+    print(render_status(campaign_status(cache_dir)))
+
+    print("\nShard 2/2 completes the sweep ...")
+    CampaignSession(base.with_(shard=(2, 2))).run()
+    print(render_status(campaign_status(cache_dir)))
+
+    print("\nAnd the campaign doctor over the merged artifacts:")
+    print(render_doctor(doctor_from_cache_dir(cache_dir)))
+
+
+if __name__ == "__main__":
+    main()

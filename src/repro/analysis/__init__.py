@@ -16,6 +16,7 @@ from repro.analysis.heatmap import Heatmap, HeatmapCell, gain_glyph
 from repro.analysis.report import (
     ClaimCheck,
     evaluate,
+    doctor_markdown,
     experiments_markdown,
     flight_recorder_markdown,
     lint_markdown,
@@ -50,6 +51,7 @@ __all__ = [
     "benchmark_gains",
     "coefficient_of_variation",
     "evaluate",
+    "doctor_markdown",
     "experiments_markdown",
     "flight_recorder_markdown",
     "lint_markdown",

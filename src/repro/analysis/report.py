@@ -435,6 +435,41 @@ def shard_markdown(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def doctor_markdown(result: CampaignResult) -> str:
+    """The campaign doctor's section (empty when the doctor has nothing
+    to say beyond "healthy" — a clean run without telemetry).
+
+    Runs :func:`repro.harness.observatory.diagnose` over what the
+    result itself carries (records, meta, the telemetry metrics block);
+    the richer cross-run trends live in ``a64fx-campaign doctor``,
+    which also reads the on-disk history stream.
+    """
+    from repro.harness.observatory import diagnose
+
+    metrics = result.telemetry.get("metrics") if result.telemetry else None
+    report = diagnose(result.records, meta=result.meta or {}, metrics=metrics)
+    notable = [f for f in report.findings if f.category != "healthy"]
+    if not notable:
+        return ""
+    marks = {"info": "·", "warning": "**!**", "critical": "**!!**"}
+    lines = ["## Campaign doctor", ""]
+    lines.append(
+        f"- {len(notable)} finding(s) over {report.cells} cell(s), "
+        f"{report.failures} failure record(s); worst severity: "
+        f"**{report.worst}**"
+    )
+    lines += ["", "| severity | category | finding |", "|---|---|---|"]
+    for finding in notable:
+        mark = marks.get(finding.severity, finding.severity)
+        detail = f" — {finding.detail}" if finding.detail else ""
+        lines.append(
+            f"| {mark} {finding.severity} | {finding.category} "
+            f"| {finding.title}{detail} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiments_markdown(
     result: CampaignResult, xeon_result: CampaignResult | None = None
 ) -> str:
@@ -493,4 +528,7 @@ def experiments_markdown(
     recorder = flight_recorder_markdown(result)
     if recorder:
         lines.append(recorder)
+    doctor = doctor_markdown(result)
+    if doctor:
+        lines.append(doctor)
     return "\n".join(lines)

@@ -69,7 +69,8 @@ from repro.harness.engine import (
 from repro.harness.results import CampaignResult
 from repro.harness.runner import PERFORMANCE_RUNS
 from repro.perf.batch import GridCell, GridResult, GridSpec, evaluate_grid
-from repro.telemetry import Telemetry
+from repro.telemetry import StructuredLogger, Telemetry
+from repro.telemetry.httpd import ObservatoryServer
 from repro.machine.machine import Machine
 from repro.machine.select import MACHINES as _MACHINES
 from repro.machine.select import resolve_machine as _resolve_machine
@@ -146,6 +147,16 @@ class CampaignConfig:
     #: ``a64fx-campaign journal merge`` folds the shards back into the
     #: full campaign result.  ``None`` (default) runs every cell.
     shard: "tuple[int, int] | None" = None
+    #: Serve the live observability endpoint (``/metrics`` in
+    #: Prometheus text format, ``/healthz``, ``/progress``) on this
+    #: port while the campaign runs; 0 binds an ephemeral port
+    #: (published via :attr:`CampaignSession.observatory`).  ``None``
+    #: (default) serves nothing.
+    serve: "int | None" = None
+    #: Append structured JSONL log records (cell lifecycle, faults,
+    #: retries — correlated by campaign/shard/cell) to this file.
+    #: ``None`` (default) logs nothing.
+    log_json: "str | Path | None" = None
 
     def with_(self, **kwargs: object) -> "CampaignConfig":
         """A copy with the given fields replaced."""
@@ -166,8 +177,14 @@ class CampaignSession:
         self.config = config
         self._handlers: list[EventHandler] = []
         self._result: "CampaignResult | None" = None
+        self._engine: "CampaignEngine | None" = None
         self._telemetry: "Telemetry | None" = (
             Telemetry() if self.config.telemetry else None
+        )
+        self._logger: "StructuredLogger | None" = (
+            StructuredLogger(self.config.log_json)
+            if self.config.log_json is not None
+            else None
         )
 
     # -- events ----------------------------------------------------------
@@ -209,6 +226,8 @@ class CampaignSession:
             cell_timeout_s=cfg.cell_timeout_s,
             retry_backoff_s=cfg.retry_backoff_s,
             shard=cfg.shard,
+            serve=cfg.serve,
+            logger=self._logger,
         )
 
     def cells(self) -> tuple[CellTask, ...]:
@@ -217,8 +236,31 @@ class CampaignSession:
 
     def run(self) -> CampaignResult:
         """Execute the campaign and return (and retain) the result."""
-        self._result = self.engine().run(emit=self._emit if self._handlers else None)
+        self._engine = self.engine()
+        try:
+            self._result = self._engine.run(
+                emit=self._emit if self._handlers else None
+            )
+        finally:
+            if self._logger is not None:
+                self._logger.close()
         return self._result
+
+    @property
+    def observatory(self) -> "ObservatoryServer | None":
+        """The live HTTP endpoint of the running (or last-run) campaign.
+
+        ``None`` until :meth:`run` has built its engine — a thread
+        driving a ``serve``-configured session polls this until the
+        server appears, then scrapes ``observatory.url``.
+        """
+        engine = self._engine
+        return engine.observatory if engine is not None else None
+
+    @property
+    def logger(self) -> "StructuredLogger | None":
+        """The session's structured logger (``None`` without ``log_json``)."""
+        return self._logger
 
     @property
     def result(self) -> CampaignResult:

@@ -11,6 +11,10 @@ Usage::
         [--span-log spans.jsonl]                  # flat JSONL span log
         [--metrics]                               # print the flight-recorder summary
         [--suite S ...] [--benchmark B ...]       # scope to a sub-campaign
+        [--serve PORT]                            # live /metrics, /healthz, /progress
+        [--log-json PATH]                         # structured JSONL event log
+    a64fx-campaign status --cache-dir DIR         # live progress/ETA/cache-hit rate
+    a64fx-campaign doctor --cache-dir DIR         # diagnose clusters and collapses
     a64fx-campaign journal status --cache-dir DIR # per-shard checkpoint coverage
     a64fx-campaign journal merge --cache-dir DIR  # fold shard journals into a result
         [--out results.json] [--allow-partial]
@@ -110,6 +114,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cell_timeout_s=args.cell_timeout,
         retry_backoff_s=args.retry_backoff,
         shard=args.shard,
+        serve=args.serve,
+        log_json=args.log_json,
     )
     if args.shard and not args.cache_dir:
         print(
@@ -119,6 +125,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     session = CampaignSession(config)
     session.subscribe(_progress_printer())
+    if args.serve is not None:
+        @session.subscribe
+        def _announce(event) -> None:
+            if event.kind is EventKind.CAMPAIGN_STARTED:
+                server = session.observatory
+                if server is not None:
+                    print(f"observatory serving {server.url}/metrics "
+                          f"(/healthz, /progress)", file=sys.stderr)
     result = session.run()
     if args.out:
         result.save(args.out)
@@ -208,6 +222,56 @@ def _cmd_journal_merge(args: argparse.Namespace) -> int:
     else:
         print(result.to_json())
     return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+    import json
+
+    from repro.harness.observatory import campaign_status, render_status
+
+    status = campaign_status(args.cache_dir)
+    if status is None:
+        print(f"no campaign journals found in {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(asdict(status), indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    return 0 if status.complete else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.harness.observatory import doctor_from_cache_dir, render_doctor
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path("benchmarks/BENCH_engine.baseline.json")
+        if default.exists():
+            baseline_path = str(default)
+    if baseline_path is not None:
+        try:
+            baseline = json.loads(Path(baseline_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"warning: could not read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+    report = doctor_from_cache_dir(args.cache_dir, baseline=baseline)
+    if report is None:
+        print(f"no campaign journals found in {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        from dataclasses import asdict
+
+        print(json.dumps(asdict(report), indent=2, sort_keys=True))
+    else:
+        print(render_doctor(report))
+    return 1 if report.worst == "critical" else 0
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -564,6 +628,17 @@ def main(argv: "list[str] | None" = None) -> int:
              "assignment); each shard journals separately under --cache-dir "
              "and `journal merge` folds them back together",
     )
+    p_run.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve the live observability endpoint (/metrics in Prometheus "
+             "text format, /healthz, /progress) on this port while the "
+             "campaign runs; 0 binds an ephemeral port (printed to stderr)",
+    )
+    p_run.add_argument(
+        "--log-json", metavar="PATH",
+        help="append structured JSONL log records (cell lifecycle, faults, "
+             "retries, correlated by campaign/shard/cell) to this file",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_journal = sub.add_parser(
@@ -599,6 +674,43 @@ def main(argv: "list[str] | None" = None) -> int:
         help="produce a result even when some cells have no checkpoint yet",
     )
     p_jmerge.set_defaults(func=_cmd_journal_merge)
+
+    p_status = sub.add_parser(
+        "status",
+        help="live progress of a (possibly running, possibly sharded) "
+             "campaign: completion, throughput, ETA, cache-hit rate",
+    )
+    p_status.add_argument(
+        "--cache-dir", default=".", metavar="DIR",
+        help="campaign cache root holding the journals and metrics "
+             "histories (default: .)",
+    )
+    p_status.add_argument(
+        "--json", action="store_true",
+        help="emit the status as JSON instead of the rendered view",
+    )
+    p_status.set_defaults(func=_cmd_status)
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="diagnose a campaign: retry/failure clusters, slowest phases, "
+             "cache-hit collapses, throughput vs the bench baseline",
+    )
+    p_doctor.add_argument(
+        "--cache-dir", default=".", metavar="DIR",
+        help="campaign cache root holding the journals and metrics "
+             "histories (default: .)",
+    )
+    p_doctor.add_argument(
+        "--baseline", metavar="PATH",
+        help="bench baseline JSON for the throughput reference (default: "
+             "benchmarks/BENCH_engine.baseline.json when present)",
+    )
+    p_doctor.add_argument(
+        "--json", action="store_true",
+        help="emit the findings as JSON instead of the rendered note",
+    )
+    p_doctor.set_defaults(func=_cmd_doctor)
 
     p_trace = sub.add_parser("trace", help="inspect recorded campaign traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

@@ -97,7 +97,16 @@ from repro.perf.cost import (
 from repro.suites.base import Benchmark, Suite
 from repro.suites.registry import all_suites
 from repro import telemetry
-from repro.telemetry import Telemetry, telemetry_block
+from repro.telemetry import (
+    CampaignHistory,
+    HistorySample,
+    ObservatoryServer,
+    StructuredLogger,
+    Telemetry,
+    history_file_name,
+    telemetry_block,
+)
+from repro.telemetry.history import summarize_histograms
 
 _LOG = logging.getLogger(__name__)
 
@@ -375,14 +384,21 @@ class CellCache:
 _WORKER_CACHES: dict[tuple[str, str], CompilationCache] = {}
 
 
-def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, CellOutcome]], dict | None]":
+def _run_chunk(
+    payload: tuple,
+) -> "tuple[list[tuple[int, CellOutcome]], dict | None, list[dict] | None]":
     """Execute one chunk of cell tasks inside a worker process.
 
     With telemetry enabled, the chunk records its cell spans and
     metrics into a fresh in-worker :class:`Telemetry` and ships its
     snapshot back alongside the outcomes; the parent merges it into the
     campaign trace (the snapshot is plain JSON-able data, so it crosses
-    the ``ProcessPoolExecutor`` pickle boundary).
+    the ``ProcessPoolExecutor`` pickle boundary).  Structured logging
+    travels the same way: with a ``log_ctx`` in the payload the chunk
+    buffers its records into a fresh in-worker
+    :class:`StructuredLogger` under the campaign/shard correlation
+    context and ships the buffer back for the parent to merge into the
+    campaign log.
 
     When the campaign carries a fault plan with worker-site rules, the
     injector is consulted once per cell before the chunk runs; a firing
@@ -391,7 +407,7 @@ def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, CellOutcome]], dict | N
     OOM kill or node loss.  ``chunk_attempt`` keys those decisions so a
     requeued chunk does not crash forever.
     """
-    (machine, flags, runs, kernel_dir, telemetry_on, items,
+    (machine, flags, runs, kernel_dir, telemetry_on, log_ctx, items,
      plan, retry, timeout_s, chunk_attempt) = payload
     injector = FaultInjector(plan) if plan is not None else None
     if injector is not None:
@@ -408,20 +424,26 @@ def _run_chunk(payload: tuple) -> "tuple[list[tuple[int, CellOutcome]], dict | N
     # current campaign's injector at it for kernel-cache chaos.
     cache.injector = injector
     tel = Telemetry() if telemetry_on else None
+    logger = StructuredLogger() if log_ctx is not None else None
     out: list[tuple[int, CellOutcome]] = []
-    with telemetry.active(tel):
-        for index, bench, variant in items:
-            t0 = time.monotonic()
-            with telemetry.span("cell", benchmark=bench.full_name,
-                                variant=variant, index=index):
-                outcome = run_cell(
-                    bench, variant, machine, flags=flags, cache=cache,
-                    runs=runs, injector=injector, retry=retry,
-                    timeout_s=timeout_s,
-                )
-            telemetry.observe("engine.cell_s", time.monotonic() - t0)
-            out.append((index, outcome))
-    return out, (tel.snapshot() if tel is not None else None)
+    with telemetry.active(tel), telemetry.logging_active(logger):
+        with telemetry.context(**(log_ctx or {})):
+            for index, bench, variant in items:
+                t0 = time.monotonic()
+                with telemetry.span("cell", benchmark=bench.full_name,
+                                    variant=variant, index=index):
+                    outcome = run_cell(
+                        bench, variant, machine, flags=flags, cache=cache,
+                        runs=runs, injector=injector, retry=retry,
+                        timeout_s=timeout_s,
+                    )
+                telemetry.observe("engine.cell_s", time.monotonic() - t0)
+                out.append((index, outcome))
+    return (
+        out,
+        tel.snapshot() if tel is not None else None,
+        logger.snapshot() if logger is not None else None,
+    )
 
 
 # -- the engine ----------------------------------------------------------
@@ -531,6 +553,8 @@ class CampaignEngine:
         retry_backoff_s: float = 0.05,
         max_worker_restarts: int = 3,
         shard: "tuple[int, int] | None" = None,
+        serve: "int | None" = None,
+        logger: "StructuredLogger | None" = None,
     ) -> None:
         if workers < 1:
             raise HarnessError(f"workers must be >= 1, got {workers}")
@@ -559,6 +583,16 @@ class CampaignEngine:
         self.cell_timeout_s = cell_timeout_s
         self.max_worker_restarts = max_worker_restarts
         self.shard = validate_shard(shard)
+        if serve is not None and not 0 <= serve <= 65535:
+            raise HarnessError(f"serve must be a port in [0, 65535], got {serve}")
+        self.serve = serve
+        self.logger = logger
+        #: The live observability endpoint, bound while :meth:`run` is
+        #: executing when ``serve`` is set (``serve=0`` picks an
+        #: ephemeral port, published via ``observatory.port``).
+        self.observatory: "ObservatoryServer | None" = None
+        self._active_tel: "Telemetry | None" = None
+        self._progress: dict = {"state": "idle"}
         self.retry_policy = RetryPolicy(
             max_retries=max_retries,
             backoff_s=retry_backoff_s,
@@ -642,21 +676,83 @@ class CampaignEngine:
         When telemetry is enabled (engine kwarg, or a module-level
         active telemetry), the run is wrapped in a root ``campaign``
         span and the result gains a flight-recorder ``telemetry`` block.
+
+        With a ``logger`` (engine kwarg, or a module-level active
+        structured logger) the whole run is scoped under correlation
+        context — campaign fingerprint + shard — so every structured
+        record, including the ones workers ship back, is greppable by
+        campaign.  With ``serve`` set, :attr:`observatory` serves
+        ``/metrics``, ``/healthz``, and ``/progress`` for the duration
+        of the run.
         """
         tel = self.telemetry if self.telemetry is not None else telemetry.current()
+        logger = self.logger if self.logger is not None else telemetry.active_logger()
+        self._active_tel = tel
+        fingerprint = self.campaign_fingerprint()
+        shard_label = f"{self.shard[0]}of{self.shard[1]}"
+        server = None
+        if self.serve is not None:
+            server = ObservatoryServer(
+                metrics=self._metrics_snapshot,
+                progress=self.progress,
+                health=self._health_doc,
+                port=self.serve,
+                labels={"shard": shard_label, "machine": self.machine.name},
+            )
+            self.observatory = server.start()
+        try:
+            with telemetry.logging_active(logger):
+                with telemetry.context(campaign=fingerprint[:12],
+                                       shard=shard_label):
+                    if tel is None:
+                        return self._execute(emit, None, None)
+                    with telemetry.active(tel):
+                        tel.set_gauge("engine.workers", self.workers)
+                        with tel.span(
+                            "campaign",
+                            machine=self.machine.name,
+                            workers=self.workers,
+                            cells=len(self.benchmarks) * len(self.variants),
+                        ) as root:
+                            result = self._execute(emit, tel, root)
+                    result.telemetry = telemetry_block(tel)
+                    return result
+        finally:
+            if server is not None:
+                server.stop()
+
+    # -- live observability surfaces --------------------------------------
+
+    def progress(self) -> dict:
+        """The live progress document (what ``/progress`` serves)."""
+        return dict(self._progress)
+
+    def _metrics_snapshot(self) -> dict:
+        """Lock-free metrics snapshot for the ``/metrics`` scrape.
+
+        The registry is mutated by the engine thread; a scrape that
+        races a dict insert simply retries (the registry is small, so a
+        clean pass is all but guaranteed within a few attempts).
+        """
+        tel = self._active_tel
         if tel is None:
-            return self._execute(emit, None, None)
-        with telemetry.active(tel):
-            tel.set_gauge("engine.workers", self.workers)
-            with tel.span(
-                "campaign",
-                machine=self.machine.name,
-                workers=self.workers,
-                cells=len(self.benchmarks) * len(self.variants),
-            ) as root:
-                result = self._execute(emit, tel, root)
-        result.telemetry = telemetry_block(tel)
-        return result
+            return {}
+        for _ in range(8):
+            try:
+                return tel.metrics.snapshot()
+            except RuntimeError:
+                continue
+        return {}
+
+    def _health_doc(self) -> dict:
+        return {
+            "fingerprint": self.campaign_fingerprint(),
+            "shard": list(self.shard),
+            "machine": self.machine.name,
+            "engine_version": ENGINE_VERSION,
+            "workers": self.workers,
+            "state": self._progress.get("state", "idle"),
+        }
 
     def _execute(
         self,
@@ -672,17 +768,117 @@ class CampaignEngine:
         stats = {
             "cache_hits": 0, "resumed": 0, "executed": 0, "lint_skipped": 0,
             "retried": 0, "timeouts": 0, "worker_restarts": 0, "cache_faults": 0,
+            "failures_seen": 0,
         }
+        fingerprint = self.campaign_fingerprint()
         lint_diags, lint_blocked = self._lint_benchmarks()
 
+        history: "CampaignHistory | None" = None
+        if self.cache_dir is not None:
+            history = CampaignHistory(
+                self.cache_dir / history_file_name(*self.shard))
+            if not history.start(fingerprint, self.shard):
+                history = None  # campaign proceeds without a time series
+
+        telemetry.set_gauge("engine.progress.total", total)
+
+        # Every lifecycle event flows through ``send``; completions
+        # additionally update the live progress document, the progress
+        # gauges, and the metrics history — whether or not anyone is
+        # subscribed to the event stream.
+        completion_kinds = frozenset((
+            EventKind.CELL_FINISHED, EventKind.CELL_FAILED,
+            EventKind.CACHE_HIT, EventKind.CELL_LINT_FAILED,
+            EventKind.CELL_TIMED_OUT,
+        ))
+
+        def note_progress(kind, task, record, completed, elapsed, eta) -> None:
+            decided = (stats["cache_hits"] + stats["resumed"]
+                       + stats["executed"])
+            hit_rate = None
+            if decided:
+                hit_rate = (stats["cache_hits"] + stats["resumed"]) / decided
+            throughput = completed / elapsed if elapsed > 0 else 0.0
+            telemetry.set_gauge("engine.progress.completed", completed)
+            telemetry.set_gauge("engine.throughput_cps", throughput)
+            if eta is not None:
+                telemetry.set_gauge("engine.eta_s", eta)
+            if hit_rate is not None:
+                telemetry.set_gauge("engine.cache_hit_rate", hit_rate)
+            self._progress = {
+                "state": ("finished" if kind is EventKind.CAMPAIGN_FINISHED
+                          else "running"),
+                "fingerprint": fingerprint,
+                "shard": list(self.shard),
+                "completed": completed,
+                "total": total,
+                "executed": stats["executed"],
+                "cache_hits": stats["cache_hits"],
+                "resumed": stats["resumed"],
+                "lint_skipped": stats["lint_skipped"],
+                "failures": stats["failures_seen"],
+                "retried": stats["retried"],
+                "elapsed_s": round(elapsed, 3),
+                "throughput_cps": round(throughput, 3),
+                "eta_s": round(eta, 3) if eta is not None else None,
+                "cache_hit_rate": (round(hit_rate, 4)
+                                   if hit_rate is not None else None),
+            }
+            if history is not None:
+                snapshot = tel.metrics.snapshot() if tel is not None else {}
+                history.append(HistorySample(
+                    t=round(time.time(), 6),
+                    elapsed_s=round(elapsed, 6),
+                    completed=completed,
+                    total=total,
+                    executed=stats["executed"],
+                    cache_hits=stats["cache_hits"],
+                    resumed=stats["resumed"],
+                    failures=stats["failures_seen"],
+                    retried=stats["retried"],
+                    throughput_cps=round(throughput, 6),
+                    eta_s=round(eta, 6) if eta is not None else None,
+                    cache_hit_rate=hit_rate,
+                    event=kind.value,
+                    cell=(f"{task.benchmark.full_name}/{task.variant}"
+                          if task is not None else ""),
+                    counters=snapshot.get("counters", {}),
+                    gauges=snapshot.get("gauges", {}),
+                    histograms=summarize_histograms(snapshot),
+                ))
+
         def send(kind: EventKind, task: CellTask | None = None, **kw) -> None:
-            if emit is None:
-                return
             completed = len(done)
             elapsed = time.monotonic() - t0
             eta = None
             if 0 < completed < total:
                 eta = elapsed / completed * (total - completed)
+            record = kw.get("record")
+            if kind in completion_kinds:
+                if record is not None and record.status not in (
+                        STATUS_OK, STATUS_LINT_ERROR):
+                    stats["failures_seen"] += 1
+                note_progress(kind, task, record, completed, elapsed, eta)
+            elif kind in (EventKind.CELL_RETRIED, EventKind.CAMPAIGN_FINISHED):
+                # Retries are sampled too: the doctor clusters them
+                # per-suite/per-variant from the history stream.
+                note_progress(kind, task, record, completed, elapsed, eta)
+            if telemetry.active_logger() is not None:
+                telemetry.log_event(
+                    "engine." + kind.value.replace("-", "_"),
+                    level=("warning" if kind in (
+                        EventKind.CELL_FAILED, EventKind.CELL_TIMED_OUT,
+                        EventKind.CELL_RETRIED, EventKind.WORKER_LOST,
+                        EventKind.CELL_LINT_FAILED) else "info"),
+                    benchmark=task.benchmark.full_name if task else None,
+                    variant=task.variant if task else None,
+                    completed=completed,
+                    total=total,
+                    status=record.status if record is not None else None,
+                    message=kw.get("message", ""),
+                )
+            if emit is None:
+                return
             emit(
                 CampaignEvent(
                     kind=kind,
@@ -696,6 +892,13 @@ class CampaignEngine:
                 )
             )
 
+        self._progress = {
+            "state": "running",
+            "fingerprint": fingerprint,
+            "shard": list(self.shard),
+            "completed": 0,
+            "total": total,
+        }
         started = f"{total} cells, workers={self.workers}"
         if self.shard != (1, 1):
             started += f", shard {self.shard[0]}/{self.shard[1]}"
@@ -703,7 +906,6 @@ class CampaignEngine:
 
         store = self.journal_store
         journal = store.journal(self.shard) if store is not None else None
-        fingerprint = self.campaign_fingerprint()
         # Resume replays the *merged* stream of every journal in the
         # store (this shard's, sibling shards', and any legacy
         # journal.jsonl), so any node can pick the campaign back up.
@@ -812,6 +1014,8 @@ class CampaignEngine:
         finally:
             if journal is not None and len(done) < total:
                 journal.close()  # keep the partial journal for --resume
+            if history is not None and len(done) < total:
+                history.close()  # the partial series stays appendable
 
         result = CampaignResult(machine=self.machine.name)
         for task in tasks:
@@ -840,6 +1044,7 @@ class CampaignEngine:
             "fault_plan": self.fault_plan.digest() if self.fault_plan else None,
             "fault_seed": self.fault_plan.seed if self.fault_plan else None,
             "cache_faults": stats["cache_faults"],
+            "history": str(history.path) if history is not None else None,
         }
         if self.shard != (1, 1):
             result.meta["shard"] = list(self.shard)
@@ -851,6 +1056,8 @@ class CampaignEngine:
              f"{stats['cache_hits']} cache hits, {stats['resumed']} resumed, "
              f"{stats['lint_skipped']} lint-skipped, {stats['retried']} retried, "
              f"{failures} failed")
+        if history is not None:
+            history.close()
         return result
 
     def _cache_fault(self, task: CellTask) -> bool:
@@ -955,12 +1162,21 @@ class CampaignEngine:
         return chunks
 
     def _chunk_payload(self, chunk, kernel_dir, telemetry_on, attempt) -> tuple:
+        log_ctx = None
+        if telemetry.active_logger() is not None:
+            # The worker re-creates the parent's correlation scope so
+            # its records grep identically to serially-produced ones.
+            log_ctx = {
+                "campaign": self.campaign_fingerprint()[:12],
+                "shard": f"{self.shard[0]}of{self.shard[1]}",
+            }
         return (
             self.machine,
             self.flags,
             self.runs,
             str(kernel_dir) if kernel_dir else None,
             telemetry_on,
+            log_ctx,
             [(t.index, t.benchmark, t.variant) for t in chunk],
             self.fault_plan,
             self.retry_policy,
@@ -1006,7 +1222,7 @@ class CampaignEngine:
                     for future in finished:
                         chunk, attempt = futures[future]
                         try:
-                            outcomes, snapshot = future.result()
+                            outcomes, snapshot, log_records = future.result()
                         except (BrokenProcessPool, OSError) as exc:
                             # The pool is gone; every still-pending future
                             # fails the same way and lands in the requeue.
@@ -1022,6 +1238,10 @@ class CampaignEngine:
                         if snapshot is not None and tel is not None:
                             # Worker spans nest under the campaign root.
                             tel.merge(snapshot, parent=root)
+                        if log_records:
+                            parent_log = telemetry.active_logger()
+                            if parent_log is not None:
+                                parent_log.merge(log_records)
                         for index, outcome in outcomes:
                             finish_outcome(by_index[index], outcome)
             queue = requeue

@@ -292,32 +292,49 @@ def run_cell(
     policy = retry if retry is not None else RetryPolicy(max_retries=0)
     retries: list[CellRetry] = []
     attempt = 0
-    while True:
-        record, fault = _attempt(
-            bench, variant, machine,
-            flags=flags, cache=cache, runs=runs,
-            injector=injector, timeout_s=timeout_s, attempt=attempt,
-        )
-        if fault is None:
-            assert record is not None
-            return CellOutcome(record, attempt + 1, tuple(retries))
-        telemetry.count("faults.observed")
-        telemetry.count(f"faults.site.{fault.site}")
-        if fault.injected:
-            telemetry.count("faults.injected")
-        if isinstance(fault, TimeoutFault):
-            telemetry.count("engine.cell_timeouts")
-        if policy.should_retry(fault, attempt):
-            delay = policy.delay_s(bench.full_name, variant, attempt)
-            retries.append(CellRetry(attempt, failure_info(fault, attempt + 1), delay))
-            telemetry.count("engine.cell_retries")
-            if delay > 0:
-                sleep(delay)
-            attempt += 1
-            continue
-        telemetry.count("runner.failed_cells")
-        return CellOutcome(
-            _failure_record(bench, variant, fault, attempt + 1, tuple(retries)),
-            attempt + 1,
-            tuple(retries),
-        )
+    # Correlation context for the structured log: every record logged
+    # below (fault, retry, degradation) carries the cell id, whether it
+    # runs in the parent (serial) or in a pool worker (parallel).
+    with telemetry.context(cell=f"{bench.full_name}/{variant}"):
+        while True:
+            record, fault = _attempt(
+                bench, variant, machine,
+                flags=flags, cache=cache, runs=runs,
+                injector=injector, timeout_s=timeout_s, attempt=attempt,
+            )
+            if fault is None:
+                assert record is not None
+                return CellOutcome(record, attempt + 1, tuple(retries))
+            telemetry.count("faults.observed")
+            telemetry.count(f"faults.site.{fault.site}")
+            if fault.injected:
+                telemetry.count("faults.injected")
+            if isinstance(fault, TimeoutFault):
+                telemetry.count("engine.cell_timeouts")
+            telemetry.log_event(
+                "cell.fault", level="warning", attempt=attempt,
+                kind=fault.kind, site=fault.site, transient=fault.transient,
+                injected=fault.injected, detail=fault.message,
+            )
+            if policy.should_retry(fault, attempt):
+                delay = policy.delay_s(bench.full_name, variant, attempt)
+                retries.append(CellRetry(attempt, failure_info(fault, attempt + 1), delay))
+                telemetry.count("engine.cell_retries")
+                telemetry.log_event(
+                    "cell.retry", level="warning", attempt=attempt,
+                    kind=fault.kind, delay_s=delay,
+                )
+                if delay > 0:
+                    sleep(delay)
+                attempt += 1
+                continue
+            telemetry.count("runner.failed_cells")
+            telemetry.log_event(
+                "cell.degraded", level="error", attempt=attempt,
+                attempts=attempt + 1, kind=fault.kind, status=fault.status,
+            )
+            return CellOutcome(
+                _failure_record(bench, variant, fault, attempt + 1, tuple(retries)),
+                attempt + 1,
+                tuple(retries),
+            )

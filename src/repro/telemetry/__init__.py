@@ -38,6 +38,23 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.history import (
+    CampaignHistory,
+    HistorySample,
+    HistoryStore,
+    MergedHistory,
+    history_file_name,
+    merge_history,
+)
+from repro.telemetry.httpd import ObservatoryServer
+from repro.telemetry.log import (
+    StructuredLogger,
+    active_logger,
+    context,
+    log_event,
+    logging_active,
+)
+from repro.telemetry.promexport import render_prometheus, validate_exposition
 from repro.telemetry.metrics import (
     TIME_BUCKETS_S,
     Counter,
@@ -59,34 +76,48 @@ from repro.telemetry.recorder import (
 from repro.telemetry.spans import Span, Tracer
 
 __all__ = [
+    "CampaignHistory",
     "Counter",
     "FlightReport",
     "Gauge",
     "Histogram",
+    "HistorySample",
+    "HistoryStore",
+    "MergedHistory",
     "MetricsRegistry",
+    "ObservatoryServer",
     "PhaseStat",
     "SPAN_CAMPAIGN",
     "SPAN_CELL",
     "SPAN_LINT",
     "Span",
+    "StructuredLogger",
     "TIME_BUCKETS_S",
     "Telemetry",
     "Tracer",
     "activate",
     "active",
+    "active_logger",
     "chrome_trace",
+    "context",
     "count",
     "current",
     "flight_report",
     "flight_report_from_file",
+    "history_file_name",
     "load_trace",
+    "log_event",
+    "logging_active",
+    "merge_history",
     "observe",
     "render_flight_report",
+    "render_prometheus",
     "set_gauge",
     "span",
     "spans_to_jsonl",
     "telemetry_block",
     "validate_chrome_trace",
+    "validate_exposition",
     "write_chrome_trace",
     "write_jsonl",
 ]

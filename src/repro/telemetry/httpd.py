@@ -1,0 +1,152 @@
+"""Opt-in observability endpoint for a running campaign.
+
+A tiny stdlib-only HTTP server (``ThreadingHTTPServer`` on a daemon
+thread) exposing the three service-grade surfaces the ROADMAP's
+campaign service needs first:
+
+* ``GET /metrics``  — the active :class:`MetricsRegistry` in Prometheus
+  text exposition (see :mod:`repro.telemetry.promexport`),
+* ``GET /healthz``  — liveness JSON (``{"status": "ok", ...}``),
+* ``GET /progress`` — the engine's live progress document (completed /
+  total, throughput, ETA, cache-hit rate).
+
+The server never touches engine state directly: it is constructed with
+*providers* — zero-argument callables returning the current snapshot —
+so it works equally for an engine mid-campaign, a finished result, or
+a test feeding canned data.  Providers run on request threads; they
+must be cheap and thread-safe (the engine hands in lock-free snapshot
+reads).  ``port=0`` binds an ephemeral port, published via
+:attr:`ObservatoryServer.port` once started.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.log import log_event
+from repro.telemetry.promexport import render_prometheus
+
+#: Content type mandated by Prometheus text format 0.0.4.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObservatoryServer:
+    """Serves ``/metrics``, ``/healthz``, ``/progress`` for one campaign."""
+
+    def __init__(
+        self,
+        metrics=None,
+        progress=None,
+        health=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        self._metrics = metrics
+        self._progress = progress
+        self._health = health
+        self._host = host
+        self._requested_port = port
+        self._labels = dict(labels) if labels else None
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ObservatoryServer":
+        if self._httpd is not None:
+            return self
+        observatory = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Route access logs into the structured log (quiet when no
+            # logger is active) instead of stderr.
+            def log_message(self, fmt: str, *args: object) -> None:
+                log_event("httpd.request", detail=fmt % args,
+                          client=self.address_string())
+
+            def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+                observatory._handle(self)
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="a64fx-observatory",
+            daemon=True,
+        )
+        self._thread.start()
+        log_event("httpd.started", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+        log_event("httpd.stopped")
+
+    def __enter__(self) -> "ObservatoryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    # -- request handling ------------------------------------------------
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                snapshot = self._metrics() if self._metrics is not None else {}
+                body = render_prometheus(snapshot, labels=self._labels)
+                self._respond(request, 200, PROM_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                doc = self._health() if self._health is not None else {}
+                doc = {"status": "ok", **(doc or {})}
+                self._respond(request, 200, "application/json",
+                              json.dumps(doc) + "\n")
+            elif path == "/progress":
+                doc = self._progress() if self._progress is not None else {}
+                self._respond(request, 200, "application/json",
+                              json.dumps(doc or {}) + "\n")
+            else:
+                self._respond(request, 404, "application/json",
+                              json.dumps({"error": "not found",
+                                          "path": path}) + "\n")
+        except Exception as exc:  # noqa: BLE001 - a provider bug must not kill the thread
+            log_event("httpd.error", level="error", path=path, error=str(exc))
+            self._respond(request, 500, "application/json",
+                          json.dumps({"error": str(exc)}) + "\n")
+
+    @staticmethod
+    def _respond(request: BaseHTTPRequestHandler, status: int,
+                 content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        try:
+            request.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up

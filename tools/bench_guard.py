@@ -13,7 +13,10 @@ Times the campaign engine's three load-bearing scenarios —
 - ``warm_cache_s``: an identical repeat against a populated cell cache
   (must be nearly free);
 - ``chaos_overhead_s``: the serial grid under the committed fault plan
-  (resilience machinery must not dominate)
+  (resilience machinery must not dominate);
+- ``telemetry_on_s``: the serial grid with the flight recorder on
+  (spans + metrics + history sampling must stay cheap relative to the
+  work they observe)
 
 — writes the measurements to ``--out`` (``BENCH_engine.json``) and
 compares them against the committed baseline
@@ -48,6 +51,10 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
 
 from repro.api import CampaignConfig, CampaignSession  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
@@ -64,6 +71,12 @@ WARM_RATIO_MAX = 0.5
 #: The chaos run may cost at most this multiple of the plain serial run
 #: (it does strictly more work: every transient fault re-runs a cell).
 CHAOS_RATIO_MAX = 3.0
+
+#: The flight-recorder run may cost at most this multiple of the
+#: memo-cold serial run (tracing bypasses the compile memo for span
+#: fidelity, so the cold first run is the like-for-like denominator) —
+#: observability must never dominate the observed work.
+TELEMETRY_RATIO_MAX = 2.0
 
 
 #: --update-baseline lowers a ratchet to this multiple of the new
@@ -103,6 +116,9 @@ def measure() -> dict:
         _, results["warm_cache_s"] = _time(lambda: CampaignSession(warm).run())
 
     _, results["chaos_overhead_s"] = _time(lambda: CampaignSession(chaos).run())
+    _, results["telemetry_on_s"] = _time(
+        lambda: CampaignSession(base.with_(telemetry=True)).run()
+    )
     return {
         "scenarios": {k: round(v, 4) for k, v in results.items()},
         "grid": {"suites": list(SUITES), "variants": list(VARIANTS)},
@@ -111,7 +127,11 @@ def measure() -> dict:
     }
 
 
-def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
+def compare(measured: dict, baseline: dict, tolerance: float,
+            say=None) -> list[str]:
+    if say is None:
+        def say(event, message, **kwargs):  # bare fallback for callers
+            print(message)
     broken: list[str] = []
     scenarios = measured["scenarios"]
     for name, base_s in baseline.get("scenarios", {}).items():
@@ -121,8 +141,10 @@ def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
             continue
         limit = base_s * tolerance
         verdict = "ok" if got <= limit else "REGRESSION"
-        print(f"  {verdict}: {name} = {got:.3f}s "
-              f"(baseline {base_s:.3f}s, limit {limit:.3f}s)")
+        say("absolute", f"  {verdict}: {name} = {got:.3f}s "
+            f"(baseline {base_s:.3f}s, limit {limit:.3f}s)",
+            scenario=name, measured_s=got, limit_s=round(limit, 4),
+            ok=got <= limit)
         if got > limit:
             broken.append(
                 f"{name}: {got:.3f}s exceeds {tolerance:.1f}x baseline "
@@ -136,8 +158,10 @@ def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
             broken.append(f"ratcheted scenario {name!r} missing from measurement")
             continue
         verdict = "ok" if got <= ceiling else "REGRESSION"
-        print(f"  {verdict}: ratchet {name} = {got:.3f}s "
-              f"(ceiling {ceiling:.4f}s, lower is better)")
+        say("ratchet", f"  {verdict}: ratchet {name} = {got:.3f}s "
+            f"(ceiling {ceiling:.4f}s, lower is better)",
+            scenario=name, measured_s=got, ceiling_s=ceiling,
+            ok=got <= ceiling)
         if got > ceiling:
             broken.append(
                 f"{name}: {got:.3f}s exceeds the ratcheted ceiling "
@@ -153,8 +177,10 @@ def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
     chaos = scenarios["chaos_overhead_s"]
     ratio = warm / cold_first if cold_first else 0.0
     verdict = "ok" if ratio <= WARM_RATIO_MAX else "REGRESSION"
-    print(f"  {verdict}: warm/cold ratio = {ratio:.3f} "
-          f"(limit {WARM_RATIO_MAX})")
+    say("ratio", f"  {verdict}: warm/cold ratio = {ratio:.3f} "
+        f"(limit {WARM_RATIO_MAX})",
+        ratio="warm/cold", value=round(ratio, 4), limit=WARM_RATIO_MAX,
+        ok=ratio <= WARM_RATIO_MAX)
     if ratio > WARM_RATIO_MAX:
         broken.append(
             f"warm-cache repeat costs {ratio:.2f}x a cold run "
@@ -163,13 +189,34 @@ def compare(measured: dict, baseline: dict, tolerance: float) -> list[str]:
     # Chaos and cold best-of are both memo-warm: like-for-like.
     ratio = chaos / cold_best if cold_best else 0.0
     verdict = "ok" if ratio <= CHAOS_RATIO_MAX else "REGRESSION"
-    print(f"  {verdict}: chaos/cold ratio = {ratio:.3f} "
-          f"(limit {CHAOS_RATIO_MAX})")
+    say("ratio", f"  {verdict}: chaos/cold ratio = {ratio:.3f} "
+        f"(limit {CHAOS_RATIO_MAX})",
+        ratio="chaos/cold", value=round(ratio, 4), limit=CHAOS_RATIO_MAX,
+        ok=ratio <= CHAOS_RATIO_MAX)
     if ratio > CHAOS_RATIO_MAX:
         broken.append(
             f"chaos campaign costs {ratio:.2f}x a plain run "
             f"(limit {CHAOS_RATIO_MAX}) — resilience bookkeeping too heavy"
         )
+    # Telemetry vs the memo-cold first run: tracing deliberately
+    # bypasses the process-global compile memo (a memo hit would drop
+    # the compile spans), so a telemetry run always pays cold-style
+    # compile work.  The gate bounds what the *recording* adds on top
+    # of that — spans, metrics, history sampling.
+    tele = scenarios.get("telemetry_on_s")
+    if tele is not None:
+        ratio = tele / cold_first if cold_first else 0.0
+        verdict = "ok" if ratio <= TELEMETRY_RATIO_MAX else "REGRESSION"
+        say("ratio", f"  {verdict}: telemetry/cold ratio = {ratio:.3f} "
+            f"(limit {TELEMETRY_RATIO_MAX})",
+            ratio="telemetry/cold", value=round(ratio, 4),
+            limit=TELEMETRY_RATIO_MAX, ok=ratio <= TELEMETRY_RATIO_MAX)
+        if ratio > TELEMETRY_RATIO_MAX:
+            broken.append(
+                f"telemetry-on campaign costs {ratio:.2f}x a cold run "
+                f"(limit {TELEMETRY_RATIO_MAX}) — observability overhead "
+                "too heavy"
+            )
     return broken
 
 
@@ -182,44 +229,51 @@ def main(argv: "list[str] | None" = None) -> int:
         "--update-baseline", action="store_true",
         help="write the measurement to --baseline instead of comparing",
     )
+    add_logging_args(parser)
     args = parser.parse_args(argv)
 
-    print(f"measuring engine scenarios ({REPEATS} repeats, best-of) ...")
-    measured = measure()
-    for name, seconds in measured["scenarios"].items():
-        print(f"  {name} = {seconds:.3f}s")
-    Path(args.out).write_text(json.dumps(measured, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    with tool_logging(args, "bench_guard") as say:
+        say("start",
+            f"measuring engine scenarios ({REPEATS} repeats, best-of) ...",
+            repeats=REPEATS)
+        measured = measure()
+        for name, seconds in measured["scenarios"].items():
+            say("scenario", f"  {name} = {seconds:.3f}s",
+                scenario=name, seconds=seconds)
+        Path(args.out).write_text(json.dumps(measured, indent=2) + "\n")
+        say("wrote", f"wrote {args.out}", path=args.out)
 
-    if args.update_baseline:
-        path = Path(args.baseline)
-        ratchets: dict[str, float] = {}
-        if path.exists():
-            ratchets = json.loads(path.read_text()).get("ratchets", {})
-        won = measured["scenarios"]["cold_serial_s"] * RATCHET_HEADROOM
-        ratchets["cold_serial_s"] = round(
-            min(ratchets.get("cold_serial_s", float("inf")), won), 4
-        )
-        measured["ratchets"] = ratchets
-        path.write_text(json.dumps(measured, indent=2) + "\n")
-        print(f"baseline updated: {args.baseline}")
+        if args.update_baseline:
+            path = Path(args.baseline)
+            ratchets: dict[str, float] = {}
+            if path.exists():
+                ratchets = json.loads(path.read_text()).get("ratchets", {})
+            won = measured["scenarios"]["cold_serial_s"] * RATCHET_HEADROOM
+            ratchets["cold_serial_s"] = round(
+                min(ratchets.get("cold_serial_s", float("inf")), won), 4
+            )
+            measured["ratchets"] = ratchets
+            path.write_text(json.dumps(measured, indent=2) + "\n")
+            say("baseline", f"baseline updated: {args.baseline}",
+                path=args.baseline)
+            return 0
+
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            say("error", f"no baseline at {baseline_path}; run with "
+                "--update-baseline", level="error")
+            return 1
+        baseline = json.loads(baseline_path.read_text())
+        say("compare", f"comparing against {baseline_path} "
+            f"(tolerance {args.tolerance:.1f}x):",
+            baseline=str(baseline_path), tolerance=args.tolerance)
+        broken = compare(measured, baseline, args.tolerance, say=say)
+        if broken:
+            for line in broken:
+                say("regression", f"REGRESSION: {line}", level="error")
+            return 1
+        say("pass", "regression guard: all scenarios within budget")
         return 0
-
-    baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"no baseline at {baseline_path}; run with --update-baseline",
-              file=sys.stderr)
-        return 1
-    baseline = json.loads(baseline_path.read_text())
-    print(f"comparing against {baseline_path} "
-          f"(tolerance {args.tolerance:.1f}x):")
-    broken = compare(measured, baseline, args.tolerance)
-    if broken:
-        for line in broken:
-            print(f"REGRESSION: {line}", file=sys.stderr)
-        return 1
-    print("regression guard: all scenarios within budget")
-    return 0
 
 
 if __name__ == "__main__":

@@ -14,12 +14,22 @@ Usage:  python tools/calibrate.py [suite ...]
 
 from __future__ import annotations
 
+import argparse
 import sys
+from pathlib import Path
 
-from repro.analysis import benchmark_gains, evaluate, suite_summary
-from repro.api import CampaignConfig, CampaignSession
-from repro.harness import run_polybench_xeon
-from repro.suites import all_suites
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+from repro.analysis import benchmark_gains, evaluate, suite_summary  # noqa: E402
+from repro.api import CampaignConfig, CampaignSession  # noqa: E402
+from repro.harness import run_polybench_xeon  # noqa: E402
+from repro.suites import all_suites  # noqa: E402
 
 PAPER_TARGETS = {
     "micro": "mean 1.17x, median 1.00x, peak 2.4x, 4 GNU wins, 6 GNU faults",
@@ -32,38 +42,53 @@ PAPER_TARGETS = {
 }
 
 
-def main(argv: list[str]) -> int:
-    wanted = set(argv) or {s.name for s in all_suites()}
-    result = CampaignSession(CampaignConfig()).run()
-    gains = {g.benchmark: g for g in benchmark_gains(result)}
-    variants = result.variants()
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "suites", nargs="*", metavar="SUITE",
+        help="suites to show (default: all)",
+    )
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
 
-    for suite in all_suites():
-        if suite.name not in wanted:
-            continue
-        print(f"\n=== {suite.display} ===")
-        print(f"paper: {PAPER_TARGETS[suite.name]}")
-        header = f"{'benchmark':22s}" + "".join(f"{v:>12s}" for v in variants) + f"{'gain':>9s} winner"
-        print(header)
-        for bench in suite.benchmarks:
-            g = gains[bench.full_name]
-            row = f"{bench.name:22s}"
-            for v in variants:
-                t = g.times[v]
-                row += f"{'FAIL':>12s}" if t == float("inf") else f"{t:12.4f}"
-            row += f"{g.best_gain:9.2f} {g.best_variant}"
-            print(row)
-        print(f"-> {suite_summary(result, suite.name)}")
+    with tool_logging(args, "calibrate") as say:
+        wanted = set(args.suites) or {s.name for s in all_suites()}
+        result = CampaignSession(CampaignConfig()).run()
+        gains = {g.benchmark: g for g in benchmark_gains(result)}
+        variants = result.variants()
 
-    print("\n=== claim evaluation ===")
-    xeon = run_polybench_xeon()
-    checks = evaluate(result, xeon)
-    for c in checks:
-        print(c)
-    failed = sum(1 for c in checks if not c.passed)
-    print(f"\n{len(checks) - failed}/{len(checks)} claims pass")
-    return 1 if failed else 0
+        for suite in all_suites():
+            if suite.name not in wanted:
+                continue
+            say("suite", f"\n=== {suite.display} ===", suite=suite.name)
+            say("target", f"paper: {PAPER_TARGETS[suite.name]}",
+                suite=suite.name)
+            header = f"{'benchmark':22s}" + "".join(
+                f"{v:>12s}" for v in variants) + f"{'gain':>9s} winner"
+            say("header", header)
+            for bench in suite.benchmarks:
+                g = gains[bench.full_name]
+                row = f"{bench.name:22s}"
+                for v in variants:
+                    t = g.times[v]
+                    row += (f"{'FAIL':>12s}" if t == float("inf")
+                            else f"{t:12.4f}")
+                row += f"{g.best_gain:9.2f} {g.best_variant}"
+                say("bench", row, benchmark=bench.full_name,
+                    gain=g.best_gain, winner=g.best_variant)
+            say("summary", f"-> {suite_summary(result, suite.name)}",
+                suite=suite.name)
+
+        say("section", "\n=== claim evaluation ===")
+        xeon = run_polybench_xeon()
+        checks = evaluate(result, xeon)
+        for c in checks:
+            say("claim", str(c), claim=c.claim_id, ok=c.passed)
+        failed = sum(1 for c in checks if not c.passed)
+        say("verdict", f"\n{len(checks) - failed}/{len(checks)} claims pass",
+            passed=len(checks) - failed, total=len(checks))
+        return 1 if failed else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

@@ -30,6 +30,10 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
 
 from repro.analysis import resilience_markdown  # noqa: E402
 from repro.api import CampaignConfig, CampaignSession  # noqa: E402
@@ -54,11 +58,11 @@ class ChaosCheckError(AssertionError):
     pass
 
 
-def _check(condition: bool, message: str, failures: list) -> None:
+def _check(say, condition: bool, message: str, failures: list) -> None:
     if condition:
-        print(f"  ok: {message}")
+        say("check", f"  ok: {message}", ok=True)
     else:
-        print(f"  BROKEN: {message}", file=sys.stderr)
+        say("check", f"  BROKEN: {message}", level="error", ok=False)
         failures.append(message)
 
 
@@ -71,103 +75,106 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--out", default="chaos-report.json", help="report path"
     )
+    add_logging_args(parser)
     args = parser.parse_args(argv)
 
-    plan = FaultPlan.load(args.plan)
-    print(f"fault plan: seed {plan.seed}, {len(plan.rules)} rules, "
-          f"digest {plan.digest()[:12]}")
+    with tool_logging(args, "chaos_check") as say:
+        plan = FaultPlan.load(args.plan)
+        say("plan", f"fault plan: seed {plan.seed}, {len(plan.rules)} "
+            f"rules, digest {plan.digest()[:12]}",
+            seed=plan.seed, rules=len(plan.rules), digest=plan.digest())
 
-    base = CampaignConfig(suites=SUITES, variants=VARIANTS)
-    chaos_cfg = base.with_(fault_plan=plan, max_retries=2, retry_backoff_s=0.0)
+        base = CampaignConfig(suites=SUITES, variants=VARIANTS)
+        chaos_cfg = base.with_(fault_plan=plan, max_retries=2, retry_backoff_s=0.0)
 
-    t0 = time.monotonic()
-    free = CampaignSession(base).run()
-    chaos1 = CampaignSession(chaos_cfg).run()
-    chaos4 = CampaignSession(chaos_cfg.with_(workers=4)).run()
-    elapsed = time.monotonic() - t0
+        t0 = time.monotonic()
+        free = CampaignSession(base).run()
+        chaos1 = CampaignSession(chaos_cfg).run()
+        chaos4 = CampaignSession(chaos_cfg.with_(workers=4)).run()
+        elapsed = time.monotonic() - t0
 
-    failures: list[str] = []
-    report: dict = {
-        "plan": {"path": args.plan, "seed": plan.seed,
-                 "digest": plan.digest(), "rules": len(plan.rules)},
-        "cells": len(free.records),
-        "elapsed_s": round(elapsed, 3),
-    }
+        failures: list[str] = []
+        report: dict = {
+            "plan": {"path": args.plan, "seed": plan.seed,
+                     "digest": plan.digest(), "rules": len(plan.rules)},
+            "cells": len(free.records),
+            "elapsed_s": round(elapsed, 3),
+        }
 
-    # 1. completion: the chaos grids are as large as the clean grid.
-    print("completion:")
-    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
-        _check(set(res.records) == set(free.records),
-               f"chaos {label} campaign completed the full "
-               f"{len(free.records)}-cell grid", failures)
+        # 1. completion: the chaos grids are as large as the clean grid.
+        say("section", "completion:")
+        for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+            _check(say, set(res.records) == set(free.records),
+                   f"chaos {label} campaign completed the full "
+                   f"{len(free.records)}-cell grid", failures)
 
-    # 2. self-healing: outside the permanently-broken benchmarks, chaos
-    # records equal the fault-free run bit for bit.
-    print("self-healing:")
-    healthy = {k: r for k, r in free.records.items()
-               if k[0] not in EXPECTED_PERMANENT}
-    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
-        subset = {k: r for k, r in res.records.items()
-                  if k[0] not in EXPECTED_PERMANENT}
-        _check(subset == healthy,
-               f"chaos {label}: all {len(healthy)} transiently-faulted "
-               "cells healed to fault-free records", failures)
-    _check(chaos1.meta.get("retried", 0) > 0,
-           f"chaos workers=1 absorbed retries "
-           f"({chaos1.meta.get('retried', 0)})", failures)
-    _check(chaos4.meta.get("worker_restarts", 0) >= 1,
-           f"chaos workers=4 survived worker crashes "
-           f"({chaos4.meta.get('worker_restarts', 0)} pool restart(s))",
-           failures)
-    _check(chaos1.meta.get("cache_faults", 0) == 0,
-           "no cache dir, so no injected cache losses counted", failures)
+        # 2. self-healing: outside the permanently-broken benchmarks, chaos
+        # records equal the fault-free run bit for bit.
+        say("section", "self-healing:")
+        healthy = {k: r for k, r in free.records.items()
+                   if k[0] not in EXPECTED_PERMANENT}
+        for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+            subset = {k: r for k, r in res.records.items()
+                      if k[0] not in EXPECTED_PERMANENT}
+            _check(say, subset == healthy,
+                   f"chaos {label}: all {len(healthy)} transiently-faulted "
+                   "cells healed to fault-free records", failures)
+        _check(say, chaos1.meta.get("retried", 0) > 0,
+               f"chaos workers=1 absorbed retries "
+               f"({chaos1.meta.get('retried', 0)})", failures)
+        _check(say, chaos4.meta.get("worker_restarts", 0) >= 1,
+               f"chaos workers=4 survived worker crashes "
+               f"({chaos4.meta.get('worker_restarts', 0)} pool restart(s))",
+               failures)
+        _check(say, chaos1.meta.get("cache_faults", 0) == 0,
+               "no cache dir, so no injected cache losses counted", failures)
 
-    # 3. taxonomy: permanent rules degrade to the right statuses.
-    print("taxonomy:")
-    for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
-        for bench, status in EXPECTED_PERMANENT.items():
-            cells = [r for k, r in res.records.items() if k[0] == bench]
-            _check(bool(cells) and all(r.status == status for r in cells),
-                   f"chaos {label}: {bench} degraded to {status!r}", failures)
-            _check(all(r.failure is not None
-                       and r.failure.site
-                       and r.failure.injected for r in cells),
-                   f"chaos {label}: {bench} carries a structured "
-                   "failure block", failures)
-    statuses = {r.status for r in chaos1.records.values()
-                if r.status in FAILURE_STATUSES}
-    _check(statuses == set(EXPECTED_PERMANENT.values()),
-           f"only the planned failure statuses appear: {sorted(statuses)}",
-           failures)
+        # 3. taxonomy: permanent rules degrade to the right statuses.
+        say("section", "taxonomy:")
+        for label, res in (("workers=1", chaos1), ("workers=4", chaos4)):
+            for bench, status in EXPECTED_PERMANENT.items():
+                cells = [r for k, r in res.records.items() if k[0] == bench]
+                _check(say, bool(cells) and all(r.status == status for r in cells),
+                       f"chaos {label}: {bench} degraded to {status!r}", failures)
+                _check(say, all(r.failure is not None
+                           and r.failure.site
+                           and r.failure.injected for r in cells),
+                       f"chaos {label}: {bench} carries a structured "
+                       "failure block", failures)
+        statuses = {r.status for r in chaos1.records.values()
+                    if r.status in FAILURE_STATUSES}
+        _check(say, statuses == set(EXPECTED_PERMANENT.values()),
+               f"only the planned failure statuses appear: {sorted(statuses)}",
+               failures)
 
-    # 4. surfacing: meta and the report section record the chaos.
-    print("surfacing:")
-    for key in ("fault_plan", "fault_seed", "retried", "failures",
-                "timeouts", "worker_restarts"):
-        _check(key in chaos4.meta, f"meta carries {key!r}", failures)
-    _check(chaos4.meta.get("fault_plan") == plan.digest(),
-           "meta pins the plan digest", failures)
-    section = resilience_markdown(chaos1)
-    _check("## Resilience" in section and "timeout" in section,
-           "resilience report section renders the chaos run", failures)
+        # 4. surfacing: meta and the report section record the chaos.
+        say("section", "surfacing:")
+        for key in ("fault_plan", "fault_seed", "retried", "failures",
+                    "timeouts", "worker_restarts"):
+            _check(say, key in chaos4.meta, f"meta carries {key!r}", failures)
+        _check(say, chaos4.meta.get("fault_plan") == plan.digest(),
+               "meta pins the plan digest", failures)
+        section = resilience_markdown(chaos1)
+        _check(say, "## Resilience" in section and "timeout" in section,
+               "resilience report section renders the chaos run", failures)
 
-    report["chaos1"] = {k: chaos1.meta.get(k) for k in
-                        ("retried", "failures", "timeouts",
-                         "worker_restarts", "fault_plan")}
-    report["chaos4"] = {k: chaos4.meta.get(k) for k in
-                        ("retried", "failures", "timeouts",
-                         "worker_restarts", "fault_plan")}
-    report["broken"] = failures
-    report["ok"] = not failures
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report: {args.out}")
+        report["chaos1"] = {k: chaos1.meta.get(k) for k in
+                            ("retried", "failures", "timeouts",
+                             "worker_restarts", "fault_plan")}
+        report["chaos4"] = {k: chaos4.meta.get(k) for k in
+                            ("retried", "failures", "timeouts",
+                             "worker_restarts", "fault_plan")}
+        report["broken"] = failures
+        report["ok"] = not failures
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        say("report", f"report: {args.out}", path=args.out)
 
-    if failures:
-        print(f"{len(failures)} resilience assertion(s) broken",
-              file=sys.stderr)
-        return 1
-    print("chaos gate: all resilience assertions hold")
-    return 0
+        if failures:
+            say("fail", f"{len(failures)} resilience assertion(s) broken",
+                level="error", broken=len(failures))
+            return 1
+        say("pass", "chaos gate: all resilience assertions hold")
+        return 0
 
 
 if __name__ == "__main__":

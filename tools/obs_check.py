@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Observability gate: the campaign observatory must be scrapeable.
+
+Runs a two-shard campaign with the live endpoint and the full
+telemetry stack on, and asserts the observability contract:
+
+1. while shard 1 runs, ``GET /metrics`` answers with valid Prometheus
+   text exposition (checked by the conformance validator: HELP/TYPE
+   lines, escaping, cumulative histogram buckets, ``+Inf``,
+   ``_sum``/``_count``), and ``/healthz`` + ``/progress`` answer JSON;
+2. the scrape happens mid-campaign (from inside an event handler), so
+   the endpoint provably serves concurrent with cell execution;
+3. both shards leave an append-only metrics history beside their
+   journals, and ``a64fx-campaign status`` assembles completion,
+   throughput and cache-hit rate from the merged artifacts;
+4. the campaign doctor runs over the same directory and reports
+   without error;
+5. the structured JSONL log carries correlated engine events for both
+   shards.
+
+Writes a JSON report (``--out``, default ``obs-report.json``) and
+exits non-zero on the first broken assertion.  CI runs this as the
+``observability`` job; run it locally after touching the telemetry
+layer::
+
+    python tools/obs_check.py --out obs-report.json
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+from repro.api import CampaignConfig, CampaignSession  # noqa: E402
+from repro.harness.engine import EventKind  # noqa: E402
+from repro.harness.observatory import (  # noqa: E402
+    campaign_status,
+    doctor_from_cache_dir,
+    render_doctor,
+    render_status,
+)
+from repro.telemetry import validate_exposition  # noqa: E402
+from repro.telemetry.history import HistoryStore  # noqa: E402
+
+SUITES = ("polybench",)
+VARIANTS = ("GNU", "LLVM")
+
+
+def _check(say, condition: bool, message: str, failures: list) -> None:
+    if condition:
+        say("check", f"  ok: {message}", ok=True)
+    else:
+        say("check", f"  BROKEN: {message}", level="error", ok=False)
+        failures.append(message)
+
+
+def _get(url: str) -> "tuple[int, str, str]":
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return (resp.status, resp.headers.get("Content-Type", ""),
+                resp.read().decode("utf-8"))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="obs-report.json", help="report path")
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
+
+    with tool_logging(args, "obs_check") as say:
+        failures: list[str] = []
+        report: dict = {}
+        t0 = time.monotonic()
+        with tempfile.TemporaryDirectory(prefix="obs-check-") as td:
+            cache = Path(td)
+            log_path = cache / "campaign-log.jsonl"
+            base = CampaignConfig(
+                suites=SUITES, variants=VARIANTS, workers=2,
+                cache_dir=cache, telemetry=True, serve=0,
+                log_json=log_path,
+            )
+
+            # -- shard 1: scrape the live endpoint mid-campaign ---------
+            say("section", "shard 1/2 with live endpoint:")
+            session = CampaignSession(base.with_(shard=(1, 2)))
+            scraped: dict = {}
+
+            @session.subscribe
+            def scrape(event) -> None:
+                # One scrape, as soon as cells start completing: the
+                # engine thread blocks here while the observatory's
+                # daemon thread answers, so this exercises genuinely
+                # concurrent serving without sleep/poll races.
+                if scraped or event.kind not in (
+                    EventKind.CELL_FINISHED, EventKind.CACHE_HIT
+                ):
+                    return
+                server = session.observatory
+                if server is None:
+                    return
+                for route in ("/metrics", "/healthz", "/progress"):
+                    scraped[route] = _get(server.url + route)
+
+            session.run()
+            _check(say, set(scraped) ==
+                   {"/metrics", "/healthz", "/progress"},
+                   "endpoint answered /metrics, /healthz and /progress "
+                   "mid-campaign", failures)
+
+            status_code, ctype, text = scraped.get(
+                "/metrics", (0, "", ""))
+            _check(say, status_code == 200 and "text/plain" in ctype
+                   and "version=0.0.4" in ctype,
+                   "/metrics is Prometheus text exposition 0.0.4",
+                   failures)
+            problems = validate_exposition(text)
+            _check(say, not problems,
+                   f"exposition passes conformance ({len(problems)} "
+                   f"problem(s): {problems[:3]})", failures)
+            _check(say, 'shard="1of2"' in text,
+                   "samples carry the shard label", failures)
+            _check(say, "a64fx_engine_progress_total" in text
+                   and "a64fx_runner_explore_s_bucket" in text,
+                   "gauges and histogram buckets are exported", failures)
+
+            status_code, ctype, text = scraped.get("/healthz", (0, "", ""))
+            health = json.loads(text) if text else {}
+            _check(say, status_code == 200
+                   and health.get("status") == "ok"
+                   and health.get("shard") == [1, 2],
+                   "/healthz reports ok with the campaign coordinates",
+                   failures)
+
+            status_code, ctype, text = scraped.get("/progress", (0, "", ""))
+            progress = json.loads(text) if text else {}
+            _check(say, status_code == 200
+                   and progress.get("state") == "running"
+                   and progress.get("total") == 30
+                   and progress.get("completed", 0) >= 1,
+                   "/progress reports live completion", failures)
+            report["scraped_progress"] = progress
+
+            # -- shard 2 completes the campaign -------------------------
+            say("section", "shard 2/2:")
+            CampaignSession(base.with_(shard=(2, 2))).run()
+
+            histories = sorted(
+                p.name for p in cache.glob("history-*.jsonl"))
+            _check(say, histories ==
+                   ["history-1of2.jsonl", "history-2of2.jsonl"],
+                   f"both shards left a metrics history ({histories})",
+                   failures)
+            merged = HistoryStore(cache).merge()
+            _check(say, merged is not None
+                   and len(merged.samples) >= 60,
+                   "merged history carries a sample per completed cell",
+                   failures)
+
+            # -- status + doctor over the merged artifacts ---------------
+            say("section", "status and doctor:")
+            status = campaign_status(cache)
+            _check(say, status is not None and status.complete
+                   and status.total == 60,
+                   "campaign status reports the full grid complete",
+                   failures)
+            _check(say, status is not None
+                   and status.throughput_cps is not None
+                   and status.throughput_cps > 0,
+                   "status derives aggregate throughput from the "
+                   "history", failures)
+            if status is not None:
+                say("status", render_status(status))
+                report["status"] = {
+                    "completed": status.completed,
+                    "total": status.total,
+                    "throughput_cps": status.throughput_cps,
+                    "cache_hit_rate": status.cache_hit_rate,
+                }
+            doctor = doctor_from_cache_dir(cache)
+            _check(say, doctor is not None and doctor.findings,
+                   "the campaign doctor reports findings", failures)
+            if doctor is not None:
+                say("doctor", render_doctor(doctor))
+                report["doctor_worst"] = doctor.worst
+
+            # -- structured log -----------------------------------------
+            say("section", "structured log:")
+            events = [json.loads(line)
+                      for line in log_path.read_text().splitlines()]
+            shards_seen = {r.get("shard") for r in events
+                           if "shard" in r}
+            _check(say, {"1of2", "2of2"} <= shards_seen,
+                   "the JSONL log correlates both shards "
+                   f"({sorted(shards_seen)})", failures)
+            finished = [r for r in events
+                        if r.get("event") == "engine.cell_finished"]
+            _check(say, len(finished) >= 30,
+                   f"cell lifecycle events are logged "
+                   f"({len(finished)} cell_finished)", failures)
+            report["log_records"] = len(events)
+
+        report["elapsed_s"] = round(time.monotonic() - t0, 3)
+        report["broken"] = failures
+        report["ok"] = not failures
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        say("report", f"report: {args.out}", path=args.out)
+
+        if failures:
+            say("fail", f"{len(failures)} observability assertion(s) broken",
+                level="error", broken=len(failures))
+            return 1
+        say("pass", "observability gate: endpoint, history, status and "
+            "doctor all hold")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,10 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
 
 from repro.api import CampaignConfig, CampaignSession  # noqa: E402
 from repro.harness.engine import EventKind  # noqa: E402
@@ -53,11 +57,11 @@ class _Killed(Exception):
     pass
 
 
-def _check(condition: bool, message: str, failures: list) -> None:
+def _check(say, condition: bool, message: str, failures: list) -> None:
     if condition:
-        print(f"  ok: {message}")
+        say("check", f"  ok: {message}", ok=True)
     else:
-        print(f"  BROKEN: {message}", file=sys.stderr)
+        say("check", f"  BROKEN: {message}", level="error", ok=False)
         failures.append(message)
 
 
@@ -74,115 +78,121 @@ def main(argv: "list[str] | None" = None) -> int:
         "--cache-dir", default=None,
         help="shared cache dir for the shards (default: a fresh temp dir)",
     )
+    add_logging_args(parser)
     args = parser.parse_args(argv)
 
-    cache = Path(args.cache_dir) if args.cache_dir else Path(
-        tempfile.mkdtemp(prefix="shard-check-"))
-    base = CampaignConfig(suites=SUITES, variants=VARIANTS)
-    failures: list[str] = []
-    t0 = time.monotonic()
+    with tool_logging(args, "shard_check") as say:
+        cache = Path(args.cache_dir) if args.cache_dir else Path(
+            tempfile.mkdtemp(prefix="shard-check-"))
+        base = CampaignConfig(suites=SUITES, variants=VARIANTS)
+        failures: list[str] = []
+        t0 = time.monotonic()
 
-    baseline = CampaignSession(base).run()
-    cells = list(baseline.records)
-    print(f"baseline: {len(cells)} cells, {len(VARIANTS)} variants")
+        baseline = CampaignSession(base).run()
+        cells = list(baseline.records)
+        say("baseline", f"baseline: {len(cells)} cells, "
+            f"{len(VARIANTS)} variants", cells=len(cells))
 
-    # -- shard 1/2 runs to completion -----------------------------------
-    print("shard 1/2:")
-    s1 = CampaignSession(base.with_(cache_dir=cache, shard=(1, 2))).run()
-    own1 = set(shard_cells(cells, 1, 2))
-    _check(set(s1.records) == own1,
-           f"shard 1/2 ran exactly its {len(own1)} assigned cells", failures)
-    _check(all(baseline.records[k] == r for k, r in s1.records.items()),
-           "shard 1/2 records match the baseline", failures)
+        # -- shard 1/2 runs to completion -----------------------------------
+        say("section", "shard 1/2:")
+        s1 = CampaignSession(base.with_(cache_dir=cache, shard=(1, 2))).run()
+        own1 = set(shard_cells(cells, 1, 2))
+        _check(say, set(s1.records) == own1,
+               f"shard 1/2 ran exactly its {len(own1)} assigned cells", failures)
+        _check(say, all(baseline.records[k] == r for k, r in s1.records.items()),
+               "shard 1/2 records match the baseline", failures)
 
-    # -- shard 2/2 is killed mid-run ------------------------------------
-    print("shard 2/2 (killed mid-run):")
-    session = CampaignSession(base.with_(
-        cache_dir=cache, shard=(2, 2)))
-    finished = []
+        # -- shard 2/2 is killed mid-run ------------------------------------
+        say("section", "shard 2/2 (killed mid-run):")
+        session = CampaignSession(base.with_(
+            cache_dir=cache, shard=(2, 2)))
+        finished = []
 
-    @session.subscribe
-    def kill(event):
-        if event.kind is EventKind.CELL_FINISHED:
-            finished.append(event)
-            if len(finished) == KILL_AFTER:
-                raise _Killed()
+        @session.subscribe
+        def kill(event):
+            if event.kind is EventKind.CELL_FINISHED:
+                finished.append(event)
+                if len(finished) == KILL_AFTER:
+                    raise _Killed()
 
-    try:
-        session.run()
-        _check(False, "the kill handler fired", failures)
-    except _Killed:
-        print(f"  killed after {KILL_AFTER} cells, as planned")
+        try:
+            session.run()
+            _check(say, False, "the kill handler fired", failures)
+        except _Killed:
+            say("killed", f"  killed after {KILL_AFTER} cells, as planned",
+                killed_after=KILL_AFTER)
 
-    store = DirectoryJournalStore(cache)
-    merged = store.merge()
-    own2 = set(shard_cells(cells, 2, 2))
-    checkpointed = {k for k in merged.records if k in own2}
-    _check(len(checkpointed) >= KILL_AFTER,
-           f"journal kept every checkpointed cell "
-           f"({len(checkpointed)} >= {KILL_AFTER})", failures)
-    _check(not merged.complete and set(merged.missing) <= own2,
-           f"merge reports the {len(merged.missing)} unfinished cells, "
-           "all on the killed shard", failures)
+        store = DirectoryJournalStore(cache)
+        merged = store.merge()
+        own2 = set(shard_cells(cells, 2, 2))
+        checkpointed = {k for k in merged.records if k in own2}
+        _check(say, len(checkpointed) >= KILL_AFTER,
+               f"journal kept every checkpointed cell "
+               f"({len(checkpointed)} >= {KILL_AFTER})", failures)
+        _check(say, not merged.complete and set(merged.missing) <= own2,
+               f"merge reports the {len(merged.missing)} unfinished cells, "
+               "all on the killed shard", failures)
 
-    # -- resume the killed shard ----------------------------------------
-    print("resume shard 2/2:")
-    s2 = CampaignSession(base.with_(
-        cache_dir=cache, shard=(2, 2), resume=True)).run()
-    _check(set(s2.records) == own2,
-           f"resumed shard covers all {len(own2)} assigned cells", failures)
-    _check(s2.meta.get("resumed", 0) >= KILL_AFTER,
-           f"resume replayed the checkpointed cells "
-           f"({s2.meta.get('resumed', 0)})", failures)
-    _check(s2.meta.get("executed", 0) == len(own2) - s2.meta.get("resumed", 0),
-           "resume executed only the remainder", failures)
+        # -- resume the killed shard ----------------------------------------
+        say("section", "resume shard 2/2:")
+        s2 = CampaignSession(base.with_(
+            cache_dir=cache, shard=(2, 2), resume=True)).run()
+        _check(say, set(s2.records) == own2,
+               f"resumed shard covers all {len(own2)} assigned cells", failures)
+        _check(say, s2.meta.get("resumed", 0) >= KILL_AFTER,
+               f"resume replayed the checkpointed cells "
+               f"({s2.meta.get('resumed', 0)})", failures)
+        _check(say, s2.meta.get("executed", 0) == len(own2) - s2.meta.get("resumed", 0),
+               "resume executed only the remainder", failures)
 
-    # -- merge and compare ----------------------------------------------
-    print("merge:")
-    merged = store.merge()
-    _check(merged is not None and merged.complete,
-           "merged journals cover the full campaign", failures)
-    full = merged_result(merged)
-    _check(full.records == baseline.records
-           and list(full.records) == list(baseline.records),
-           "merged result is record-for-record identical to the "
-           "unsharded baseline", failures)
-    _check(_records_json(full) == _records_json(baseline),
-           "merged records serialize byte-identically", failures)
+        # -- merge and compare ----------------------------------------------
+        say("section", "merge:")
+        merged = store.merge()
+        _check(say, merged is not None and merged.complete,
+               "merged journals cover the full campaign", failures)
+        full = merged_result(merged)
+        _check(say, full.records == baseline.records
+               and list(full.records) == list(baseline.records),
+               "merged result is record-for-record identical to the "
+               "unsharded baseline", failures)
+        _check(say, _records_json(full) == _records_json(baseline),
+               "merged records serialize byte-identically", failures)
 
-    # -- any node resumes the whole sweep -------------------------------
-    print("unsharded resume from shard journals:")
-    for p in (cache / "cells").glob("*.json"):
-        p.unlink()  # only the journals can restore the records
-    resumed = CampaignSession(base.with_(cache_dir=cache, resume=True)).run()
-    _check(resumed.records == baseline.records,
-           "unsharded resume reproduces the baseline", failures)
-    _check(resumed.meta.get("executed", 1) == 0
-           and resumed.meta.get("resumed", 0) == len(cells),
-           f"unsharded resume replayed all {len(cells)} cells without "
-           "executing any", failures)
+        # -- any node resumes the whole sweep -------------------------------
+        say("section", "unsharded resume from shard journals:")
+        for p in (cache / "cells").glob("*.json"):
+            p.unlink()  # only the journals can restore the records
+        resumed = CampaignSession(base.with_(cache_dir=cache, resume=True)).run()
+        _check(say, resumed.records == baseline.records,
+               "unsharded resume reproduces the baseline", failures)
+        _check(say, resumed.meta.get("executed", 1) == 0
+               and resumed.meta.get("resumed", 0) == len(cells),
+               f"unsharded resume replayed all {len(cells)} cells without "
+               "executing any", failures)
 
-    elapsed = time.monotonic() - t0
-    report = {
-        "cells": len(cells),
-        "shards": 2,
-        "killed_after": KILL_AFTER,
-        "resumed": s2.meta.get("resumed"),
-        "executed_after_kill": s2.meta.get("executed"),
-        "elapsed_s": round(elapsed, 3),
-        "broken": failures,
-        "ok": not failures,
-    }
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"report: {args.out}")
-    if not args.cache_dir:
-        shutil.rmtree(cache, ignore_errors=True)
+        elapsed = time.monotonic() - t0
+        report = {
+            "cells": len(cells),
+            "shards": 2,
+            "killed_after": KILL_AFTER,
+            "resumed": s2.meta.get("resumed"),
+            "executed_after_kill": s2.meta.get("executed"),
+            "elapsed_s": round(elapsed, 3),
+            "broken": failures,
+            "ok": not failures,
+        }
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        say("report", f"report: {args.out}", path=args.out)
+        if not args.cache_dir:
+            shutil.rmtree(cache, ignore_errors=True)
 
-    if failures:
-        print(f"{len(failures)} shard assertion(s) broken", file=sys.stderr)
-        return 1
-    print("shard gate: merge and resume are loss-free and bit-identical")
-    return 0
+        if failures:
+            say("fail", f"{len(failures)} shard assertion(s) broken",
+                level="error", broken=len(failures))
+            return 1
+        say("pass", "shard gate: merge and resume are loss-free "
+            "and bit-identical")
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""Shared console/structured-log plumbing for the ``tools/`` gate scripts.
+
+Every gate script prints its checks to the console; with ``--log-json
+PATH`` the same events are also appended to a structured JSONL file
+(one record per check, correlated by tool name), and ``--quiet``
+silences the console progress while keeping warnings/errors and the
+structured stream.  The scripts stay runnable from any directory —
+this module pins ``src/`` onto ``sys.path`` exactly like the scripts
+themselves do.
+"""
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.telemetry import StructuredLogger, logging_active  # noqa: E402
+
+
+def add_logging_args(parser) -> None:
+    """Attach the shared ``--log-json`` / ``--quiet`` options."""
+    parser.add_argument(
+        "--log-json", metavar="PATH", default=None,
+        help="append structured JSONL records of the script's checks here",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress console progress (warnings/errors and the "
+             "structured log still come through)",
+    )
+
+
+@contextmanager
+def tool_logging(args, tool: str):
+    """Yield a ``say(event, message, ...)`` emitter for one tool run.
+
+    ``say`` always records a structured event (a no-op unless
+    ``--log-json`` installed a logger) and prints the message unless
+    ``--quiet`` — warnings and errors print to stderr regardless.
+    """
+    logger = (
+        StructuredLogger(args.log_json)
+        if getattr(args, "log_json", None)
+        else None
+    )
+    quiet = bool(getattr(args, "quiet", False))
+
+    def say(event: str, message: str, *, level: str = "info",
+            **fields: object) -> None:
+        telemetry.log_event(
+            f"{tool}.{event}", level=level, message=message, **fields
+        )
+        if level in ("warning", "error"):
+            print(message, file=sys.stderr)
+        elif not quiet:
+            print(message)
+
+    with logging_active(logger):
+        try:
+            yield say
+        finally:
+            if logger is not None:
+                logger.close()
