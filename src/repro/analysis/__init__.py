@@ -1,7 +1,13 @@
 """Result analysis: relative gains, the paper's figures, and the
 paper-vs-measured claim evaluation."""
 
-from repro.analysis.advisor import ClassAdvice, advice_report, advise, classify_benchmark
+from repro.analysis.advisor import (
+    ClassAdvice,
+    advice_report,
+    advise,
+    classify_benchmark,
+    static_advice_report,
+)
 from repro.analysis.compare import CampaignDiff, CellDelta, compare_campaigns
 from repro.analysis.figures import Figure1, Figure1Row, figure1, figure2
 from repro.analysis.gains import (
@@ -40,6 +46,7 @@ __all__ = [
     "ClassAdvice",
     "compare_campaigns",
     "advice_report",
+    "static_advice_report",
     "advise",
     "classify_benchmark",
     "ClaimCheck",

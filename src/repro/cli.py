@@ -25,6 +25,9 @@ Usage::
         [--benchmark B ...] [--machine M]
         [--format text|json|sarif] [--out PATH]
         [--fail-on error|warning] [--rule ID ...]
+        [--diff | --baseline PATH]                # fail only on NEW findings
+    a64fx-campaign advise-static [--suite S ...]  # static compiler advice
+        [--benchmark B ...] [--machine M]         # (no campaign, no grid)
     a64fx-campaign figure1                        # Xeon-vs-A64FX PolyBench
     a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
     a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
@@ -330,11 +333,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     rules = select_rules(args.rule) if args.rule else None
     ctx = AnalysisContext(machine=_resolve_machine(args.machine))
     findings = []
+    kernels = []
+    seen_kernels = set()
     for bench in benchmarks:
         findings.extend(analyze_benchmark(bench, rules=rules, ctx=ctx))
+        for kernel in bench.kernels():
+            if id(kernel) not in seen_kernels:
+                seen_kernels.add(id(kernel))
+                kernels.append(kernel)
 
     if args.format == "sarif":
-        doc = to_sarif(findings)
+        doc = to_sarif(findings, kernels=kernels)
         problems = validate_sarif(doc)
         if problems:  # pragma: no cover - internal consistency check
             for problem in problems:
@@ -355,6 +364,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(text)
 
+    if args.diff or args.baseline:
+        from repro.staticanalysis import diff_against_baseline
+
+        baseline_path = args.baseline or "lint-baseline.json"
+        diff = diff_against_baseline(findings, baseline_path)
+        print(f"baseline diff vs {baseline_path}: {diff.summary()}",
+              file=sys.stderr)
+        for diag in diff.new:
+            print(f"  NEW {diag}", file=sys.stderr)
+        if not diff.ok:
+            return 1
+
     if args.fail_on:
         threshold = Severity.parse(args.fail_on)
         if has_at_least(findings, threshold):
@@ -362,6 +383,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"lint gate: {worst} finding(s) at or above "
                   f"{threshold.value!r}", file=sys.stderr)
             return 1
+    return 0
+
+
+def _cmd_advise_static(args: argparse.Namespace) -> int:
+    """Per-benchmark compiler advice from static analysis alone.
+
+    Unlike ``advise`` (which runs the full campaign), this replays the
+    compiler models' transform gates against the dataflow facts — no
+    cells are evaluated — and prints the predicted best variant, the
+    per-variant rationale, and the ranked divergence findings.
+    """
+    from repro.api import _resolve_machine
+    from repro.staticanalysis import AnalysisContext, analyze_benchmark
+    from repro.staticanalysis.divergence import (
+        DIVERGENCE_RULES,
+        rank_divergence,
+        recommend_benchmark,
+    )
+    from repro.suites import get_benchmark, get_suite
+
+    benchmarks = []
+    if args.benchmark:
+        benchmarks.extend(get_benchmark(name) for name in args.benchmark)
+    if args.suite:
+        for name in args.suite:
+            benchmarks.extend(get_suite(name).benchmarks)
+    if not benchmarks:
+        for suite in all_suites():
+            benchmarks.extend(suite.benchmarks)
+
+    ctx = AnalysisContext(machine=_resolve_machine(args.machine))
+    div_ids = set(DIVERGENCE_RULES)
+    for bench in benchmarks:
+        rec = recommend_benchmark(bench, ctx)
+        print(f"{bench.full_name}: use {rec.variant}")
+        for variant in rec.ranking():
+            score = rec.scores[variant]
+            shown = "broken" if score == float("inf") else f"{score:.3g}"
+            marker = "*" if variant == rec.variant else " "
+            print(f"  {marker} {variant:10s} {shown:>10s}  {rec.reasons[variant]}")
+        findings = [
+            d for d in analyze_benchmark(bench, ctx=ctx) if d.rule_id in div_ids
+        ]
+        for diag in rank_divergence(findings):
+            print(f"    {diag}")
     return 0
 
 
@@ -514,10 +580,12 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
-    from repro.analysis import advice_report
+    from repro.analysis import advice_report, static_advice_report
 
     result = CampaignSession(CampaignConfig()).run()
     print(advice_report(result))
+    print()
+    print(static_advice_report(result))
     return 0
 
 
@@ -758,7 +826,37 @@ def main(argv: "list[str] | None" = None) -> int:
         "--rule", action="append", metavar="ID",
         help="run only this rule, e.g. RACE001 (repeatable; default: all)",
     )
+    p_lint.add_argument(
+        "--diff", action="store_true",
+        help="diff findings against the committed lint-baseline.json "
+             "and exit nonzero on findings the baseline does not know",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="like --diff, against this baseline file instead",
+    )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_astat = sub.add_parser(
+        "advise-static",
+        help="per-benchmark compiler advice from static analysis alone "
+             "(no campaign, no model grid)",
+    )
+    p_astat.add_argument(
+        "--suite", action="append", metavar="NAME",
+        help="advise every benchmark of this suite (repeatable; "
+             "default: all suites)",
+    )
+    p_astat.add_argument(
+        "--benchmark", action="append", metavar="FULL_NAME",
+        help="advise this benchmark, e.g. polybench.2mm (repeatable)",
+    )
+    p_astat.add_argument(
+        "--machine", default=None,
+        help="machine model for the scoring (a64fx, xeon, thunderx2; "
+             "default: a64fx)",
+    )
+    p_astat.set_defaults(func=_cmd_advise_static)
 
     p_f1 = sub.add_parser("figure1", help="regenerate Figure 1")
     p_f1.add_argument("--svg", help="also export an SVG chart here")

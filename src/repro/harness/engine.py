@@ -1083,12 +1083,22 @@ class CampaignEngine:
         if self.lint_policy == LINT_OFF:
             return {}, set()
         from repro.staticanalysis.diagnostics import Severity, has_at_least
-        from repro.staticanalysis.driver import analyze_benchmark_cached
+        from repro.staticanalysis.driver import (
+            AnalysisCache,
+            analyze_benchmark_cached,
+        )
 
+        # The persistent analysis cache lives beside the kernel cache so
+        # resumed/sharded campaigns skip re-analysis, not just re-runs.
+        cache = (
+            AnalysisCache(self.cache_dir / "analysis")
+            if self.cache_dir is not None
+            else None
+        )
         diags: dict[str, tuple] = {}
         blocked: set[str] = set()
         for bench in self.benchmarks:
-            found = analyze_benchmark_cached(bench, self.machine)
+            found = analyze_benchmark_cached(bench, self.machine, cache)
             if found:
                 diags[bench.full_name] = found
             if self.lint_policy == LINT_ERROR and has_at_least(found, Severity.ERROR):

@@ -70,7 +70,9 @@ class ModelResult:
 #: Bump when the compiler/cost model changes in a way that invalidates
 #: persisted compilation artifacts (content-addressed cache entries).
 #: 2: CompiledKernel grew the ``lint`` field (static-analysis findings).
-CACHE_SCHEMA_VERSION = 2
+#: 3: lint findings now include the cross-compiler divergence rules
+#:    (DIV001-DIV005), so cached ``lint`` tuples are incomplete.
+CACHE_SCHEMA_VERSION = 3
 
 
 def kernel_fingerprint(kernel: object) -> str:

@@ -1,0 +1,153 @@
+"""Baseline-ratcheted lint gating: fail CI only on *new* findings.
+
+A mature lint gate cannot start from zero — the existing corpus has
+known findings (the paper's kernels genuinely do leave interchange on
+the table; that is the point).  The baseline file records the accepted
+findings; the gate diffs a fresh run against it and fails only when a
+finding appears that the baseline does not know.  Findings that
+disappear become *stale* baseline entries — the ratchet: regenerate
+the baseline (``tools/lint_gate.py --update``) to tighten it, never to
+loosen it silently (new findings still show up in the diff).
+
+Identity is content-addressed: :func:`finding_identity` hashes the
+canonical JSON form of a diagnostic, so a baseline entry matches
+exactly the finding it was recorded for — editing a kernel so that a
+message changes (different ratio, different loop order) makes the
+finding *new* again and the gate fires.  That is deliberate: a changed
+finding needs re-review just like a new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticanalysis.diagnostics import Diagnostic, LintError
+
+#: Schema marker inside the baseline file; bump on incompatible change.
+BASELINE_VERSION = 1
+#: Hex digits kept from the sha256 — 64 bits, plenty for a few hundred
+#: findings, short enough to read in diffs.
+_IDENTITY_HEX = 16
+
+
+def finding_identity(diag: Diagnostic) -> str:
+    """Content hash of one finding (stable across runs and machines)."""
+    canonical = json.dumps(diag.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:_IDENTITY_HEX]
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Outcome of diffing a lint run against a baseline."""
+
+    #: Findings the baseline does not know — these fail the gate.
+    new: tuple[Diagnostic, ...]
+    #: Findings present in both run and baseline.
+    matched: tuple[Diagnostic, ...]
+    #: Baseline identities with no corresponding finding any more —
+    #: candidates for ratcheting the baseline tighter.
+    stale: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (no unbaselined findings)."""
+        return not self.new
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.new)} new, {len(self.matched)} baselined, "
+            f"{len(self.stale)} stale baseline entr"
+            f"{'y' if len(self.stale) == 1 else 'ies'}"
+        )
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The accepted-findings set, as loaded from ``lint-baseline.json``.
+
+    Keeps the recorded diagnostic dicts alongside the identities so the
+    file doubles as documentation of *what* was accepted, not just
+    opaque hashes.
+    """
+
+    identities: frozenset[str]
+    entries: tuple[dict, ...] = field(default=(), compare=False)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(identities=frozenset())
+
+    @classmethod
+    def from_findings(
+        cls, diags: "tuple[Diagnostic, ...] | list[Diagnostic]"
+    ) -> "Baseline":
+        entries = []
+        seen = set()
+        for diag in diags:
+            ident = finding_identity(diag)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            entries.append({"id": ident, **diag.to_dict()})
+        entries.sort(key=lambda e: (e.get("kernel", ""), e["rule"], e["id"]))
+        return cls(identities=frozenset(seen), entries=tuple(entries))
+
+    def diff(
+        self, diags: "tuple[Diagnostic, ...] | list[Diagnostic]"
+    ) -> BaselineDiff:
+        new, matched, seen = [], [], set()
+        for diag in diags:
+            ident = finding_identity(diag)
+            seen.add(ident)
+            (matched if ident in self.identities else new).append(diag)
+        stale = tuple(sorted(self.identities - seen))
+        return BaselineDiff(new=tuple(new), matched=tuple(matched), stale=stale)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "findings": list(self.entries),
+        }
+        return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+    def write(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline
+        (a fresh repo gates on everything)."""
+        p = Path(path)
+        if not p.exists():
+            return cls.empty()
+        try:
+            doc = json.loads(p.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable baseline {p}: {exc}") from None
+        if doc.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {p} has version {doc.get('version')!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = tuple(doc.get("findings", []))
+        bad = [e for e in entries if "id" not in e]
+        if bad:
+            raise LintError(f"baseline {p}: {len(bad)} entr(ies) without an id")
+        return cls(
+            identities=frozenset(e["id"] for e in entries), entries=entries
+        )
+
+
+def diff_against_baseline(
+    diags: "tuple[Diagnostic, ...] | list[Diagnostic]",
+    baseline_path: "str | Path",
+) -> BaselineDiff:
+    """One-call form: load the baseline at ``baseline_path`` (missing =
+    empty) and diff ``diags`` against it."""
+    return Baseline.load(baseline_path).diff(diags)

@@ -211,6 +211,27 @@ class DiagnosticSink:
         return tuple(self.diagnostics)
 
 
+def dedupe_diagnostics(
+    diags: "tuple[Diagnostic, ...] | list[Diagnostic]",
+) -> tuple[Diagnostic, ...]:
+    """Drop exact repeats, keeping first-occurrence order.
+
+    A :class:`Diagnostic` is a frozen value object, so equality is the
+    stable identity of a finding: two analysis passes over the same
+    kernel (e.g. a benchmark whose translation units share one kernel
+    object, or a memo re-emission on a warm cache) produce equal
+    diagnostics, which collapse to one.
+    """
+    seen: set[Diagnostic] = set()
+    out: list[Diagnostic] = []
+    for diag in diags:
+        if diag in seen:
+            continue
+        seen.add(diag)
+        out.append(diag)
+    return tuple(out)
+
+
 def max_severity(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> "Severity | None":
     """Worst severity in a collection (None when empty)."""
     if not diags:

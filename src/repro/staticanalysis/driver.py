@@ -7,15 +7,29 @@ it per benchmark to enforce ``lint_policy``, and the CLI ``lint``
 subcommand runs it over whole suites.
 
 The :class:`AnalysisContext` memoizes the expensive shared inputs —
-dependence sets per nest, structural validation per kernel — so that
-six rules walking the same nest pay for one ``nest_dependences()``
-call, and repeated analyses of the same benchmark (one per campaign
-cell) pay for one analysis.
+dependence sets per nest, structural validation per kernel, and the
+fixpoint dataflow facts (:mod:`repro.staticanalysis.dataflow`) — so
+that seven rules reading the same nest pay for one ``nest_dependences``
+call and one facts computation, and repeated analyses of the same
+benchmark (one per campaign cell) pay for one analysis.
+
+Two caches sit above the context memos:
+
+* the per-process identity memos (:func:`analyze_kernel_cached`,
+  :func:`analyze_benchmark_cached`), which collapse the five variants
+  x N thread counts of a campaign to one analysis per kernel object;
+* the optional persistent :class:`AnalysisCache`, keyed by kernel and
+  machine *content* fingerprints, which survives process boundaries —
+  the engine keeps one beside its kernel cache (``<cache-dir>/
+  analysis``), and ``tools/lint_gate.py`` uses it for warm CI runs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import telemetry
 from repro.ir.dependence import Dependence, nest_dependences
@@ -23,12 +37,23 @@ from repro.ir.kernel import Kernel
 from repro.ir.loop import LoopNest
 from repro.machine.a64fx import a64fx
 from repro.machine.machine import Machine
-from repro.staticanalysis.diagnostics import Diagnostic, DiagnosticSink, max_severity
+from repro.staticanalysis.diagnostics import (
+    Diagnostic,
+    DiagnosticSink,
+    dedupe_diagnostics,
+    max_severity,
+)
 from repro.staticanalysis.registry import Rule, select_rules
 from repro.telemetry.recorder import SPAN_LINT
 
 #: Telemetry counter prefix; full names are ``lint.findings.<RULEID>``.
 FINDINGS_COUNTER_PREFIX = "lint.findings."
+
+#: Version of the analysis itself, mixed into persistent cache keys.
+#: Bump when rules, the dataflow framework, or the divergence analyzer
+#: change what they emit — stale entries then miss instead of serving
+#: findings from an older rule set.
+ANALYSIS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -36,13 +61,19 @@ class AnalysisContext:
     """Shared state for one analysis run (memoized expensive inputs).
 
     Rules receive the context as their second argument and pull the
-    dependence sets, the structural-validation findings, and machine
-    parameters (cache line size for the stride cost model) from it.
+    dependence sets, the structural-validation findings, the dataflow
+    facts, and machine parameters (cache line size for the stride cost
+    model) from it.
     """
 
     machine: Machine = field(default_factory=a64fx)
     _deps: dict = field(default_factory=dict, repr=False)
     _validated: dict = field(default_factory=dict, repr=False)
+    _facts: dict = field(default_factory=dict, repr=False)
+    #: (id(kernel), variants) -> per-variant transform predictions
+    #: (:mod:`repro.staticanalysis.divergence` memoizes here so the
+    #: five DIV rules share one gate replay per kernel).
+    _divergence: dict = field(default_factory=dict, repr=False)
 
     @property
     def line_bytes(self) -> int:
@@ -70,6 +101,23 @@ class AnalysisContext:
 
             found = tuple(validate_kernel(kernel))
             self._validated[key] = found
+        return found
+
+    def facts(self, kernel: Kernel):
+        """Fixpoint dataflow facts of ``kernel``
+        (:class:`~repro.staticanalysis.dataflow.KernelFacts`), memoized
+        by object identity; shares this context's dependence memo."""
+        key = id(kernel)
+        found = self._facts.get(key)
+        if found is None:
+            # Late import: dataflow reaches into the compiler layer for
+            # the stride cost model.
+            from repro.staticanalysis.dataflow import compute_kernel_facts
+
+            found = compute_kernel_facts(
+                kernel, deps=self.deps, line_bytes=self.line_bytes
+            )
+            self._facts[key] = found
         return found
 
 
@@ -109,13 +157,86 @@ def analyze_benchmark(
     ctx: "AnalysisContext | None" = None,
     machine: "Machine | None" = None,
 ) -> tuple[Diagnostic, ...]:
-    """Analyze every kernel of a benchmark (suite ``Benchmark`` object)."""
+    """Analyze every kernel of a benchmark (suite ``Benchmark`` object).
+
+    Findings are deduplicated by diagnostic identity: a benchmark whose
+    translation units share a kernel object reports each finding once.
+    """
     if ctx is None:
         ctx = AnalysisContext(machine=machine) if machine is not None else AnalysisContext()
     out: list[Diagnostic] = []
     for kernel in benchmark.kernels():
         out.extend(analyze_kernel(kernel, rules=rules, ctx=ctx))
-    return tuple(out)
+    return dedupe_diagnostics(out)
+
+
+# -- persistent cross-process cache ----------------------------------------
+
+
+class AnalysisCache:
+    """Persistent per-kernel diagnostics, keyed by content fingerprints.
+
+    Lives beside the engine's kernel cache (``<cache-dir>/analysis``).
+    Keys combine the kernel IR fingerprint, the machine fingerprint,
+    and :data:`ANALYSIS_SCHEMA_VERSION`, so editing a kernel, switching
+    machine models, or upgrading the rule set all miss cleanly.
+    Corrupt or unreadable entries count as misses and are overwritten.
+    """
+
+    def __init__(self, root: "Path | str") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, kernel: Kernel, machine: Machine) -> str:
+        # Late import: repro.perf imports the compiler layer, which
+        # lints kernels through this module.
+        from repro.perf.cost import kernel_fingerprint, machine_fingerprint
+
+        payload = (
+            f"lint|a{ANALYSIS_SCHEMA_VERSION}|{kernel_fingerprint(kernel)}"
+            f"|{machine_fingerprint(machine)}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, kernel: Kernel, machine: Machine) -> "tuple[Diagnostic, ...] | None":
+        path = self._path(self.key(kernel, machine))
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            diags = tuple(Diagnostic.from_dict(d) for d in doc["diagnostics"])
+        except FileNotFoundError:
+            self.misses += 1
+            telemetry.count("analysis_cache.miss")
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt entry: treat as a miss; put() will rewrite it.
+            self.misses += 1
+            telemetry.count("analysis_cache.miss")
+            telemetry.count("analysis_cache.corrupt")
+            return None
+        self.hits += 1
+        telemetry.count("analysis_cache.hit")
+        return diags
+
+    def put(
+        self, kernel: Kernel, machine: Machine, diags: tuple[Diagnostic, ...]
+    ) -> None:
+        doc = {
+            "schema": ANALYSIS_SCHEMA_VERSION,
+            "kernel": kernel.name,
+            "diagnostics": [d.to_dict() for d in diags],
+        }
+        path = self._path(self.key(kernel, machine))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            telemetry.count("analysis_cache.write_error")
 
 
 # -- per-benchmark memo for the campaign engine ----------------------------
@@ -146,31 +267,66 @@ def _reemit(kernel_names: "tuple[str, ...]", diags: tuple) -> None:
                     telemetry.count(FINDINGS_COUNTER_PREFIX + diag.rule_id)
 
 
-def analyze_kernel_cached(kernel: Kernel, machine: Machine) -> tuple[Diagnostic, ...]:
-    """Memoized :func:`analyze_kernel` (identity-keyed, per process).
-
-    The compile driver calls this once per (kernel, variant) cell;
-    suite kernels are module-level singletons, so the identity key
-    collapses the five variants (and every thread count) to one walk.
-    """
+def _kernel_diags(
+    kernel: Kernel,
+    machine: Machine,
+    cache: "AnalysisCache | None",
+    ctx: "AnalysisContext | None",
+) -> tuple[Diagnostic, ...]:
+    """Kernel findings through memo -> persistent cache -> analysis."""
     key = (id(kernel), machine.name)
     hit = _KERNEL_DIAGNOSTICS.get(key)
     if hit is not None and hit[0] is kernel:
         _reemit((kernel.name,), hit[1])
         return hit[1]
-    diags = analyze_kernel(kernel, machine=machine)
+    diags = None
+    if cache is not None:
+        diags = cache.get(kernel, machine)
+        if diags is not None:
+            # Cross-process hit: telemetry parity with the memo path.
+            _reemit((kernel.name,), diags)
+    if diags is None:
+        diags = analyze_kernel(kernel, ctx=ctx, machine=machine if ctx is None else None)
+        if cache is not None:
+            cache.put(kernel, machine, diags)
     _KERNEL_DIAGNOSTICS[key] = (kernel, diags)
     return diags
 
 
-def analyze_benchmark_cached(benchmark, machine: Machine) -> tuple[Diagnostic, ...]:
-    """Memoized :func:`analyze_benchmark` (identity-keyed, per process)."""
+def analyze_kernel_cached(
+    kernel: Kernel, machine: Machine, cache: "AnalysisCache | None" = None
+) -> tuple[Diagnostic, ...]:
+    """Memoized :func:`analyze_kernel` (identity-keyed, per process).
+
+    The compile driver calls this once per (kernel, variant) cell;
+    suite kernels are module-level singletons, so the identity key
+    collapses the five variants (and every thread count) to one walk.
+    With ``cache``, a persistent :class:`AnalysisCache` is consulted
+    between the memo and a fresh analysis.
+    """
+    return _kernel_diags(kernel, machine, cache, None)
+
+
+def analyze_benchmark_cached(
+    benchmark, machine: Machine, cache: "AnalysisCache | None" = None
+) -> tuple[Diagnostic, ...]:
+    """Memoized :func:`analyze_benchmark` (identity-keyed, per process).
+
+    Composes the per-kernel memo (so the engine's lint gate and the
+    compile path share one analysis per kernel) and deduplicates by
+    diagnostic identity — benchmarks whose units share a kernel object
+    report each finding once even on warm caches.
+    """
     key = (id(benchmark), machine.name)
     hit = _BENCH_DIAGNOSTICS.get(key)
     if hit is not None and hit[0] is benchmark:
         _reemit(tuple(k.name for k in benchmark.kernels()), hit[1])
         return hit[1]
-    diags = analyze_benchmark(benchmark, machine=machine)
+    ctx = AnalysisContext(machine=machine)
+    out: list[Diagnostic] = []
+    for kernel in benchmark.kernels():
+        out.extend(_kernel_diags(kernel, machine, cache, ctx))
+    diags = dedupe_diagnostics(out)
     _BENCH_DIAGNOSTICS[key] = (benchmark, diags)
     return diags
 

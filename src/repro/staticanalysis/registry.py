@@ -76,19 +76,23 @@ def rule(
     return register
 
 
-def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule, in registration order."""
+def _load_builtin_rules() -> None:
     # Import for the registration side effect; late so that the module
-    # graph stays acyclic (rules import IR machinery which may still be
-    # initializing when this module is first imported).
+    # graph stays acyclic (rules import IR machinery, divergence the
+    # compiler models, either of which may still be initializing when
+    # this module is first imported).
+    from repro.staticanalysis import divergence as _div  # noqa: F401
     from repro.staticanalysis import rules as _builtin  # noqa: F401
 
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in registration order."""
+    _load_builtin_rules()
     return tuple(_REGISTRY.values())
 
 
 def get_rule(rule_id: str) -> Rule:
-    from repro.staticanalysis import rules as _builtin  # noqa: F401
-
+    _load_builtin_rules()
     try:
         return _REGISTRY[rule_id]
     except KeyError:

@@ -25,20 +25,18 @@ OPT010      warning      a legal loop interchange beats the written
 Every rule is conservative in the same direction as the dependence
 tests it builds on: inconclusive analysis downgrades a finding to a
 *possible* problem (WARNING) rather than suppressing it.
+
+The rules consume the fixpoint dataflow facts of
+:mod:`repro.staticanalysis.dataflow` (via ``ctx.facts(kernel)``)
+instead of walking the IR themselves: one facts computation feeds all
+seven rules plus the cross-compiler divergence analyzer.
 """
 
 from __future__ import annotations
 
-import itertools
-
-from repro.ir.dependence import (
-    carried_dependences,
-    innermost_vectorization_legality,
-    permutation_legal,
-)
 from repro.ir.kernel import Feature, Kernel
-from repro.ir.loop import LoopNest
 from repro.ir.types import AccessKind
+from repro.staticanalysis.dataflow import MAX_PERMUTATION_DEPTH, NestFacts
 from repro.staticanalysis.diagnostics import Category, Diagnostic, Severity
 from repro.staticanalysis.registry import rule
 
@@ -47,9 +45,9 @@ from repro.staticanalysis.registry import rule
 #: are within the noise of the cost model.
 INTERCHANGE_GAIN_THRESHOLD = 2.0
 
-#: Full-permutation search is bounded; deeper nests fall back to
-#: pairwise swaps (mirrors depth-limited production interchangers).
-_MAX_PERMUTATION_DEPTH = 4
+#: Kept as the historical name; the search bound now lives with the
+#: interchange summary in :mod:`repro.staticanalysis.dataflow`.
+_MAX_PERMUTATION_DEPTH = MAX_PERMUTATION_DEPTH
 
 
 # --------------------------------------------------------------------------
@@ -101,15 +99,14 @@ def out_of_bounds_subscript(kernel: Kernel, ctx) -> "list[Diagnostic]":
 def parallel_loop_race(kernel: Kernel, ctx) -> "list[Diagnostic]":
     out: list[Diagnostic] = []
     atomics = kernel.has_feature(Feature.ATOMICS)
-    for nest in kernel.nests:
-        par_levels = [i for i, l in enumerate(nest.loops) if l.parallel]
-        if not par_levels:
+    for facts in ctx.facts(kernel).nests:
+        if not facts.parallel_levels:
             continue
-        deps = ctx.deps(nest)
+        nest = facts.nest
         seen: set[tuple] = set()
-        for level in par_levels:
+        for level in facts.parallel_levels:
             loop = nest.loops[level]
-            for dep in carried_dependences(deps, level):
+            for dep in facts.carried[level]:
                 if dep.is_reduction:
                     continue
                 # Only a proven distance at this level is a provable
@@ -169,10 +166,10 @@ def parallel_loop_race(kernel: Kernel, ctx) -> "list[Diagnostic]":
 )
 def vectorization_legality(kernel: Kernel, ctx) -> "list[Diagnostic]":
     out: list[Diagnostic] = []
-    for nest in kernel.nests:
-        verdict = innermost_vectorization_legality(nest, ctx.deps(nest))
-        inner = nest.innermost.var
-        common = dict(kernel=kernel.name, nest=nest.label, loop=inner)
+    for facts in ctx.facts(kernel).nests:
+        verdict = facts.vectorization
+        inner = facts.innermost_var
+        common = dict(kernel=kernel.name, nest=facts.label, loop=inner)
         if not verdict.legal:
             blockers = "; ".join(verdict.blockers)
             out.append(
@@ -238,52 +235,26 @@ def vectorization_legality(kernel: Kernel, ctx) -> "list[Diagnostic]":
 )
 def read_before_write(kernel: Kernel, ctx) -> "list[Diagnostic]":
     out: list[Diagnostic] = []
-    for nest in kernel.nests:
-        # (array, subscripts) -> first reader statement, in body order.
-        first_read: dict[tuple, object] = {}
-        written: set[tuple] = set()
-        flagged: set[tuple] = set()
-        for stmt in nest.body:
-            for acc in stmt.accesses:
-                if acc.indirect:
-                    continue
-                key = (acc.array.name, acc.indices)
-                if acc.kind.reads and key not in written:
-                    first_read.setdefault(key, stmt)
-            for acc in stmt.accesses:
-                if acc.indirect:
-                    continue
-                key = (acc.array.name, acc.indices)
-                if not acc.kind.writes:
-                    continue
-                reader = first_read.get(key)
-                if (
-                    acc.kind is AccessKind.WRITE
-                    and reader is not None
-                    and reader is not stmt
-                    and key not in flagged
-                ):
-                    flagged.add(key)
-                    subs = ",".join(str(e) for e in acc.indices)
-                    out.append(
-                        Diagnostic(
-                            rule_id="INIT004",
-                            severity=Severity.WARNING,
-                            category=Category.CORRECTNESS,
-                            message=(
-                                f"{reader.name} reads {acc.array.name}[{subs}] "
-                                f"before {stmt.name} writes it — the first "
-                                f"iteration reads uninitialized data"
-                            ),
-                            kernel=kernel.name,
-                            nest=nest.label,
-                            statement=reader.name,
-                            array=acc.array.name,
-                            hint="reorder the statements or initialize "
-                            f"{acc.array.name!r} before the nest",
-                        )
-                    )
-                written.add(key)
+    for facts in ctx.facts(kernel).nests:
+        for fact in facts.read_before_write:
+            out.append(
+                Diagnostic(
+                    rule_id="INIT004",
+                    severity=Severity.WARNING,
+                    category=Category.CORRECTNESS,
+                    message=(
+                        f"{fact.reader.name} reads {fact.array}[{fact.subscripts}] "
+                        f"before {fact.writer.name} writes it — the first "
+                        f"iteration reads uninitialized data"
+                    ),
+                    kernel=kernel.name,
+                    nest=facts.label,
+                    statement=fact.reader.name,
+                    array=fact.array,
+                    hint="reorder the statements or initialize "
+                    f"{fact.array!r} before the nest",
+                )
+            )
     return out
 
 
@@ -306,89 +277,90 @@ def read_before_write(kernel: Kernel, ctx) -> "list[Diagnostic]":
 def reduction_misuse(kernel: Kernel, ctx) -> "list[Diagnostic]":
     out: list[Diagnostic] = []
     atomics = kernel.has_feature(Feature.ATOMICS)
-    for nest in kernel.nests:
-        par_loops = [l for l in nest.loops if l.parallel]
-        if not par_loops:
+    for facts in ctx.facts(kernel).nests:
+        if not facts.parallel_levels:
             continue
-        for stmt in nest.body:
-            for acc in stmt.accesses:
-                if acc.kind is not AccessKind.UPDATE:
-                    continue
-                for loop in par_loops:
-                    common = dict(
-                        kernel=kernel.name,
-                        nest=nest.label,
-                        statement=stmt.name,
-                        array=acc.array.name,
-                        loop=loop.var,
-                    )
-                    if acc.indirect:
-                        if any(e.depends_on(loop.var) for e in acc.indices):
-                            continue
-                        out.append(
-                            Diagnostic(
-                                rule_id="RED005",
-                                severity=Severity.NOTE if atomics else Severity.WARNING,
-                                category=Category.CORRECTNESS,
-                                message=(
-                                    f"indirect update of {acc.array.name!r} "
-                                    f"inside parallel loop {loop.var!r} may "
-                                    f"collide across iterations"
-                                    + (" (kernel uses atomics)" if atomics else "")
-                                ),
-                                hint="use atomics or per-thread partial arrays",
-                                **common,
-                            )
-                        )
+        nest = facts.nest
+        par_loops = [nest.loops[level] for level in facts.parallel_levels]
+        for af in facts.accesses:
+            acc, stmt = af.access, af.stmt
+            if acc.kind is not AccessKind.UPDATE:
+                continue
+            for loop in par_loops:
+                common = dict(
+                    kernel=kernel.name,
+                    nest=facts.label,
+                    statement=stmt.name,
+                    array=acc.array.name,
+                    loop=loop.var,
+                )
+                if acc.indirect:
+                    if loop.var in af.moves_with:
                         continue
-                    if any(e.depends_on(loop.var) for e in acc.indices):
-                        continue  # target moves with the loop: no conflict
-                    if stmt.reduction_over is None or stmt.reduction_over != loop.var:
-                        annotated = (
-                            f" (annotated as a reduction over "
-                            f"{stmt.reduction_over!r}, not {loop.var!r})"
-                            if stmt.reduction_over is not None
-                            else ""
+                    out.append(
+                        Diagnostic(
+                            rule_id="RED005",
+                            severity=Severity.NOTE if atomics else Severity.WARNING,
+                            category=Category.CORRECTNESS,
+                            message=(
+                                f"indirect update of {acc.array.name!r} "
+                                f"inside parallel loop {loop.var!r} may "
+                                f"collide across iterations"
+                                + (" (kernel uses atomics)" if atomics else "")
+                            ),
+                            hint="use atomics or per-thread partial arrays",
+                            **common,
                         )
-                        out.append(
-                            Diagnostic(
-                                rule_id="RED005",
-                                severity=Severity.NOTE if atomics else Severity.ERROR,
-                                category=Category.CORRECTNESS,
-                                message=(
-                                    f"{stmt.name} updates {acc.array.name!r} "
-                                    f"invariantly to parallel loop "
-                                    f"{loop.var!r} without a matching "
-                                    f"reduction annotation{annotated}"
-                                    + (
-                                        "; kernel uses atomics"
-                                        if atomics
-                                        else " — iterations race on the update"
-                                    )
-                                ),
-                                hint=f"annotate the statement as a reduction "
-                                f"over {loop.var!r} or privatize "
-                                f"{acc.array.name!r}",
-                                **common,
-                            )
+                    )
+                    continue
+                if loop.var in af.moves_with:
+                    continue  # target moves with the loop: no conflict
+                if stmt.reduction_over is None or stmt.reduction_over != loop.var:
+                    annotated = (
+                        f" (annotated as a reduction over "
+                        f"{stmt.reduction_over!r}, not {loop.var!r})"
+                        if stmt.reduction_over is not None
+                        else ""
+                    )
+                    out.append(
+                        Diagnostic(
+                            rule_id="RED005",
+                            severity=Severity.NOTE if atomics else Severity.ERROR,
+                            category=Category.CORRECTNESS,
+                            message=(
+                                f"{stmt.name} updates {acc.array.name!r} "
+                                f"invariantly to parallel loop "
+                                f"{loop.var!r} without a matching "
+                                f"reduction annotation{annotated}"
+                                + (
+                                    "; kernel uses atomics"
+                                    if atomics
+                                    else " — iterations race on the update"
+                                )
+                            ),
+                            hint=f"annotate the statement as a reduction "
+                            f"over {loop.var!r} or privatize "
+                            f"{acc.array.name!r}",
+                            **common,
                         )
-                    elif acc.array.dtype.is_float:
-                        out.append(
-                            Diagnostic(
-                                rule_id="RED005",
-                                severity=Severity.WARNING,
-                                category=Category.PORTABILITY,
-                                message=(
-                                    f"FP reduction on {acc.array.name!r} over "
-                                    f"parallel loop {loop.var!r} reassociates "
-                                    f"non-associative additions — results "
-                                    f"vary with thread count and compiler"
-                                ),
-                                hint="accept run-to-run FP drift or serialize "
-                                "the reduction",
-                                **common,
-                            )
+                    )
+                elif acc.array.dtype.is_float:
+                    out.append(
+                        Diagnostic(
+                            rule_id="RED005",
+                            severity=Severity.WARNING,
+                            category=Category.PORTABILITY,
+                            message=(
+                                f"FP reduction on {acc.array.name!r} over "
+                                f"parallel loop {loop.var!r} reassociates "
+                                f"non-associative additions — results "
+                                f"vary with thread count and compiler"
+                            ),
+                            hint="accept run-to-run FP drift or serialize "
+                            "the reduction",
+                            **common,
                         )
+                    )
     return out
 
 
@@ -397,27 +369,18 @@ def reduction_misuse(kernel: Kernel, ctx) -> "list[Diagnostic]":
 # --------------------------------------------------------------------------
 
 
-def _movable_suffix(nest: LoopNest) -> int:
-    """Loops up to and including the last parallel loop stay anchored
-    (mirrors the interchange pass: the parallel loop pins the outlined
-    region)."""
-    last_par = -1
-    for i, loop in enumerate(nest.loops):
-        if loop.parallel:
-            last_par = i
-    return last_par + 1
-
-
-def _candidate_orders(movable: tuple[str, ...]) -> "list[tuple[str, ...]]":
-    if len(movable) <= _MAX_PERMUTATION_DEPTH:
-        return [p for p in itertools.permutations(movable) if p != movable]
-    out: list[tuple[str, ...]] = []
-    for a in range(len(movable)):
-        for b in range(a + 1, len(movable)):
-            order = list(movable)
-            order[a], order[b] = order[b], order[a]
-            out.append(tuple(order))
-    return out
+def best_legal_order(facts: NestFacts) -> "tuple[tuple[str, ...], float] | None":
+    """The cheapest legal loop order of a nest, or ``None`` when the
+    written order already wins (or nothing is movable)."""
+    summary = facts.interchange
+    if len(summary.movable) < 2 or summary.cost_original <= 0.0:
+        return None
+    order, cost = summary.select(
+        MAX_PERMUTATION_DEPTH, allow_reduction_reorder=True
+    )
+    if order == summary.original:
+        return None
+    return order, cost
 
 
 @rule(
@@ -434,33 +397,16 @@ def _candidate_orders(movable: tuple[str, ...]) -> "list[tuple[str, ...]]":
     "magnitude.",
 )
 def interchange_opportunity(kernel: Kernel, ctx) -> "list[Diagnostic]":
-    # Late import: the stride cost model lives in the compiler layer,
-    # which itself invokes this analyzer pre-compile.
-    from repro.compilers.passes.interchange import stride_cost
-
     out: list[Diagnostic] = []
-    for nest in kernel.nests:
-        prefix = _movable_suffix(nest)
-        movable = nest.loop_vars[prefix:]
-        if len(movable) < 2:
+    for facts in ctx.facts(kernel).nests:
+        best = best_legal_order(facts)
+        if best is None:
             continue
-        original = nest.loop_vars
-        cost0 = stride_cost(nest, original, ctx.line_bytes)
-        if cost0 <= 0.0:
+        best_order, best_cost = best
+        cost0 = facts.interchange.cost_original
+        if best_cost * INTERCHANGE_GAIN_THRESHOLD > cost0:
             continue
-        deps = ctx.deps(nest)
-        best_order: tuple[str, ...] | None = None
-        best_cost = cost0
-        for perm in _candidate_orders(movable):
-            order = original[:prefix] + perm
-            cost = stride_cost(nest, order, ctx.line_bytes)
-            if cost >= best_cost:
-                continue
-            if permutation_legal(deps, original, order, allow_reduction_reorder=True):
-                best_order = order
-                best_cost = cost
-        if best_order is None or best_cost * INTERCHANGE_GAIN_THRESHOLD > cost0:
-            continue
+        original = facts.interchange.original
         ratio = cost0 / best_cost if best_cost > 0 else float("inf")
         ratio_txt = "inf" if ratio == float("inf") else f"{ratio:.1f}"
         out.append(
@@ -475,7 +421,7 @@ def interchange_opportunity(kernel: Kernel, ctx) -> "list[Diagnostic]":
                     f"compiler interchanging (icc does, fcc does not)"
                 ),
                 kernel=kernel.name,
-                nest=nest.label,
+                nest=facts.label,
                 loop=best_order[-1],
                 hint=f"rewrite the nest as {''.join(best_order)} to stop "
                 f"depending on the optimizer",

@@ -2,16 +2,26 @@
 
 SARIF is the interchange format CI systems ingest (GitHub code
 scanning among them); :func:`to_sarif` emits one run with the rule
-catalog as ``tool.driver.rules`` and one result per finding, using
-logical locations (``kernel/nest/statement`` — the IR has no source
-files).  :func:`validate_sarif` structurally checks a document the way
-:func:`repro.telemetry.export.validate_chrome_trace` checks traces:
-enough to catch schema drift in tests and CI without a schema library.
+catalog as ``tool.driver.rules`` and one result per finding.  Every
+finding carries a logical location (``kernel/nest/statement``); when
+the kernel objects are supplied, findings additionally carry physical
+locations into a *deterministic IR rendering* — ``str(kernel)``
+pseudo-source addressed as ``ir/<kernel>.ir`` relative to the
+``REPOROOT`` URI base — with regions pointing at the offending nest,
+loop, or statement line, and suggested-fix regions (reordered loop
+headers) for the interchange findings (``OPT010``/``DIV001``).
+URIs are repo-relative and contain nothing machine-specific, so SARIF
+documents are byte-identical across checkouts.  :func:`validate_sarif`
+structurally checks a document the way :func:`repro.telemetry.export.
+validate_chrome_trace` checks traces: enough to catch schema drift in
+tests and CI without a schema library.
 """
 
 from __future__ import annotations
 
 import json
+import re
+from collections.abc import Iterable
 
 from repro.staticanalysis.diagnostics import SARIF_LEVELS, Diagnostic, Severity
 from repro.staticanalysis.registry import Rule, all_rules
@@ -22,9 +32,32 @@ SARIF_SCHEMA = (
     "Schemata/sarif-schema-2.1.0.json"
 )
 TOOL_NAME = "repro-lint"
-#: SARIF requires a URI for artifact locations; the IR is synthetic,
-#: so findings carry only logical locations under this namespace.
+#: Kind of the logical locations (``kernel/nest/statement`` — the IR
+#: has no source files).
 LOGICAL_KIND = "module"
+#: The single URI base every artifactLocation is relative to.  Left
+#: unresolved on purpose: resolving it to an absolute path would make
+#: the document differ between checkouts.
+URI_BASE_ID = "REPOROOT"
+
+#: Interchange hints embed the suggested order as "rewrite the nest as
+#: <order>"; the fix builder parses it back out.
+_ORDER_IN_HINT = re.compile(r"rewrite the nest as ([A-Za-z0-9_]+)")
+
+
+def render_kernel_ir(kernel) -> str:
+    """The deterministic pseudo-source a kernel's findings point into.
+
+    ``str(kernel)`` is a stable function of the IR alone — no ids,
+    paths, or timestamps — so regions computed against it are
+    reproducible across processes and machines.
+    """
+    return str(kernel)
+
+
+def kernel_artifact_uri(kernel_name: str) -> str:
+    """Repo-relative artifact URI of a kernel's IR rendering."""
+    return f"ir/{kernel_name}.ir"
 
 
 def _rule_descriptor(rule: Rule) -> dict:
@@ -38,23 +71,153 @@ def _rule_descriptor(rule: Rule) -> dict:
     }
 
 
-def _result(diag: Diagnostic) -> dict:
+class _IrIndex:
+    """Line index into one kernel's deterministic IR rendering."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.lines = render_kernel_ir(kernel).splitlines()
+        #: nest label -> (start line, end line), 1-based inclusive.
+        self.nests: dict[str, tuple[int, int]] = {}
+        #: (nest label, loop var) -> loop-header line.
+        self.loops: dict[tuple[str, str], int] = {}
+        #: statement name -> line.
+        self.statements: dict[str, int] = {}
+        nest_no = -1
+        label = ""
+        for no, line in enumerate(self.lines, start=1):
+            if line.startswith("for "):
+                nest_no += 1
+                label = f"nest{nest_no}"
+                self.nests[label] = (no, no)
+            if not label:
+                continue
+            self.nests[label] = (self.nests[label][0], no)
+            stripped = line.lstrip()
+            if stripped.startswith("for "):
+                var = stripped.split()[1]
+                self.loops.setdefault((label, var), no)
+            else:
+                name = stripped.split(":", 1)[0]
+                if name:
+                    self.statements.setdefault(name, no)
+
+    def region(self, diag: Diagnostic) -> "dict | None":
+        if diag.statement and diag.statement in self.statements:
+            line = self.statements[diag.statement]
+            return {"startLine": line, "endLine": line}
+        if diag.nest and diag.loop and (diag.nest, diag.loop) in self.loops:
+            line = self.loops[(diag.nest, diag.loop)]
+            return {"startLine": line, "endLine": line}
+        if diag.nest and diag.nest in self.nests:
+            start, end = self.nests[diag.nest]
+            return {"startLine": start, "endLine": end}
+        return {"startLine": 1, "endLine": max(len(self.lines), 1)}
+
+    def _split_order(self, joined: str, loop_vars: tuple[str, ...]) -> "tuple[str, ...] | None":
+        """Segment a joined order string ("ikj") back into loop vars."""
+        remaining = set(loop_vars)
+        out: list[str] = []
+
+        def rec(text: str) -> bool:
+            if not text:
+                return not remaining
+            for var in sorted(remaining, key=len, reverse=True):
+                if text.startswith(var):
+                    remaining.discard(var)
+                    out.append(var)
+                    if rec(text[len(var):]):
+                        return True
+                    out.pop()
+                    remaining.add(var)
+            return False
+
+        return tuple(out) if rec(joined) else None
+
+    def fix(self, diag: Diagnostic) -> "dict | None":
+        """A suggested-fix region for an interchange finding: the
+        nest's loop-header lines, rewritten in the suggested order."""
+        match = _ORDER_IN_HINT.search(diag.hint)
+        if not match or diag.nest not in self.nests:
+            return None
+        nest = next(
+            (n for n in self.kernel.nests if n.label == diag.nest), None
+        )
+        if nest is None:
+            return None
+        order = self._split_order(match.group(1), nest.loop_vars)
+        if order is None:
+            return None
+        start, _end = self.nests[diag.nest]
+        headers: dict[str, str] = {}
+        header_lines = 0
+        for line in self.lines[start - 1:]:
+            stripped = line.lstrip()
+            if not stripped.startswith("for "):
+                break
+            headers[stripped.split()[1]] = stripped
+            header_lines += 1
+        if set(headers) != set(order):
+            return None
+        new_text = "\n".join(
+            "  " * depth + headers[var] for depth, var in enumerate(order)
+        )
+        return {
+            "description": {
+                "text": f"reorder the {diag.nest} loops as "
+                f"{''.join(order)}"
+            },
+            "artifactChanges": [
+                {
+                    "artifactLocation": {
+                        "uri": kernel_artifact_uri(diag.kernel),
+                        "uriBaseId": URI_BASE_ID,
+                    },
+                    "replacements": [
+                        {
+                            "deletedRegion": {
+                                "startLine": start,
+                                "endLine": start + header_lines - 1,
+                            },
+                            "insertedContent": {"text": new_text},
+                        }
+                    ],
+                }
+            ],
+        }
+
+
+def _result(diag: Diagnostic, index: "_IrIndex | None") -> dict:
     out: dict = {
         "ruleId": diag.rule_id,
         "level": SARIF_LEVELS[diag.severity],
         "message": {"text": diag.message},
     }
+    location: dict = {}
     if diag.location:
-        out["locations"] = [
+        location["logicalLocations"] = [
             {
-                "logicalLocations": [
-                    {
-                        "fullyQualifiedName": diag.location,
-                        "kind": LOGICAL_KIND,
-                    }
-                ]
+                "fullyQualifiedName": diag.location,
+                "kind": LOGICAL_KIND,
             }
         ]
+    if index is not None:
+        physical: dict = {
+            "artifactLocation": {
+                "uri": kernel_artifact_uri(diag.kernel),
+                "uriBaseId": URI_BASE_ID,
+            }
+        }
+        region = index.region(diag)
+        if region is not None:
+            physical["region"] = region
+        location["physicalLocation"] = physical
+    if location:
+        out["locations"] = [location]
+    if index is not None:
+        fix = index.fix(diag)
+        if fix is not None:
+            out["fixes"] = [fix]
     props = {
         key: getattr(diag, key)
         for key in ("kernel", "nest", "statement", "array", "loop", "hint")
@@ -65,23 +228,49 @@ def _result(diag: Diagnostic) -> dict:
     return out
 
 
-def to_sarif(diags: "tuple[Diagnostic, ...] | list[Diagnostic]") -> dict:
-    """A SARIF 2.1.0 document (dict) for one lint run."""
+def to_sarif(
+    diags: "tuple[Diagnostic, ...] | list[Diagnostic]",
+    kernels: "Iterable[object]" = (),
+) -> dict:
+    """A SARIF 2.1.0 document (dict) for one lint run.
+
+    ``kernels`` — the kernel objects the findings refer to; when
+    supplied, results referring to them carry physical locations (and,
+    for interchange findings, suggested fixes) into the deterministic
+    IR rendering of each kernel, addressed repo-relative under the
+    ``REPOROOT`` URI base.
+    """
+    indexes = {k.name: _IrIndex(k) for k in kernels}  # type: ignore[attr-defined]
+    artifact_names = sorted(
+        {d.kernel for d in diags if d.kernel and d.kernel in indexes}
+    )
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": "https://github.com/",
+                "rules": [_rule_descriptor(r) for r in all_rules()],
+            }
+        },
+        "originalUriBaseIds": {
+            URI_BASE_ID: {"description": {"text": "repository root"}}
+        },
+        "artifacts": [
+            {
+                "location": {
+                    "uri": kernel_artifact_uri(name),
+                    "uriBaseId": URI_BASE_ID,
+                },
+                "description": {"text": f"IR rendering of kernel {name}"},
+            }
+            for name in artifact_names
+        ],
+        "results": [_result(d, indexes.get(d.kernel)) for d in diags],
+    }
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": TOOL_NAME,
-                        "informationUri": "https://github.com/",
-                        "rules": [_rule_descriptor(r) for r in all_rules()],
-                    }
-                },
-                "results": [_result(d) for d in diags],
-            }
-        ],
+        "runs": [run],
     }
 
 
@@ -89,9 +278,13 @@ def validate_sarif(doc: dict) -> list[str]:
     """Structural problems of a SARIF document (empty = valid).
 
     Checks the invariants this package relies on: version, the runs
-    array, tool driver naming, rule descriptors, and per-result
+    array, tool driver naming, rule descriptors, per-result
     ``ruleId``/``level``/``message`` with levels from the SARIF set
-    and rule IDs resolving against the declared rules.
+    and rule IDs resolving against the declared rules, and — when
+    physical locations are present — that every artifact URI is
+    relative, declared in the run's ``artifacts`` array, anchored to a
+    declared URI base, and that fixes carry well-formed replacement
+    regions.
     """
     problems: list[str] = []
     if doc.get("version") != SARIF_VERSION:
@@ -111,6 +304,18 @@ def validate_sarif(doc: dict) -> list[str]:
                 problems.append(f"run {i}: rule {j} has no id")
             else:
                 declared.add(rid)
+        bases = set(run.get("originalUriBaseIds", {}))
+        artifact_uris = set()
+        for j, artifact in enumerate(run.get("artifacts", [])):
+            uri = artifact.get("location", {}).get("uri", "")
+            if not uri:
+                problems.append(f"run {i}: artifact {j} has no location.uri")
+            else:
+                artifact_uris.add(uri)
+            problems.extend(
+                f"run {i}: artifact {j}: {p}"
+                for p in _check_artifact_location(artifact.get("location", {}), bases)
+            )
         for j, result in enumerate(run.get("results", [])):
             rid = result.get("ruleId")
             if not rid:
@@ -123,7 +328,62 @@ def validate_sarif(doc: dict) -> list[str]:
                 )
             if "text" not in result.get("message", {}):
                 problems.append(f"run {i}: result {j} has no message.text")
+            where = f"run {i}: result {j}"
+            for loc in result.get("locations", []):
+                physical = loc.get("physicalLocation")
+                if physical is None:
+                    continue
+                art = physical.get("artifactLocation", {})
+                problems.extend(f"{where}: {p}" for p in _check_artifact_location(art, bases))
+                uri = art.get("uri", "")
+                if artifact_uris and uri and uri not in artifact_uris:
+                    problems.append(f"{where}: uri {uri!r} not in run.artifacts")
+                region = physical.get("region")
+                if region is not None:
+                    problems.extend(f"{where}: {p}" for p in _check_region(region))
+            for k, fix in enumerate(result.get("fixes", [])):
+                at = f"{where} fix {k}"
+                if "text" not in fix.get("description", {}):
+                    problems.append(f"{at}: no description.text")
+                changes = fix.get("artifactChanges", [])
+                if not changes:
+                    problems.append(f"{at}: no artifactChanges")
+                for change in changes:
+                    problems.extend(
+                        f"{at}: {p}"
+                        for p in _check_artifact_location(
+                            change.get("artifactLocation", {}), bases
+                        )
+                    )
+                    replacements = change.get("replacements", [])
+                    if not replacements:
+                        problems.append(f"{at}: change has no replacements")
+                    for rep in replacements:
+                        problems.extend(
+                            f"{at}: {p}" for p in _check_region(rep.get("deletedRegion", {}))
+                        )
     return problems
+
+
+def _check_artifact_location(location: dict, bases: set) -> list[str]:
+    problems = []
+    uri = location.get("uri", "")
+    if uri.startswith(("/", "file:")) or "://" in uri or "\\" in uri:
+        problems.append(f"uri {uri!r} is not a relative forward-slash path")
+    base = location.get("uriBaseId")
+    if base and bases and base not in bases:
+        problems.append(f"uriBaseId {base!r} not declared in originalUriBaseIds")
+    return problems
+
+
+def _check_region(region: dict) -> list[str]:
+    start = region.get("startLine")
+    end = region.get("endLine", start)
+    if not isinstance(start, int) or start < 1:
+        return [f"region startLine {start!r} invalid"]
+    if not isinstance(end, int) or end < start:
+        return [f"region endLine {end!r} before startLine {start}"]
+    return []
 
 
 # -- text / JSON renderers -------------------------------------------------

@@ -1,0 +1,134 @@
+"""Tests for the baseline-ratcheted lint gate, including the committed
+``lint-baseline.json``: the repo's own corpus must gate green."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticanalysis import (
+    AnalysisContext,
+    Baseline,
+    BaselineDiff,
+    Category,
+    Diagnostic,
+    LintError,
+    Severity,
+    analyze_benchmark,
+    diff_against_baseline,
+    finding_identity,
+)
+from repro.suites import all_suites, get_benchmark
+
+REPO_BASELINE = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+
+
+def _diag(rule="OPT010", message="interchange left on the table", **kw):
+    return Diagnostic(
+        rule_id=rule,
+        severity=kw.pop("severity", Severity.WARNING),
+        category=Category.PERFORMANCE,
+        message=message,
+        **kw,
+    )
+
+
+class TestIdentity:
+    def test_stable_across_equal_findings(self):
+        assert finding_identity(_diag()) == finding_identity(_diag())
+
+    def test_any_field_change_changes_identity(self):
+        base = _diag(kernel="2mm", nest="nest0", hint="rewrite as ikj")
+        variants = [
+            _diag(kernel="3mm", nest="nest0", hint="rewrite as ikj"),
+            _diag(kernel="2mm", nest="nest1", hint="rewrite as ikj"),
+            _diag(kernel="2mm", nest="nest0", hint="rewrite as kij"),
+            _diag(kernel="2mm", nest="nest0", hint="rewrite as ikj",
+                  message="different ratio now"),
+        ]
+        ids = {finding_identity(v) for v in variants}
+        assert finding_identity(base) not in ids
+        assert len(ids) == len(variants)
+
+
+class TestDiff:
+    def test_round_trip_gates_green(self, tmp_path):
+        findings = [_diag(kernel="2mm"), _diag(kernel="3mm", rule="DIV001")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).write(path)
+        diff = diff_against_baseline(findings, path)
+        assert diff.ok
+        assert len(diff.matched) == 2 and not diff.stale
+
+    def test_new_finding_fails_the_gate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_diag(kernel="2mm")]).write(path)
+        diff = diff_against_baseline(
+            [_diag(kernel="2mm"), _diag(kernel="heat-3d")], path
+        )
+        assert not diff.ok
+        assert [d.kernel for d in diff.new] == ["heat-3d"]
+
+    def test_fixed_finding_reports_stale(self, tmp_path):
+        gone = _diag(kernel="2mm")
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([gone, _diag(kernel="3mm")]).write(path)
+        diff = diff_against_baseline([_diag(kernel="3mm")], path)
+        assert diff.ok  # stale entries don't fail the gate ...
+        assert diff.stale == (finding_identity(gone),)  # ... but are listed
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        diff = diff_against_baseline([_diag()], tmp_path / "absent.json")
+        assert not diff.ok and len(diff.new) == 1
+
+    def test_summary_mentions_all_three_buckets(self):
+        diff = BaselineDiff(new=(_diag(),), matched=(), stale=("abc",))
+        assert "1 new" in diff.summary() and "1 stale" in diff.summary()
+
+
+class TestPersistence:
+    def test_file_is_deterministic_and_documented(self, tmp_path):
+        findings = [_diag(kernel="3mm"), _diag(kernel="2mm")]
+        a = Baseline.from_findings(findings).to_json()
+        b = Baseline.from_findings(list(reversed(findings))).to_json()
+        assert a == b  # entry order is sorted, not arrival order
+        doc = json.loads(a)
+        assert doc["findings"][0]["kernel"] == "2mm"
+        assert all("message" in e for e in doc["findings"])
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+
+class TestCommittedBaseline:
+    def test_repo_corpus_gates_green_with_no_stale_entries(self):
+        """The committed baseline must exactly cover the current corpus
+        — zero new findings (gate green) and zero stale entries (the
+        ratchet is tight)."""
+        ctx = AnalysisContext()
+        findings = []
+        for suite in all_suites():
+            for bench in suite.benchmarks:
+                findings.extend(analyze_benchmark(bench, ctx=ctx))
+        diff = Baseline.load(REPO_BASELINE).diff(findings)
+        assert diff.ok, f"unbaselined findings: {[str(d) for d in diff.new]}"
+        assert not diff.stale, (
+            f"stale baseline entries {diff.stale} — regenerate with "
+            f"tools/lint_gate.py --update"
+        )
+
+    def test_known_2mm_divergence_is_baselined(self):
+        findings = analyze_benchmark(get_benchmark("polybench.2mm"))
+        baseline = Baseline.load(REPO_BASELINE)
+        div = [d for d in findings if d.rule_id == "DIV001"]
+        assert div
+        assert all(finding_identity(d) in baseline.identities for d in div)

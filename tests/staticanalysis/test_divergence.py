@@ -1,0 +1,208 @@
+"""Tests for the cross-compiler divergence analyzer.
+
+The headline assertions mirror the paper: DIV001 must statically
+reproduce the 2mm/3mm interchange diagnosis (fcc keeps ijk, the others
+reorder), DIV002 the mvt dead-code outlier, and the best-compiler
+recommendation must agree with the batched cost-model grid on
+PolyBench except for an explicitly justified baseline of near-tie
+disagreements."""
+
+from repro.staticanalysis import AnalysisContext, analyze_kernel
+from repro.staticanalysis.divergence import (
+    DIVERGENCE_RULES,
+    STATUS_COMPILE_ERROR,
+    STATUS_RUNTIME_FAULT,
+    grid_best_variants,
+    predict_transforms,
+    rank_divergence,
+    recommend_benchmark,
+    recommend_compiler,
+)
+from repro.suites import get_benchmark, get_suite
+
+
+def _kernel(full_name, kernel_name=None):
+    bench = get_benchmark(full_name)
+    kernels = list(bench.kernels())
+    if kernel_name is None:
+        return kernels[0]
+    return next(k for k in kernels if k.name == kernel_name)
+
+
+def _div_findings(kernel, ctx=None):
+    ctx = ctx or AnalysisContext()
+    return [
+        d for d in analyze_kernel(kernel, ctx=ctx)
+        if d.rule_id in DIVERGENCE_RULES
+    ]
+
+
+class TestTransformPredictions:
+    def test_2mm_gate_replay(self):
+        """FJ keeps ijk; GNU/LLVM interchange; Polly also tiles."""
+        ctx = AnalysisContext()
+        preds = predict_transforms(_kernel("polybench.2mm"), ctx)
+        for variant in ("FJtrad", "FJclang"):
+            assert all(not n.interchanged for n in preds[variant].nests)
+        for variant in ("GNU", "LLVM", "LLVM+Polly"):
+            assert all(
+                n.order[:2] == ("i", "k") for n in preds[variant].nests
+            ), variant
+        assert all(n.tiled for n in preds["LLVM+Polly"].nests)
+        assert not any(n.tiled for n in preds["LLVM"].nests)
+
+    def test_durbin_vectorization_split(self):
+        """FJ vectorizes durbin in place; GNU/LLVM interchange into a
+        carried dependence and lose SIMD (the 8x empirical gap)."""
+        ctx = AnalysisContext()
+        preds = predict_transforms(_kernel("polybench.durbin"), ctx)
+        assert any(n.vectorized for n in preds["FJtrad"].nests)
+        for variant in ("GNU", "LLVM"):
+            assert not any(n.vectorized for n in preds[variant].nests), variant
+
+    def test_incident_statuses(self):
+        ctx = AnalysisContext()
+        k22 = predict_transforms(_kernel("micro.k22"), ctx)
+        assert k22["FJclang"].status == STATUS_COMPILE_ERROR
+        assert k22["FJtrad"].ok
+        k03 = predict_transforms(_kernel("micro.k03"), ctx)
+        assert k03["GNU"].status == STATUS_RUNTIME_FAULT
+
+    def test_mvt_dce(self):
+        ctx = AnalysisContext()
+        preds = predict_transforms(_kernel("polybench.mvt"), ctx)
+        assert preds["LLVM+Polly"].eliminated
+        assert not preds["LLVM"].eliminated
+
+    def test_memoized_on_context(self):
+        ctx = AnalysisContext()
+        kernel = _kernel("polybench.2mm")
+        assert predict_transforms(kernel, ctx) is predict_transforms(kernel, ctx)
+
+
+class TestDivergenceRules:
+    def test_div001_reproduces_the_paper_2mm_diagnosis(self):
+        findings = [
+            d for d in _div_findings(_kernel("polybench.2mm"))
+            if d.rule_id == "DIV001"
+        ]
+        assert len(findings) == 2  # both nests
+        message = findings[0].message
+        assert "FJtrad" in message and "FJclang" in message
+        assert "ijk" in message and "ikj" in message
+        assert "2mm/3mm" in message
+        assert "rewrite the nest as ikj" in findings[0].hint
+
+    def test_div001_fires_on_3mm_too(self):
+        findings = [
+            d for d in _div_findings(_kernel("polybench.3mm"))
+            if d.rule_id == "DIV001"
+        ]
+        assert len(findings) == 3
+
+    def test_div002_mvt_outlier(self):
+        findings = [
+            d for d in _div_findings(_kernel("polybench.mvt"))
+            if d.rule_id == "DIV002"
+        ]
+        assert len(findings) == 1
+        assert "LLVM+Polly" in findings[0].message
+        assert "mvt outlier" in findings[0].message
+
+    def test_div003_compile_error_and_fault(self):
+        k22 = [
+            d for d in _div_findings(_kernel("micro.k22"))
+            if d.rule_id == "DIV003"
+        ]
+        assert any("FJclang" in d.message for d in k22)
+        k03 = [
+            d for d in _div_findings(_kernel("micro.k03"))
+            if d.rule_id == "DIV003"
+        ]
+        assert any("GNU" in d.message for d in k03)
+
+    def test_ranking_puts_incidents_before_notes(self):
+        ctx = AnalysisContext()
+        findings = []
+        for name in ("polybench.mvt", "polybench.2mm"):
+            findings.extend(_div_findings(_kernel(name), ctx))
+        ranked = rank_divergence(findings)
+        assert ranked[0].rule_id == "DIV002"
+        ids = [d.rule_id for d in ranked]
+        assert ids.index("DIV001") < ids.index("DIV005")
+
+    def test_rules_are_registered(self):
+        from repro.staticanalysis import all_rules
+
+        ids = {r.rule_id for r in all_rules()}
+        assert set(DIVERGENCE_RULES) <= ids
+
+
+class TestRecommendation:
+    def test_2mm_prefers_an_interchanging_compiler(self):
+        rec = recommend_compiler(_kernel("polybench.2mm"), AnalysisContext())
+        assert rec.variant in ("GNU", "LLVM", "LLVM+Polly")
+        assert rec.scores[rec.variant] < rec.scores["FJtrad"]
+        assert rec.ranking()[0] == rec.variant
+
+    def test_broken_variant_is_disqualified(self):
+        rec = recommend_compiler(_kernel("micro.k22"), AnalysisContext())
+        assert rec.scores["FJclang"] == float("inf")
+        assert rec.variant != "FJclang"
+        assert rec.reasons["FJclang"] == "does not compile"
+
+    def test_benchmark_recommendation_sums_kernels(self):
+        rec = recommend_benchmark(get_benchmark("polybench.2mm"), AnalysisContext())
+        assert rec.name == "polybench.2mm"
+        assert set(rec.ranking()) == set(rec.scores)
+
+
+#: PolyBench benchmarks where the static proxy is allowed to disagree
+#: with the batched cost-model grid, each with the reviewed reason.
+#: Adding an entry here requires the same justification discipline as
+#: adding a lint-baseline entry: explain *why* the static model cannot
+#: see the effect, don't just append the failing name.
+JUSTIFIED_DISAGREEMENTS = {
+    # Grid winner LLVM+Polly by ~1.5% over plain LLVM: the margin is
+    # the tiling-vs-versioning-overhead interplay on a stencil whose
+    # working set barely overflows — below the static proxy's
+    # resolution (it prices tiling with the pass's budget formula but
+    # not the pass's epilogue/prefetch adjustments).
+    "polybench.adi",
+    # Grid winner FJtrad: Fujitsu's memory-scheduling pass *upgrades*
+    # its own memory_schedule_quality (0.55 -> 0.85) and enables
+    # software prefetch on streaming stencils — a second-order,
+    # pass-internal adjustment the gate replay deliberately does not
+    # model.  Margins are ~5%.
+    "polybench.jacobi-1d",
+    # Same mechanism as jacobi-1d (FJclang variant of the memsched
+    # upgrade).
+    "polybench.jacobi-2d",
+}
+
+
+class TestGridDifferential:
+    def test_static_recommendation_matches_grid_oracle_on_polybench(self):
+        """Every PolyBench best-variant prediction must equal the
+        evaluate_grid winner, except the justified near-ties above —
+        and those must stay *listed*: a justified benchmark that starts
+        agreeing should be removed from the baseline."""
+        oracle = grid_best_variants(suites=("polybench",))
+        ctx = AnalysisContext()
+        disagreements = {}
+        for bench in get_suite("polybench").benchmarks:
+            rec = recommend_benchmark(bench, ctx)
+            if rec.variant != oracle[bench.full_name]:
+                disagreements[bench.full_name] = (
+                    rec.variant, oracle[bench.full_name]
+                )
+        unexpected = set(disagreements) - JUSTIFIED_DISAGREEMENTS
+        assert not unexpected, (
+            f"static recommendation drifted from the grid oracle on "
+            f"{sorted(unexpected)}: {disagreements}"
+        )
+        resolved = JUSTIFIED_DISAGREEMENTS - set(disagreements)
+        assert not resolved, (
+            f"{sorted(resolved)} now agree with the grid — remove them "
+            f"from JUSTIFIED_DISAGREEMENTS"
+        )

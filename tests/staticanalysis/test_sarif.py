@@ -12,7 +12,12 @@ from repro.staticanalysis import (
     to_sarif,
     validate_sarif,
 )
-from repro.staticanalysis.sarif import SARIF_VERSION, TOOL_NAME
+from repro.staticanalysis.sarif import (
+    SARIF_VERSION,
+    TOOL_NAME,
+    URI_BASE_ID,
+    render_kernel_ir,
+)
 from repro.suites import get_benchmark
 
 
@@ -62,6 +67,103 @@ class TestSarif:
         assert validate_sarif(doc) == []
         # The document is plain JSON-serializable data.
         json.dumps(doc)
+
+
+class TestPhysicalLocations:
+    def _doc(self, name="polybench.2mm"):
+        bench = get_benchmark(name)
+        kernels = list(bench.kernels())
+        findings = analyze_benchmark(bench)
+        return to_sarif(findings, kernels=kernels), findings, kernels
+
+    def test_artifacts_are_repo_relative_and_deterministic(self):
+        doc, _findings, _kernels = self._doc()
+        assert validate_sarif(doc) == []
+        run = doc["runs"][0]
+        assert URI_BASE_ID in run["originalUriBaseIds"]
+        uris = [a["location"]["uri"] for a in run["artifacts"]]
+        assert uris == sorted(uris)
+        for uri in uris:
+            assert not uri.startswith("/") and "://" not in uri
+            assert uri.startswith("ir/") and uri.endswith(".ir")
+        # Same inputs -> byte-identical document (no ids, paths, time).
+        doc2, _f, _k = self._doc()
+        assert json.dumps(doc) == json.dumps(doc2)
+
+    def test_regions_point_into_the_ir_rendering(self):
+        doc, findings, kernels = self._doc()
+        rendered = {k.name: render_kernel_ir(k).splitlines() for k in kernels}
+        for result in doc["runs"][0]["results"]:
+            physical = result["locations"][0]["physicalLocation"]
+            uri = physical["artifactLocation"]["uri"]
+            name = uri[len("ir/"):-len(".ir")]
+            region = physical["region"]
+            lines = rendered[name]
+            assert 1 <= region["startLine"] <= region["endLine"] <= len(lines)
+            nest = result["properties"].get("nest")
+            if nest:
+                block = "\n".join(
+                    lines[region["startLine"] - 1:region["endLine"]]
+                )
+                assert "for " in block or ":" in block
+
+    def test_interchange_findings_carry_fixes(self):
+        doc, _findings, kernels = self._doc()
+        fixed = [
+            r for r in doc["runs"][0]["results"]
+            if r["ruleId"] in ("OPT010", "DIV001")
+        ]
+        assert fixed
+        kernel = {k.name: k for k in kernels}["2mm"]
+        loop_vars = set(kernel.nests[0].loop_vars)
+        for result in fixed:
+            fix = result["fixes"][0]
+            change = fix["artifactChanges"][0]
+            assert change["artifactLocation"]["uriBaseId"] == URI_BASE_ID
+            replacement = change["replacements"][0]
+            inserted = replacement["insertedContent"]["text"].splitlines()
+            # One header line per loop, each a real "for <var>" header.
+            assert len(inserted) == len(loop_vars)
+            assert {line.split()[1] for line in inserted} == loop_vars
+            region = replacement["deletedRegion"]
+            assert region["endLine"] - region["startLine"] + 1 == len(inserted)
+
+    def test_fix_matches_the_hinted_order(self):
+        doc, findings, _kernels = self._doc()
+        results = doc["runs"][0]["results"]
+        for diag, result in zip(findings, results):
+            if result["ruleId"] != "OPT010" or "fixes" not in result:
+                continue
+            hinted = diag.hint.split("rewrite the nest as ")[1].split()[0]
+            inserted = result["fixes"][0]["artifactChanges"][0][
+                "replacements"][0]["insertedContent"]["text"]
+            order = "".join(
+                line.split()[1] for line in inserted.splitlines()
+            )
+            assert order == hinted
+
+    def test_validator_rejects_absolute_uris_and_bad_fixes(self):
+        doc, _findings, _kernels = self._doc()
+        run = doc["runs"][0]
+        run["artifacts"][0]["location"]["uri"] = "/absolute/path.ir"
+        assert any("relative" in p for p in validate_sarif(doc))
+        doc2, _f, _k = self._doc()
+        fixed = next(
+            r for r in doc2["runs"][0]["results"] if r.get("fixes")
+        )
+        fixed["fixes"][0]["artifactChanges"] = []
+        assert any("artifactChanges" in p for p in validate_sarif(doc2))
+
+    def test_kernels_without_findings_declare_no_artifact(self):
+        doc, _findings, _kernels = self._doc()
+        referenced = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in doc["runs"][0]["results"]
+        }
+        declared = {
+            a["location"]["uri"] for a in doc["runs"][0]["artifacts"]
+        }
+        assert declared == referenced
 
 
 class TestTextAndJson:

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Baseline-ratcheted lint gate for CI.
+
+Runs the static analyzer over every suite, diffs the findings against
+the committed ``lint-baseline.json``, and fails only on findings the
+baseline does not know.  The corpus's *accepted* findings (the paper's
+kernels genuinely leave interchange on the table — that is the study)
+stay green; a kernel edit that introduces a new race, bounds error, or
+divergence turns the gate red immediately.
+
+Checks:
+
+- *gate*: no finding outside the baseline (identity = content hash of
+  the canonical diagnostic, so a changed message is a new finding);
+- *staleness report*: baseline entries whose finding no longer fires
+  are listed — ratchet the baseline tighter with ``--update``;
+- *self-validation*: the SARIF document written with ``--sarif`` must
+  pass :func:`repro.staticanalysis.validate_sarif`.
+
+Refresh the baseline after intentionally accepting new findings::
+
+    python tools/lint_gate.py --update
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+from repro.machine import a64fx  # noqa: E402
+from repro.staticanalysis import (  # noqa: E402
+    AnalysisContext,
+    Baseline,
+    analyze_benchmark,
+    to_sarif,
+    validate_sarif,
+)
+from repro.suites import all_suites  # noqa: E402
+
+BASELINE_PATH = ROOT / "lint-baseline.json"
+
+
+def collect_findings():
+    """All findings over every suite, plus the kernels they point at."""
+    ctx = AnalysisContext(machine=a64fx())
+    findings = []
+    kernels = []
+    seen = set()
+    for suite in all_suites():
+        for bench in suite.benchmarks:
+            findings.extend(analyze_benchmark(bench, ctx=ctx))
+            for kernel in bench.kernels():
+                if id(kernel) not in seen:
+                    seen.add(id(kernel))
+                    kernels.append(kernel)
+    return findings, kernels
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", metavar="PATH", type=Path, default=BASELINE_PATH,
+        help=f"baseline file to diff against (default: {BASELINE_PATH.name})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the baseline from the current findings "
+             "(accepting them) instead of gating",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", type=Path, default=None,
+        help="also write the findings as SARIF 2.1.0 here (for upload)",
+    )
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
+
+    with tool_logging(args, "lint_gate") as say:
+        findings, kernels = collect_findings()
+        say("analyzed", f"lint: {len(findings)} finding(s) across "
+            f"{len(kernels)} kernels", findings=len(findings),
+            kernels=len(kernels))
+
+        if args.sarif:
+            doc = to_sarif(findings, kernels=kernels)
+            problems = validate_sarif(doc)
+            if problems:
+                for problem in problems:
+                    say("sarif_invalid", f"SARIF: {problem}", level="error")
+                return 2
+            args.sarif.write_text(json.dumps(doc, indent=2) + "\n")
+            say("sarif", f"SARIF written to {args.sarif}",
+                path=str(args.sarif))
+
+        if args.update:
+            Baseline.from_findings(findings).write(args.baseline)
+            say("updated", f"baseline regenerated: {args.baseline} "
+                f"({len(findings)} finding(s))", path=str(args.baseline))
+            return 0
+
+        diff = Baseline.load(args.baseline).diff(findings)
+        say("diff", f"baseline diff: {diff.summary()}",
+            new=len(diff.new), matched=len(diff.matched),
+            stale=len(diff.stale))
+        for ident in diff.stale:
+            say("stale", f"stale baseline entry {ident} — ratchet with "
+                "--update", level="warning", identity=ident)
+        for diag in diff.new:
+            say("new_finding", f"NEW {diag}", level="error",
+                rule=diag.rule_id, location=diag.location)
+        if not diff.ok:
+            say("fail", f"lint gate: {len(diff.new)} finding(s) not in "
+                "the baseline", level="error")
+            return 1
+        say("pass", "lint gate: no new findings")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
