@@ -75,16 +75,26 @@ from repro.machine.machine import Machine
 from repro.machine.select import MACHINES as _MACHINES
 from repro.machine.select import resolve_machine as _resolve_machine
 from repro.suites.registry import get_benchmark, get_suite
+from repro.service import (
+    CampaignService,
+    CampaignSpec,
+    ServiceError,
+    spec_from_dict,
+)
 
 __all__ = [
     "CampaignConfig",
     "CampaignEvent",
+    "CampaignService",
     "CampaignSession",
+    "CampaignSpec",
     "EventKind",
     "GridCell",
     "GridResult",
     "GridSpec",
+    "ServiceError",
     "evaluate_grid",
+    "spec_from_dict",
 ]
 
 

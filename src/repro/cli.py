@@ -13,6 +13,9 @@ Usage::
         [--suite S ...] [--benchmark B ...]       # scope to a sub-campaign
         [--serve PORT]                            # live /metrics, /healthz, /progress
         [--log-json PATH]                         # structured JSONL event log
+    a64fx-campaign serve --cache-dir DIR          # multi-tenant campaign service
+        [--port PORT] [--workers N]               # (HTTP submit/status/events;
+        [--no-resume] [--log-json PATH]           #  see docs/SERVICE.md)
     a64fx-campaign status --cache-dir DIR         # live progress/ETA/cache-hit rate
     a64fx-campaign doctor --cache-dir DIR         # diagnose clusters and collapses
     a64fx-campaign journal status --cache-dir DIR # per-shard checkpoint coverage
@@ -231,17 +234,38 @@ def _cmd_status(args: argparse.Namespace) -> int:
     from dataclasses import asdict
     import json
 
-    from repro.harness.observatory import campaign_status, render_status
+    from repro.harness.observatory import (
+        campaign_status,
+        render_service_overview,
+        render_status,
+        service_overview,
+    )
 
     status = campaign_status(args.cache_dir)
-    if status is None:
+    service = service_overview(args.cache_dir)
+    if status is None and service is None:
         print(f"no campaign journals found in {args.cache_dir}",
               file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(asdict(status), indent=2, sort_keys=True))
+        # Campaign fields stay top-level (the pre-service shape, which
+        # scripts already parse); the service overview rides along
+        # under its own key.
+        doc = asdict(status) if status is not None else {}
+        if service is not None:
+            doc["service"] = {
+                "path": service.path,
+                "campaigns": list(service.campaigns),
+                "tenants": service.tenants,
+            }
+        print(json.dumps(doc, indent=2, sort_keys=True))
     else:
-        print(render_status(status))
+        if status is not None:
+            print(render_status(status))
+        if service is not None:
+            print(render_service_overview(service))
+    if status is None:
+        return 0
     return 0 if status.complete else 1
 
 
@@ -274,7 +298,60 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         print(json.dumps(asdict(report), indent=2, sort_keys=True))
     else:
         print(render_doctor(report))
+        from repro.harness.observatory import service_overview
+
+        service = service_overview(args.cache_dir)
+        if service is not None:
+            failed = [e for e in service.campaigns
+                      if e.get("state") == "failed"]
+            interrupted = service.resumable
+            if failed or interrupted:
+                print(f"service: {len(failed)} failed campaign(s), "
+                      f"{interrupted} interrupted (resumable) — see "
+                      f"`a64fx-campaign status --cache-dir "
+                      f"{args.cache_dir}`")
     return 1 if report.worst == "critical" else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service until interrupted."""
+    import contextlib
+    import time as _time
+
+    from repro import telemetry
+    from repro.service import CampaignService
+
+    log_cm = contextlib.nullcontext()
+    if args.log_json:
+        logger = telemetry.StructuredLogger(path=args.log_json)
+        log_cm = telemetry.logging_active(logger)
+    with log_cm:
+        service = CampaignService(
+            args.cache_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            resume=not args.no_resume,
+        )
+        service.start()
+        sched = service.scheduler
+        resumed = sum(1 for c in sched.campaigns.values())
+        print(f"campaign service on {service.url} "
+              f"(cache {args.cache_dir}, {args.workers} worker(s)"
+              + (f", resumed {resumed} campaign(s)" if resumed else "")
+              + ")", file=sys.stderr)
+        print(f"  POST {service.url}/campaigns submits; "
+              f"GET /campaigns/<id>/events streams; see docs/SERVICE.md",
+              file=sys.stderr)
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down (waiting for running campaigns; "
+                  "interrupted campaigns resume on next start)",
+                  file=sys.stderr)
+            service.stop(graceful=True)
+    return 0
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -779,6 +856,42 @@ def main(argv: "list[str] | None" = None) -> int:
         help="emit the findings as JSON instead of the rendered note",
     )
     p_doctor.set_defaults(func=_cmd_doctor)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: accept concurrent campaign "
+             "submissions over HTTP, dedupe overlapping cells across "
+             "tenants, stream events, resume interrupted campaigns",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=".", metavar="DIR",
+        help="shared cache root (cells, kernels, service registry and "
+             "journals; default: .)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="bind port; 0 (default) binds an ephemeral port, printed "
+             "to stderr — the collision-safe choice",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for cell execution; 0 runs cells on "
+             "threads in-process (default: 2)",
+    )
+    p_serve.add_argument(
+        "--no-resume", action="store_true",
+        help="do not resume interrupted campaigns from the registry",
+    )
+    p_serve.add_argument(
+        "--log-json", metavar="PATH",
+        help="append structured JSONL service/worker log records "
+             "(correlated by campaign id and tenant) to this file",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser("trace", help="inspect recorded campaign traces")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

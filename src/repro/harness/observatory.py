@@ -517,3 +517,89 @@ def render_doctor(report: DoctorReport) -> str:
         if finding.detail:
             lines.append(f"       {finding.detail}")
     return "\n".join(lines)
+
+
+# -- service overview ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceOverview:
+    """The read-side view of the campaign service's registry.
+
+    Built purely from ``<cache>/service/`` artifacts (the atomic
+    registry document plus per-campaign result files), so ``status``
+    and ``doctor`` can describe the service's campaigns whether or not
+    the service process is still alive.
+    """
+
+    path: str
+    campaigns: tuple[dict, ...]
+
+    @property
+    def by_state(self) -> dict:
+        out: dict[str, int] = {}
+        for entry in self.campaigns:
+            state = entry.get("state", "unknown")
+            out[state] = out.get(state, 0) + 1
+        return out
+
+    @property
+    def tenants(self) -> dict:
+        """Per-tenant rollup: campaigns, cells, completed, dedupe."""
+        out: dict[str, dict] = {}
+        for entry in self.campaigns:
+            tenant = entry.get("tenant", "default")
+            agg = out.setdefault(tenant, {
+                "campaigns": 0, "cells": 0, "completed": 0,
+                "deduped": 0, "executed": 0,
+            })
+            agg["campaigns"] += 1
+            agg["cells"] += int(entry.get("cells", 0))
+            agg["completed"] += int(entry.get("completed", 0))
+            stats = entry.get("stats", {}) or {}
+            agg["deduped"] += int(stats.get("deduped", 0))
+            agg["executed"] += int(stats.get("executed", 0))
+        return out
+
+    @property
+    def resumable(self) -> int:
+        return sum(1 for e in self.campaigns
+                   if e.get("state") in ("queued", "running"))
+
+
+def service_overview(cache_dir: "str | Path") -> "ServiceOverview | None":
+    """The service registry under ``cache_dir``, or ``None`` when no
+    campaign service ever ran against this cache."""
+    from repro.service.registry import ServiceRegistry
+
+    path = Path(cache_dir) / "service" / "campaigns.json"
+    if not path.is_file():
+        return None
+    entries = ServiceRegistry(path).load()
+    campaigns = tuple(
+        {"id": cid, **entry}
+        for cid, entry in sorted(
+            entries.items(),
+            key=lambda kv: kv[1].get("submitted_at", 0.0),
+        )
+    )
+    return ServiceOverview(path=str(path), campaigns=campaigns)
+
+
+def render_service_overview(overview: ServiceOverview) -> str:
+    """Human-readable service summary for ``a64fx-campaign status``."""
+    states = ", ".join(f"{n} {s}" for s, n in
+                       sorted(overview.by_state.items()))
+    lines = [f"service: {len(overview.campaigns)} campaign(s) ({states})"]
+    for tenant, agg in sorted(overview.tenants.items()):
+        lines.append(
+            f"  tenant {tenant:12s} {agg['campaigns']} campaign(s)  "
+            f"{agg['completed']:4d}/{agg['cells']:4d} cells  "
+            f"{agg['executed']} executed, {agg['deduped']} deduped"
+        )
+    if overview.resumable:
+        lines.append(
+            f"  {overview.resumable} campaign(s) queued/running — a "
+            f"service restart on this cache dir will resume them"
+        )
+    return "\n".join(lines)

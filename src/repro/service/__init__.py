@@ -1,0 +1,45 @@
+"""The campaign service: a long-lived, multi-tenant sweep scheduler.
+
+The batch engine (:mod:`repro.harness.engine`) runs one campaign per
+process invocation.  This package is the *write side* of the campaign
+service the ROADMAP calls for: an asyncio HTTP/JSON front end
+(:class:`CampaignService`) layered over a shared cell scheduler
+(:class:`CampaignScheduler`) that
+
+* accepts concurrent campaign submissions from multiple tenants
+  (``POST /campaigns``),
+* dedupes overlapping cells across tenants through the same
+  content-addressed cell/kernel caches the engine uses — one in-flight
+  execution per cell fingerprint, all waiters fan in,
+* batches the compilation of kernels shared between campaigns
+  (benchmark-major dispatch, shared on-disk kernel cache),
+* answers fully-cached campaigns without spawning a single pool
+  worker,
+* persists every accepted campaign through the journal store so a
+  service restart resumes in-flight campaigns from their checkpoints,
+* streams typed campaign events to clients (``GET
+  /campaigns/<id>/events``, server-sent events).
+
+See ``docs/SERVICE.md`` for the full API surface and semantics.
+"""
+
+from repro.service.config import (
+    CampaignSpec,
+    ServiceError,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.service.registry import ServiceRegistry
+from repro.service.scheduler import CampaignScheduler, ServiceCampaign
+from repro.service.server import CampaignService
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignService",
+    "CampaignSpec",
+    "ServiceCampaign",
+    "ServiceError",
+    "ServiceRegistry",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,122 @@
+"""Campaign submissions: the JSON-able subset of a campaign config.
+
+A service client describes *what* to sweep — machine, compiler
+variants, suites or individual benchmarks, performance-run count — and
+*who* is asking (the tenant).  Everything execution-related (worker
+pool size, cache location, retry policy) belongs to the service, not
+the submission, so two tenants submitting the same sweep produce the
+same cell fingerprints and dedupe against each other.
+
+:func:`spec_from_dict` is the single validation choke point: every
+malformed submission raises :class:`ServiceError` with a
+client-presentable message, which the HTTP front end answers as a 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Submission fields a client may provide; anything else is a 400.
+_SPEC_FIELDS = frozenset(
+    ("tenant", "machine", "variants", "suites", "benchmarks", "runs")
+)
+
+#: Tenant names stay shell/label-safe: they appear in Prometheus label
+#: values, log context, and file-system-adjacent places.
+_TENANT_MAX = 64
+
+
+class ServiceError(ReproError):
+    """A campaign submission (or service request) the service rejects."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated campaign submission."""
+
+    #: Who is asking; used for per-tenant gauges and log correlation.
+    tenant: str = "default"
+    #: Machine registry name ("a64fx", "xeon", "thunderx2"); ``None``
+    #: selects the paper's A64FX node.
+    machine: "str | None" = None
+    #: Compiler variants; ``None`` runs the study's five.
+    variants: "tuple[str, ...] | None" = None
+    #: Suite names; ``None`` (with ``benchmarks=None``) runs all.
+    suites: "tuple[str, ...] | None" = None
+    #: Benchmark full names ("suite.name"); overrides ``suites``.
+    benchmarks: "tuple[str, ...] | None" = None
+    #: Performance runs per cell (the paper's ten).
+    runs: int = 10
+    #: Free-form metadata echoed back to the client (never interpreted).
+    meta: dict = field(default_factory=dict, compare=False)
+
+
+def _string_tuple(doc: dict, key: str) -> "tuple[str, ...] | None":
+    value = doc.get(key)
+    if value is None:
+        return None
+    if isinstance(value, str):
+        # A bare string is almost always a single-element mistake a
+        # client would rather have accepted than debugged.
+        return (value,)
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ServiceError(f"{key!r} must be a list of strings")
+    if not value:
+        raise ServiceError(f"{key!r} must not be empty when present")
+    return tuple(value)
+
+
+def spec_from_dict(doc: Any) -> CampaignSpec:
+    """Validate a raw submission document into a :class:`CampaignSpec`.
+
+    Raises :class:`ServiceError` (the HTTP 400 path) on anything a
+    client got wrong: non-object bodies, unknown fields, wrong types,
+    out-of-range values.  Suite/benchmark *existence* is checked later,
+    at scheduling time, where the registry lives.
+    """
+    if not isinstance(doc, dict):
+        raise ServiceError("campaign submission must be a JSON object")
+    unknown = sorted(set(doc) - _SPEC_FIELDS)
+    if unknown:
+        raise ServiceError(
+            f"unknown field(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(_SPEC_FIELDS))}"
+        )
+    tenant = doc.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ServiceError("'tenant' must be a non-empty string")
+    if len(tenant) > _TENANT_MAX:
+        raise ServiceError(f"'tenant' longer than {_TENANT_MAX} characters")
+    if any(c in tenant for c in '\n\r"\\'):
+        raise ServiceError("'tenant' must not contain quotes or newlines")
+    machine = doc.get("machine")
+    if machine is not None and not isinstance(machine, str):
+        raise ServiceError("'machine' must be a string machine name")
+    runs = doc.get("runs", 10)
+    if not isinstance(runs, int) or isinstance(runs, bool) or runs < 1:
+        raise ServiceError("'runs' must be a positive integer")
+    return CampaignSpec(
+        tenant=tenant,
+        machine=machine,
+        variants=_string_tuple(doc, "variants"),
+        suites=_string_tuple(doc, "suites"),
+        benchmarks=_string_tuple(doc, "benchmarks"),
+        runs=runs,
+    )
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """The JSON form of a spec (registry persistence, status echoes)."""
+    return {
+        "tenant": spec.tenant,
+        "machine": spec.machine,
+        "variants": list(spec.variants) if spec.variants else None,
+        "suites": list(spec.suites) if spec.suites else None,
+        "benchmarks": list(spec.benchmarks) if spec.benchmarks else None,
+        "runs": spec.runs,
+    }

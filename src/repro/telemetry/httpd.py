@@ -21,6 +21,7 @@ reads).  ``port=0`` binds an ephemeral port, published via
 
 from __future__ import annotations
 
+import errno
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -70,8 +71,20 @@ class ObservatoryServer:
             def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
                 observatory._handle(self)
 
-        self._httpd = ThreadingHTTPServer(
-            (self._host, self._requested_port), _Handler)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), _Handler)
+        except OSError as exc:
+            if self._requested_port == 0 or exc.errno not in (
+                errno.EADDRINUSE, errno.EACCES,
+            ):
+                raise
+            # The fixed port is taken (another campaign, another tool):
+            # fall back to a kernel-assigned port rather than dying —
+            # the bound port is always published via ``.port``/``.url``.
+            log_event("httpd.port_fallback", level="warning",
+                      requested=self._requested_port, error=str(exc))
+            self._httpd = ThreadingHTTPServer((self._host, 0), _Handler)
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

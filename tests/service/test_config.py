@@ -1,0 +1,60 @@
+"""Submission validation: every malformed document is a clean 400."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import CampaignSpec, ServiceError, spec_from_dict, spec_to_dict
+
+
+class TestSpecFromDict:
+    def test_minimal_document_uses_defaults(self):
+        spec = spec_from_dict({})
+        assert spec == CampaignSpec()
+        assert spec.tenant == "default"
+        assert spec.runs == 10
+
+    def test_full_document_round_trips(self):
+        doc = {
+            "tenant": "alice",
+            "machine": "a64fx",
+            "benchmarks": ["polybench.gemm"],
+            "variants": ["GNU", "FJtrad"],
+            "runs": 3,
+        }
+        spec = spec_from_dict(doc)
+        assert spec.tenant == "alice"
+        assert spec.variants == ("GNU", "FJtrad")
+        round_tripped = spec_to_dict(spec)
+        assert round_tripped["benchmarks"] == ["polybench.gemm"]
+        assert spec_from_dict(round_tripped | {"suites": None}) == spec
+
+    def test_bare_string_promotes_to_single_element(self):
+        spec = spec_from_dict({"benchmarks": "polybench.gemm"})
+        assert spec.benchmarks == ("polybench.gemm",)
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "not an object",
+            ["not", "an", "object"],
+            None,
+            {"bogus_field": 1},
+            {"tenant": ""},
+            {"tenant": 7},
+            {"tenant": "x" * 65},
+            {"tenant": 'quo"te'},
+            {"tenant": "two\nlines"},
+            {"machine": 42},
+            {"runs": 0},
+            {"runs": -1},
+            {"runs": True},
+            {"runs": "10"},
+            {"variants": []},
+            {"variants": [1, 2]},
+            {"suites": {"a": 1}},
+        ],
+    )
+    def test_malformed_documents_raise(self, doc):
+        with pytest.raises(ServiceError):
+            spec_from_dict(doc)

@@ -491,6 +491,17 @@ class TestObservatoryServer:
                 _get(server.url + "/nope")
             assert err.value.code == 404
 
+    def test_taken_port_falls_back_to_ephemeral(self):
+        with ObservatoryServer(metrics=dict) as first:
+            taken = first.port
+            # A fixed port that is already bound must not kill the
+            # campaign; the server falls back to a kernel-assigned
+            # port and publishes it.
+            with ObservatoryServer(metrics=dict, port=taken) as second:
+                assert second.port != taken
+                status, _, _ = _get(second.url + "/healthz")
+                assert status == 200
+
     def test_provider_error_500s_not_crashes(self):
         def boom():
             raise RuntimeError("provider exploded")

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Run every tools/ gate in one process and merge their reports.
+
+CI used to give each gate script — bench_guard, chaos_check,
+shard_check, obs_check, lint_gate — its own job with its own checkout,
+install, and artifact step.  This runner consolidates them: each gate's
+``main(argv)`` is invoked in-process with a per-gate report path under
+one output directory and a single shared ``--log-json`` stream, every
+gate runs even when an earlier one fails, and the merged verdict lands
+in ``<out-dir>/gauntlet-report.json`` (one artifact upload instead of
+five).
+
+The service gauntlet (``service_check``) is registered but not in the
+default set — CI runs it as its own job because it exercises a live
+process pool; include it explicitly with ``--gate service``.
+
+Usage::
+
+    python tools/ci_gauntlet.py                      # all default gates
+    python tools/ci_gauntlet.py --gate chaos --gate shard
+    python tools/ci_gauntlet.py --out-dir gauntlet --log-json g.jsonl
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+
+def _gate_argv(out_dir: Path, name: str) -> "tuple[str, list[str]]":
+    """Map a gate name to (module, argv).  Paths are gate-specific:
+    lint_gate emits SARIF rather than a JSON report, bench_guard needs
+    the committed baseline."""
+    report = str(out_dir / f"{name}-report.json")
+    return {
+        "bench": ("bench_guard", [
+            "--baseline", str(ROOT / "benchmarks/BENCH_engine.baseline.json"),
+            "--out", report,
+        ]),
+        "chaos": ("chaos_check", ["--out", report]),
+        "shard": ("shard_check", ["--out", report]),
+        "obs": ("obs_check", ["--out", report]),
+        "lint": ("lint_gate", ["--sarif", str(out_dir / "lint.sarif")]),
+        "service": ("service_check", ["--out", report]),
+    }[name]
+
+
+DEFAULT_GATES = ("bench", "chaos", "shard", "obs", "lint")
+ALL_GATES = DEFAULT_GATES + ("service",)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate", action="append", choices=ALL_GATES, default=None,
+        help="run only the named gate(s); repeatable "
+             f"(default: {', '.join(DEFAULT_GATES)})",
+    )
+    parser.add_argument("--out-dir", default="gauntlet",
+                        help="directory for per-gate reports and the "
+                             "merged gauntlet-report.json")
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
+
+    gates = tuple(args.gate) if args.gate else DEFAULT_GATES
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.log_json is None:
+        args.log_json = str(out_dir / "gauntlet-log.jsonl")
+
+    with tool_logging(args, "ci_gauntlet") as say:
+        merged: dict = {"gates": {}, "ok": True}
+        for name in gates:
+            module_name, gate_args = _gate_argv(out_dir, name)
+            # Every gate logs into the same JSONL stream, correlated
+            # by its own tool name.
+            gate_args += ["--log-json", args.log_json]
+            if args.quiet:
+                gate_args += ["--quiet"]
+            say("gate", f"=== {name} ({module_name}) ===")
+            module = __import__(module_name)
+            t0 = time.monotonic()
+            try:
+                rc = module.main(gate_args)
+            except SystemExit as exc:  # argparse error paths
+                rc = int(exc.code or 0)
+            except Exception as exc:
+                say("crash", f"{name} crashed: {exc!r}", level="error")
+                rc = 70
+            elapsed = round(time.monotonic() - t0, 2)
+
+            report_path = out_dir / f"{name}-report.json"
+            gate_report = None
+            if report_path.exists():
+                try:
+                    gate_report = json.loads(report_path.read_text())
+                except ValueError:
+                    pass
+            merged["gates"][name] = {
+                "module": module_name, "rc": rc, "elapsed_s": elapsed,
+                "ok": rc == 0, "report": gate_report,
+            }
+            merged["ok"] = merged["ok"] and rc == 0
+            say("gate_done", f"=== {name}: "
+                f"{'ok' if rc == 0 else f'FAILED (rc={rc})'} "
+                f"in {elapsed}s ===",
+                level="info" if rc == 0 else "error",
+                gate=name, rc=rc, elapsed_s=elapsed)
+
+        merged_path = out_dir / "gauntlet-report.json"
+        merged_path.write_text(json.dumps(merged, indent=2) + "\n")
+        say("wrote", f"wrote {merged_path}", path=str(merged_path))
+
+        broken = [n for n, g in merged["gates"].items() if not g["ok"]]
+        if broken:
+            say("fail", f"gauntlet: {len(broken)} gate(s) failed: "
+                f"{', '.join(broken)}", level="error")
+            return 1
+        say("pass", f"gauntlet: all {len(gates)} gate(s) passed")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Ratchet-style coverage gate over a Cobertura ``coverage.xml``.
+
+CI runs ``pytest --cov=repro --cov-report=xml`` and hands the XML to
+this gate, which compares the measured line rate against the committed
+floor in ``coverage-baseline.json``.  The floor only moves up: when the
+measured rate clears the floor by more than the ratchet slack, the gate
+still passes but tells you to ratchet — run with ``--update`` to pin
+the new floor (measured rate minus the slack, so run-to-run jitter
+doesn't flap the gate).
+
+The gate itself needs only the stdlib: it parses the XML with
+``xml.etree``, so it runs anywhere — only *producing* the XML needs
+pytest-cov.
+
+Usage::
+
+    python tools/coverage_gate.py --xml coverage.xml
+    python tools/coverage_gate.py --xml coverage.xml --update
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+BASELINE = ROOT / "coverage-baseline.json"
+
+#: Headroom kept between the measured rate and a ratcheted floor, in
+#: percentage points — absorbs run-to-run jitter and the skew between
+#: coverage.py and other line-accounting methods.
+RATCHET_SLACK_PCT = 4.0
+
+
+def read_line_rate(xml_path: Path) -> "tuple[float, int, int]":
+    """Return (line_rate_pct, lines_covered, lines_valid) from a
+    Cobertura report.  Prefers the explicit counters; falls back to the
+    root ``line-rate`` attribute."""
+    root = ET.parse(xml_path).getroot()
+    covered = root.get("lines-covered")
+    valid = root.get("lines-valid")
+    if covered is not None and valid is not None and int(valid) > 0:
+        return 100.0 * int(covered) / int(valid), int(covered), int(valid)
+    rate = root.get("line-rate")
+    if rate is None:
+        raise ValueError(f"{xml_path} has neither lines-covered/lines-valid "
+                         f"nor line-rate — not a Cobertura report?")
+    return 100.0 * float(rate), 0, 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--xml", default="coverage.xml",
+                        help="Cobertura XML produced by pytest-cov")
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="committed floor (JSON)")
+    parser.add_argument("--update", action="store_true",
+                        help="ratchet the floor up to the measured rate "
+                             f"minus {RATCHET_SLACK_PCT} points")
+    parser.add_argument("--out", default=None,
+                        help="optional JSON report path")
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
+
+    with tool_logging(args, "coverage_gate") as say:
+        xml_path = Path(args.xml)
+        if not xml_path.exists():
+            say("missing", f"no coverage XML at {xml_path} — run pytest "
+                f"with --cov=repro --cov-report=xml first", level="error")
+            return 2
+        baseline_path = Path(args.baseline)
+        baseline = json.loads(baseline_path.read_text())
+        floor = float(baseline["line_rate_min_pct"])
+
+        rate, covered, valid = read_line_rate(xml_path)
+        say("measure", f"measured line rate: {rate:.2f}% "
+            f"({covered}/{valid} lines); committed floor: {floor:.2f}%",
+            rate_pct=round(rate, 2), floor_pct=floor)
+
+        report = {"line_rate_pct": round(rate, 2),
+                  "lines_covered": covered, "lines_valid": valid,
+                  "floor_pct": floor, "ok": rate >= floor}
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+        if rate < floor:
+            say("fail", f"coverage regressed below the floor: {rate:.2f}% "
+                f"< {floor:.2f}%", level="error")
+            return 1
+
+        ratchet_target = round(rate - RATCHET_SLACK_PCT, 2)
+        if args.update and ratchet_target > floor:
+            baseline["line_rate_min_pct"] = ratchet_target
+            baseline_path.write_text(
+                json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+            say("ratchet", f"floor ratcheted {floor:.2f}% -> "
+                f"{ratchet_target:.2f}% in {baseline_path}")
+        elif ratchet_target > floor:
+            say("slack", f"measured rate clears the floor by "
+                f"{rate - floor:.2f} points — consider --update to pin "
+                f"the floor at {ratchet_target:.2f}%", level="warning")
+
+        say("pass", f"coverage gate: {rate:.2f}% >= {floor:.2f}%")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
