@@ -28,6 +28,7 @@ from repro.analysis.report import (
     lint_markdown,
     resilience_markdown,
     shard_markdown,
+    tuning_markdown,
 )
 from repro.analysis.svg import figure1_svg, figure2_svg, gain_color
 from repro.analysis.stats import (
@@ -64,6 +65,7 @@ __all__ = [
     "lint_markdown",
     "resilience_markdown",
     "shard_markdown",
+    "tuning_markdown",
     "figure1",
     "figure1_svg",
     "figure2",

@@ -470,10 +470,58 @@ def doctor_markdown(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def tuning_markdown(tune) -> str:
+    """The auto-tuner's search-trajectory section for one
+    :class:`~repro.tuning.TuneResult` (``""`` for ``None``).
+
+    Shows the winner against the scenario's calibrated known-best (the
+    INT8 SDOT GEMM's hand-tuned 6x4 tile), the per-rung narrowing of
+    the candidate population, and where the scores came from
+    (evaluation, journal replay, cache).
+    """
+    if tune is None:
+        return ""
+    lines = ["## Auto-tuning", ""]
+    lines.append(
+        f"- scenario `{tune.scenario}`, strategy `{tune.strategy}` on "
+        f"{tune.machine}: best `{tune.best_label}` "
+        f"(score {tune.best_score:.6g}, model {tune.best_time_s:.6g}s)"
+    )
+    efficiency = tune.best_detail.get("efficiency")
+    if efficiency is not None:
+        lines.append(f"- modeled efficiency {efficiency:.1%} of peak")
+    if tune.known_best_label is not None:
+        verdict = "rediscovered" if tune.rediscovered else "**missed**"
+        lines.append(f"- known-best `{tune.known_best_label}`: {verdict}")
+    lines.append(
+        f"- effort: {tune.evaluations} evaluation(s), "
+        f"{tune.from_journal} journal replay(s), "
+        f"{tune.from_cache} cache hit(s)"
+        + ("" if tune.complete else " — **search incomplete**")
+    )
+    if tune.rungs:
+        lines += ["", "| rung | configs | trials | best | score |",
+                  "|---|---|---|---|---|"]
+        for rung in tune.rungs:
+            lines.append(
+                f"| {rung.rung} | {rung.configs} | {rung.trials} "
+                f"| `{rung.best_label}` | {rung.best_score:.6g} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiments_markdown(
-    result: CampaignResult, xeon_result: CampaignResult | None = None
+    result: CampaignResult,
+    xeon_result: CampaignResult | None = None,
+    *,
+    tune=None,
 ) -> str:
-    """Render the EXPERIMENTS.md content: claim table + suite summaries."""
+    """Render the EXPERIMENTS.md content: claim table + suite summaries.
+
+    ``tune`` (a :class:`~repro.tuning.TuneResult`) appends the
+    auto-tuner's search-trajectory section.
+    """
     checks = evaluate(result, xeon_result)
     lines = [
         "# EXPERIMENTS — paper vs. measured",
@@ -531,4 +579,7 @@ def experiments_markdown(
     doctor = doctor_markdown(result)
     if doctor:
         lines.append(doctor)
+    tuning = tuning_markdown(tune)
+    if tuning:
+        lines.append(tuning)
     return "\n".join(lines)

@@ -46,6 +46,21 @@ Quickstart (model grid)::
     cell = grid.cell("polybench.gemm", "GNU")   # one result per placement
     print(cell.best.placement, cell.best.time_s)
 
+:class:`TuneSpec` / :class:`TuneResult` / :func:`run_tune`
+    The auto-tuning companion (re-exported from :mod:`repro.tuning`):
+    search a typed parameter space — placements, compiler variants,
+    register-tile sizes — with grid, seeded-random or
+    successive-halving strategies, with journal resume, caching,
+    sharding and telemetry.  See ``docs/TUNING.md``.
+
+Quickstart (auto-tuning)::
+
+    from repro.api import TuneSpec, run_tune
+
+    result = run_tune(TuneSpec(scenario="gemm-int8-sdot",
+                               strategy="successive-halving"))
+    print(result.best_label, result.best_detail["efficiency"])
+
 The legacy ``run_campaign()``/``run_benchmark()`` shims emit
 ``DeprecationWarning`` and will be removed in 2.0.
 """
@@ -81,6 +96,7 @@ from repro.service import (
     ServiceError,
     spec_from_dict,
 )
+from repro.tuning import TuneResult, TuneSpec, run_tune
 
 __all__ = [
     "CampaignConfig",
@@ -93,7 +109,10 @@ __all__ = [
     "GridResult",
     "GridSpec",
     "ServiceError",
+    "TuneResult",
+    "TuneSpec",
     "evaluate_grid",
+    "run_tune",
     "spec_from_dict",
 ]
 

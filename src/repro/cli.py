@@ -35,6 +35,12 @@ Usage::
     a64fx-campaign figure2 [--csv figure2.csv]    # the full heatmap
     a64fx-campaign report [--out EXPERIMENTS.md]  # paper-vs-measured claims
     a64fx-campaign list                           # suites and benchmarks
+    a64fx-campaign tune [--scenario S]            # auto-tune a search space
+        [--strategy grid|random|successive-halving]
+        [--samples N] [--eta K] [--seed N]
+        [--trials N] [--min-trials N]
+        [--cache-dir DIR] [--resume] [--shard I/N]
+        [--workers N] [--out tune.json]           # (see docs/TUNING.md)
 """
 
 from __future__ import annotations
@@ -701,6 +707,84 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Run one auto-tuning search (see docs/TUNING.md)."""
+    from pathlib import Path
+
+    from repro import telemetry as telemetry_mod
+    from repro.api import TuneSpec, run_tune
+    from repro.tuning import scenario_names
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(name)
+        print("placement:<suite.name>[:<variant>[+<variant>...]]")
+        return 0
+
+    spec = TuneSpec(
+        scenario=args.scenario,
+        strategy=args.strategy,
+        machine=args.machine,
+        trials=args.trials,
+        min_trials=args.min_trials,
+        samples=args.samples,
+        eta=args.eta,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        shard=args.shard,
+        workers=args.workers,
+    )
+    recorder = telemetry_mod.Telemetry() if args.metrics else None
+    with telemetry_mod.active(recorder):
+        result = run_tune(spec)
+
+    if not result.complete:
+        waiting = result.meta.get("waiting", [])
+        print(
+            f"search incomplete: shard {args.shard[0]}/{args.shard[1]} is "
+            f"waiting on {len(waiting)} candidate(s) from sibling shards; "
+            f"re-run all shards (with --resume) to finish"
+            if args.shard
+            else "search incomplete"
+        )
+    else:
+        print(f"scenario  {result.scenario}")
+        print(f"strategy  {result.strategy} on {result.machine}")
+        print(
+            f"best      {result.best_label}  "
+            f"(score {result.best_score:.6g}, model {result.best_time_s:.6g}s)"
+        )
+        for key, value in sorted(result.best_detail.items()):
+            if isinstance(value, float):
+                print(f"          {key} = {value:.4g}")
+            else:
+                print(f"          {key} = {value}")
+        if result.known_best_label is not None:
+            verdict = "rediscovered" if result.rediscovered else "MISSED"
+            print(f"known     {result.known_best_label}  [{verdict}]")
+        print(
+            f"effort    {result.evaluations} evaluations, "
+            f"{result.from_journal} from journal, "
+            f"{result.from_cache} from cache, {len(result.rungs)} rung(s)"
+        )
+        for rung in result.rungs:
+            print(
+                f"  rung {rung.rung}: {rung.configs:4d} configs x "
+                f"{rung.trials} trial(s) -> best {rung.best_label} "
+                f"({rung.best_score:.6g})"
+            )
+    if recorder is not None:
+        snapshot = recorder.metrics.snapshot()
+        for name, value in sorted(snapshot.get("counters", {}).items()):
+            if name.startswith("tuner."):
+                print(f"  {name} = {value:g}")
+    if args.out:
+        Path(args.out).write_text(result.to_json() + "\n")
+        print(f"wrote {args.out}")
+    return 0 if result.complete else 3
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="a64fx-campaign",
@@ -1024,6 +1108,74 @@ def main(argv: "list[str] | None" = None) -> int:
         help="benchmark full name (repeatable; overrides --suite)",
     )
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_tune = sub.add_parser(
+        "tune", help="auto-tune a search space (see docs/TUNING.md)"
+    )
+    p_tune.add_argument(
+        "--scenario", default="gemm-int8-sdot",
+        help="scenario spec: a registered name, or "
+             "placement:<suite.name>[:<variant>[+<variant>...]] "
+             "(default: gemm-int8-sdot)",
+    )
+    p_tune.add_argument(
+        "--strategy", default="successive-halving",
+        choices=("grid", "random", "successive-halving"),
+        help="search strategy (default: successive-halving)",
+    )
+    p_tune.add_argument(
+        "--machine", default=None, help="machine name (default: a64fx)"
+    )
+    p_tune.add_argument(
+        "--trials", type=int, default=3,
+        help="full-fidelity trials per config (default: 3, the paper's "
+             "exploration-phase count; also the successive-halving cap)",
+    )
+    p_tune.add_argument(
+        "--min-trials", type=int, default=1,
+        help="successive halving's rung-0 trials (default: 1)",
+    )
+    p_tune.add_argument(
+        "--samples", type=int, default=None,
+        help="population size for random (required) and successive "
+             "halving (default: the full grid)",
+    )
+    p_tune.add_argument(
+        "--eta", type=int, default=3,
+        help="successive halving's keep-1-in-eta ratio (default: 3)",
+    )
+    p_tune.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for sampled populations (default: 0)",
+    )
+    p_tune.add_argument(
+        "--cache-dir",
+        help="persistent root for the tuning journal and evaluation cache",
+    )
+    p_tune.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted search from its journal in --cache-dir",
+    )
+    p_tune.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="evaluate every N-th candidate only (1-based shard of each "
+             "strategy batch); shards share --cache-dir and re-run with "
+             "--resume until the search completes",
+    )
+    p_tune.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for batch evaluation (default: 1, serial)",
+    )
+    p_tune.add_argument(
+        "--metrics", action="store_true",
+        help="record telemetry and print the tuner.* counters",
+    )
+    p_tune.add_argument("--out", help="write the TuneResult JSON here")
+    p_tune.add_argument(
+        "--list-scenarios", action="store_true",
+        help="list tunable scenarios and exit",
+    )
+    p_tune.set_defaults(func=_cmd_tune)
 
     args = parser.parse_args(argv)
     try:

@@ -241,6 +241,17 @@ def _canonical(obj: object) -> object:
     return repr(obj)
 
 
+def canonical(obj: object) -> str:
+    """The canonical JSON serialization of ``obj`` — identical across
+    interpreter invocations and hash seeds (see :func:`_canonical`).
+
+    Public entry point for subsystems that need content-addressed
+    identities over model objects (the auto-tuner's scenario
+    fingerprints, external cache layers).
+    """
+    return json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
 def benchmark_fingerprint(bench: Benchmark) -> str:
     """Stable content hash of a benchmark definition.
 

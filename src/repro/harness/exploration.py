@@ -10,55 +10,40 @@ Benchmark constraints honoured: PolyBench is pinned to one core; SWFFT
 needs power-of-two ranks; OpenMP-only codes keep one rank; weak-scaling
 codes (miniAMR, XSBench) skip exploration and use the recommended
 placement.
+
+This module is now a thin shim over the :mod:`repro.tuning` subsystem:
+the candidate set comes from
+:func:`repro.tuning.space.benchmark_placements`, and :func:`explore`
+drives a :class:`repro.tuning.strategies.GridStrategy` over a one-axis
+placement space.  The arithmetic (per-trial noise keys, best-of-three
+minimum, first-wins strict-``<`` tie-break in candidate order) is
+bit-identical to the original in-line sweep — ``explore()`` winners are
+a compatibility contract the golden campaign results depend on.
 """
 
 from __future__ import annotations
 
 from repro.compilers.flags import CompilerFlags
 from repro.machine.machine import Machine
-from repro.machine.topology import Placement, candidate_placements
+from repro.machine.topology import Placement
 from repro.perf.batch import evaluate_placements
 from repro.perf.cost import CompilationCache, ModelResult
-from repro.perf.noise import noise_multiplier
-from repro.suites.base import Benchmark, ParallelKind, ScalingKind
+from repro.suites.base import Benchmark
+from repro.tuning.space import benchmark_placements, placement_space
+from repro.tuning.strategies import GridStrategy, fastest_of
 
 #: Trial runs per placement candidate (Sec. 2.4).
 EXPLORATION_TRIALS = 3
 
 
 def placement_candidates(bench: Benchmark, machine: Machine) -> tuple[Placement, ...]:
-    """The placements the exploration phase tries for one benchmark."""
-    topo = machine.topology
-    if bench.pinned_single_core or bench.parallel is ParallelKind.SERIAL:
-        return (Placement(1, 1),)
-    if bench.scaling is ScalingKind.WEAK:
-        # Weak-scaling codes are excluded from the sweep (Sec. 2.4).
-        return (machine.recommended_placement(),)
-    if bench.parallel is ParallelKind.OPENMP:
-        threads: list[int] = []
-        t = 1
-        while t <= topo.total_cores:
-            threads.append(t)
-            t *= 2
-        if topo.cores_per_domain not in threads:
-            threads.append(topo.cores_per_domain)
-        if topo.total_cores not in threads:
-            threads.append(topo.total_cores)
-        return tuple(Placement(1, t) for t in sorted(set(threads)))
-    if bench.parallel is ParallelKind.MPI:
-        ranks: list[int] = []
-        r = 1
-        while r <= topo.total_cores:
-            ranks.append(r)
-            r *= 2
-        if topo.numa_domains not in ranks:
-            ranks.append(topo.numa_domains)
-        if topo.total_cores not in ranks:
-            ranks.append(topo.total_cores)
-        if bench.pow2_ranks:
-            ranks = [x for x in ranks if not x & (x - 1)]
-        return tuple(Placement(x, 1) for x in sorted(set(ranks)))
-    return candidate_placements(topo, pow2_ranks_only=bench.pow2_ranks)
+    """The placements the exploration phase tries for one benchmark.
+
+    Delegates to :func:`repro.tuning.space.benchmark_placements`; kept
+    as the harness-facing name (the candidate order is part of the
+    winner-compatibility contract).
+    """
+    return benchmark_placements(bench, machine)
 
 
 def explore(
@@ -73,8 +58,12 @@ def explore(
 
     Each candidate gets :data:`EXPLORATION_TRIALS` noisy trials; the
     placement with the fastest single trial wins (per the paper).
-    Failed builds return the recommended placement unexplored — the
-    failure will be recorded by the performance runner anyway.
+    Failed builds return the *first legal candidate* unexplored — the
+    failure is recorded by the performance runner anyway, but the
+    placement must still satisfy the benchmark's constraints.  (The
+    historical behaviour returned ``machine.recommended_placement()``
+    unconditionally, handing pinned-single-core and OpenMP-only codes
+    a 4x12 MPI placement they cannot legally run.)
 
     The whole candidate sweep is costed in one call to
     :func:`repro.perf.batch.evaluate_placements` (kernels compile once,
@@ -89,32 +78,38 @@ def explore(
     )
     if not models[0].valid:
         # Build failures are placement-independent; the scalar loop
-        # bailed on its first candidate, so hand back the first model.
-        return machine.recommended_placement(), (), models[0]
+        # bailed on its first candidate, so hand back the first model —
+        # and the first *candidate*, which is legal by construction.
+        return candidates[0], (), models[0]
 
-    log: list[tuple[int, int, float]] = []
-    best_placement: Placement | None = None
-    best_time = float("inf")
-    best_model: ModelResult | None = None
-
-    for placement, model in zip(candidates, models):
-        fastest_trial = min(
-            model.time_s
-            * noise_multiplier(
-                bench.noise_cv,
-                "explore",
-                bench.full_name,
-                variant,
-                str(placement),
-                trial,
-            )
-            for trial in range(EXPLORATION_TRIALS)
+    # The grid strategy over the one-axis placement space proposes the
+    # candidates in their canonical order and applies the historical
+    # first-wins strict-< tie-break; the scores are the paper's
+    # best-of-three noisy trials, computed with the same operations in
+    # the same order as the original in-line loop.
+    gen = GridStrategy(trials=EXPLORATION_TRIALS).run(placement_space(candidates))
+    batch = next(gen)
+    scores = tuple(
+        fastest_of(
+            model.time_s,
+            bench.noise_cv,
+            EXPLORATION_TRIALS,
+            "explore",
+            bench.full_name,
+            variant,
+            str(placement),
         )
-        log.append((placement.ranks, placement.threads, fastest_trial))
-        if fastest_trial < best_time:
-            best_time = fastest_trial
-            best_placement = placement
-            best_model = model
+        for placement, model in zip(candidates, models)
+    )
+    try:
+        gen.send(scores)
+        raise AssertionError("grid strategy must finish after one batch")
+    except StopIteration as stop:
+        winner = stop.value
+    winner_index = next(i for i, cand in enumerate(batch) if cand is winner)
 
-    assert best_placement is not None and best_model is not None
-    return best_placement, tuple(log), best_model
+    log = tuple(
+        (placement.ranks, placement.threads, score)
+        for placement, score in zip(candidates, scores)
+    )
+    return candidates[winner_index], log, models[winner_index]

@@ -132,6 +132,23 @@ def shard_cells(
     return tuple(c for c, owner in zip(cells, owners) if owner == index)
 
 
+def shard_indices(n: int, index: int, count: int) -> tuple[int, ...]:
+    """Positions of a length-``n`` batch owned by shard ``index``/``count``,
+    dealt round-robin by position.
+
+    The benchmark-major :func:`shard_cells` assignment exists to keep one
+    benchmark's compiled kernels on one shard — useless for a tuning
+    search, where every candidate shares a single scenario.  Tuning
+    batches shard positionally instead: position ``i`` goes to shard
+    ``(i % count) + 1``, so every shard gets an even slice of every
+    strategy rung.
+    """
+    index, count = validate_shard((index, count))
+    if n < 0:
+        raise HarnessError(f"batch length must be >= 0, got {n}")
+    return tuple(i for i in range(n) if i % count == index - 1)
+
+
 # -- one journal ---------------------------------------------------------
 
 

@@ -626,6 +626,15 @@ class GridCell:
         """The fastest placement's model (first cell on failed builds)."""
         return min(self.results, key=lambda r: r.time_s)
 
+    @property
+    def ranked(self) -> tuple[ModelResult, ...]:
+        """All placements, fastest first; ties keep candidate order
+        (the exploration phase's first-wins convention)."""
+        order = sorted(
+            range(len(self.results)), key=lambda i: (self.results[i].time_s, i)
+        )
+        return tuple(self.results[i] for i in order)
+
 
 @dataclass(frozen=True)
 class GridResult:

@@ -30,13 +30,28 @@ def _unit_normal(*key_parts: object) -> float:
 
 
 def noise_multiplier(cv: float, *key_parts: object) -> float:
-    """A lognormal multiplier with mean ~1 and coefficient of variation
-    ``cv``, deterministic in the key.
+    """A one-sided (half-)lognormal slowdown multiplier, deterministic
+    in the key: ``exp(sigma * |Z|)`` with ``sigma = sqrt(ln(1 + cv^2))``
+    and ``Z`` a key-seeded standard normal.
 
-    The multiplier is floored at 1.0 minus a small epsilon — system
-    noise makes runs *slower* than the model's ideal time, never faster
-    (the fastest-of-10 reporting then recovers a value close to the
-    ideal, as on the real machine).
+    System noise makes runs *slower* than the model's ideal time, never
+    faster, so the support is ``[1, inf)`` — the infimum 1.0 is
+    approached as ``|Z| -> 0`` and the mean sits strictly above 1 (the
+    fastest-of-N reporting then recovers a value close to the ideal,
+    as on the real machine).  The distribution of ``ln(multiplier)`` is
+    half-normal with scale ``sigma``, giving the documented moments:
+
+    * median: ``exp(0.67448975 * sigma)`` (the half-normal median is
+      the normal's upper quartile);
+    * mean: ``2 * exp(sigma**2 / 2) * Phi(sigma)`` with ``Phi`` the
+      standard normal CDF — for small ``cv`` approximately
+      ``1 + sigma * sqrt(2 / pi)``.
+
+    ``cv`` names the *underlying* lognormal's coefficient of variation
+    through the usual ``sigma`` relation; the folded multiplier's own
+    CV is smaller.  These values are a compatibility contract: every
+    journaled trial time, cache key and golden campaign result depends
+    on them bit-for-bit.
     """
     if cv < 0:
         raise ValueError("cv must be non-negative")

@@ -224,6 +224,59 @@ def dense_matmul(
     return b.build()
 
 
+def int8_sdot_gemm(
+    name: str,
+    m: int,
+    n: int,
+    k: int,
+    lang: Language = Language.C,
+    *,
+    mr: int = 6,
+    nr: int = 4,
+    kc: int = 256,
+    unroll: int = 2,
+    parallel: bool = True,
+) -> Kernel:
+    """Register-tiled INT8 GEMM in the A64FX SDOT style.
+
+    One iteration of the micro-kernel retires an ``mr x nr`` tile of
+    SDOT accumulators over a 4-deep K group, unrolled ``unroll`` times:
+    ``mr * nr * unroll`` SDOT ops against ``mr`` A-vector loads and
+    ``nr / 2`` paired B broadcasts.  The defaults are the hand-tuned
+    configuration the write-up ships — 6x4 keeps 24 accumulators plus
+    operands inside the 32 SVE registers, and ``kc = 256`` keeps the
+    shared B panel inside the CMG's usable L2 — and they are exactly
+    the axes the auto-tuner's ``gemm-int8-sdot`` scenario searches
+    (:class:`repro.tuning.gemm.Int8SdotGemmScenario`); this template
+    materializes a winning configuration as IR so it can be costed
+    like any other kernel.  Deliberately *not* part of any registered
+    suite: adding it would change campaign fingerprints.
+    """
+    b = KernelBuilder(
+        name,
+        lang,
+        notes=f"INT8 SDOT GEMM, {mr}x{nr} tile, kc={kc}, {unroll}x unroll",
+    )
+    b.array("A", (m, k), dtype=DType.I8)
+    b.array("B", (k, n), dtype=DType.I8)
+    b.array("C", (m, n), dtype=DType.I32)
+    kgroups = max(1, k // (4 * unroll))
+    b.nest(
+        [("i", max(1, m // mr)), ("j", max(1, n // nr)), ("kk", kgroups)],
+        [
+            b.stmt(
+                update("C", "i", "j"),
+                read("A", "i", "kk"),
+                read("B", "kk", "j"),
+                iops=mr * nr * unroll,
+                reduction="kk",
+            )
+        ],
+        parallel=_par(parallel),
+    )
+    return b.build(Feature.INTEGER_DOMINANT)
+
+
 def matvec(name: str, n: int, m: int, lang: Language = Language.C, *, parallel: bool = False) -> Kernel:
     """``y[i] += A[i][j] * x[j]`` (GEMV)."""
     b = KernelBuilder(name, lang, notes="dense matvec")

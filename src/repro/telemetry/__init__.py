@@ -66,6 +66,8 @@ from repro.telemetry.recorder import (
     SPAN_CAMPAIGN,
     SPAN_CELL,
     SPAN_LINT,
+    SPAN_TUNE,
+    SPAN_TUNE_RUNG,
     FlightReport,
     PhaseStat,
     flight_report,
@@ -90,6 +92,8 @@ __all__ = [
     "SPAN_CAMPAIGN",
     "SPAN_CELL",
     "SPAN_LINT",
+    "SPAN_TUNE",
+    "SPAN_TUNE_RUNG",
     "Span",
     "StructuredLogger",
     "TIME_BUCKETS_S",

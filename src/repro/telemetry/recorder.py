@@ -25,6 +25,8 @@ from repro.telemetry.spans import Span
 SPAN_CAMPAIGN = "campaign"
 SPAN_CELL = "cell"
 SPAN_LINT = "lint"
+SPAN_TUNE = "tune"
+SPAN_TUNE_RUNG = "tune.rung"
 
 #: Slowest-cell rows kept in a report.
 SLOWEST_CELLS = 8

@@ -36,6 +36,15 @@ class TestCampaignConfig:
         assert repro.CampaignConfig is CampaignConfig
         assert repro.EventKind is EventKind
 
+    def test_tuning_exports(self):
+        import repro.api as api
+        import repro.tuning as tuning
+
+        assert api.TuneSpec is tuning.TuneSpec
+        assert api.TuneResult is tuning.TuneResult
+        assert api.run_tune is tuning.run_tune
+        assert "TuneSpec" in api.__all__ and "run_tune" in api.__all__
+
 
 class TestCampaignSession:
     def test_run_restricted_campaign(self):

@@ -131,6 +131,123 @@ class TestExploration:
         assert pg.fits(a64fx_machine.topology) and pf.fits(a64fx_machine.topology)
 
 
+class TestExplorationFailedBuild:
+    """Regression: explore() on a failed build used to return
+    machine.recommended_placement() unconditionally — handing pinned and
+    OpenMP-only codes a 4x12 MPI placement they cannot legally run."""
+
+    def _pinned_failing_bench(self):
+        # micro.k22's kernel is in FJclang's compile-error table; rebuild
+        # it as a PolyBench-style pinned serial benchmark.
+        from dataclasses import replace
+
+        from repro.suites.base import ParallelKind
+
+        k22 = micro_suite().get("k22")
+        return replace(
+            k22,
+            name="k22_pinned",
+            suite="micro",
+            parallel=ParallelKind.SERIAL,
+            pinned_single_core=True,
+        )
+
+    def test_failed_build_returns_first_legal_candidate(self, a64fx_machine):
+        b = self._pinned_failing_bench()
+        placement, log, model = explore(b, "FJclang", a64fx_machine)
+        assert not model.valid
+        assert log == ()
+        assert placement == placement_candidates(b, a64fx_machine)[0]
+        # the old behaviour handed back the 4x12 recommended placement
+        assert placement != a64fx_machine.recommended_placement()
+
+    def test_failed_build_pinned_stays_single_core(self, a64fx_machine):
+        placement, _, _ = explore(
+            self._pinned_failing_bench(), "FJclang", a64fx_machine
+        )
+        assert placement == Placement(1, 1)
+
+    def test_failed_build_openmp_keeps_one_rank(self, a64fx_machine):
+        b = micro_suite().get("k22")  # OpenMP-only, FJclang can't build it
+        placement, _, model = explore(b, "FJclang", a64fx_machine)
+        assert not model.valid
+        assert placement.ranks == 1
+        assert placement == placement_candidates(b, a64fx_machine)[0]
+
+    def test_pinned_never_multi_core_on_any_path(self, a64fx_machine):
+        # Sweeps every variant of a pinned benchmark, working builds and
+        # failing ones alike: the result must always be one core.
+        from repro.compilers import STUDY_VARIANTS
+
+        benches = [polybench_suite().get("mvt"), self._pinned_failing_bench()]
+        for b in benches:
+            for variant in STUDY_VARIANTS:
+                placement, _, _ = explore(b, variant, a64fx_machine)
+                assert placement.total_cores_used == 1, (b.full_name, variant)
+
+
+class TestExplorationShim:
+    """explore() is a shim over repro.tuning's grid strategy; its winners
+    are a compatibility contract, bit-identical to the historical loop."""
+
+    @staticmethod
+    def _reference_explore(bench, variant, machine):
+        """The pre-tuner inline sweep, re-implemented independently."""
+        from repro.perf.batch import evaluate_placements
+        from repro.perf.noise import noise_multiplier
+
+        candidates = placement_candidates(bench, machine)
+        models = evaluate_placements(bench, variant, machine, candidates)
+        if not models[0].valid:
+            return candidates[0], (), models[0]
+        best_i, best_s = -1, float("inf")
+        log = []
+        for i, (p, m) in enumerate(zip(candidates, models)):
+            score = min(
+                m.time_s
+                * noise_multiplier(
+                    bench.noise_cv,
+                    "explore",
+                    bench.full_name,
+                    variant,
+                    str(p),
+                    trial,
+                )
+                for trial in range(EXPLORATION_TRIALS)
+            )
+            log.append((p.ranks, p.threads, score))
+            if score < best_s:
+                best_s, best_i = score, i
+        return candidates[best_i], tuple(log), models[best_i]
+
+    def test_bit_identical_winners_for_every_benchmark(self, a64fx_machine):
+        from repro.suites import all_benchmarks
+
+        for bench in all_benchmarks():
+            for variant in ("GNU", "FJtrad"):
+                got = explore(bench, variant, a64fx_machine)
+                want = self._reference_explore(bench, variant, a64fx_machine)
+                assert got[0] == want[0], (bench.full_name, variant)
+                assert got[1] == want[1], (bench.full_name, variant)
+                assert got[2].time_s == want[2].time_s
+
+    def test_exact_ties_resolve_to_first_candidate(self, a64fx_machine):
+        # zero noise and a flat landscape: every candidate scores the
+        # model time; first-wins strict-< must pick the first candidate
+        from repro.tuning import placement_space, GridStrategy
+
+        space = placement_space(
+            (Placement(1, 1), Placement(1, 2), Placement(1, 4))
+        )
+        gen = GridStrategy(trials=EXPLORATION_TRIALS).run(space)
+        batch = next(gen)
+        try:
+            gen.send((1.0,) * len(batch))
+        except StopIteration as stop:
+            winner = stop.value
+        assert winner is batch[0]
+
+
 class TestRunner:
     def test_ten_runs_recorded(self, a64fx_machine):
         b = polybench_suite().get("gemm")

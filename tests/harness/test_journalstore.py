@@ -27,6 +27,7 @@ from repro.harness.journalstore import (
     merge_journals,
     merged_result,
     shard_cells,
+    shard_indices,
     shard_journal_name,
     shard_of,
     validate_shard,
@@ -95,6 +96,34 @@ class TestShardAssignment:
         assert shard_journal_name(2, 4) == "journal-2of4.jsonl"
         with pytest.raises(HarnessError):
             shard_journal_name(5, 4)
+
+
+class TestShardIndices:
+    """Positional round-robin sharding (tuning batches, not cells)."""
+
+    def test_round_robin_partition(self):
+        pieces = [shard_indices(10, i, 3) for i in (1, 2, 3)]
+        assert pieces[0] == (0, 3, 6, 9)
+        assert pieces[1] == (1, 4, 7)
+        assert pieces[2] == (2, 5, 8)
+        merged = sorted(i for piece in pieces for i in piece)
+        assert merged == list(range(10))
+
+    def test_single_shard_owns_everything(self):
+        assert shard_indices(5, 1, 1) == (0, 1, 2, 3, 4)
+
+    def test_empty_batch(self):
+        assert shard_indices(0, 2, 3) == ()
+
+    def test_more_shards_than_items(self):
+        assert shard_indices(2, 3, 4) == ()
+        assert shard_indices(2, 1, 4) == (0,)
+
+    def test_validation(self):
+        with pytest.raises(HarnessError):
+            shard_indices(4, 3, 2)
+        with pytest.raises(HarnessError):
+            shard_indices(-1, 1, 1)
 
 
 class TestAppendOnlyJournal:

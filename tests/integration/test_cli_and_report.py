@@ -216,3 +216,75 @@ class TestCliLint:
         # The shipped suites must stay free of ERROR-severity findings
         # (this is the CI lint gate's invariant).
         assert main(["lint", "--fail-on", "error"]) == 0
+
+
+class TestCliTune:
+    def test_list_scenarios(self, capsys):
+        assert main(["tune", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm-int8-sdot" in out
+        assert "placement:" in out
+
+    def test_gemm_default_rediscovers_and_saves(self, capsys, tmp_path):
+        out_path = tmp_path / "tune.json"
+        assert main(["tune", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mr=6,nr=4,kc=256,unroll=2" in out
+        assert "rediscovered" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["best"]["label"] == "mr=6,nr=4,kc=256,unroll=2"
+        assert doc["complete"] is True
+
+    def test_placement_scenario_grid(self, capsys):
+        assert main([
+            "tune", "--scenario", "placement:polybench.gemm:GNU",
+            "--strategy", "grid",
+        ]) == 0
+        assert "placement=1x1" in capsys.readouterr().out
+
+    def test_metrics_prints_counters(self, capsys):
+        assert main(["tune", "--strategy", "random", "--samples", "12",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "tuner.evaluations" in out
+
+    def test_resume_round_trip(self, capsys, tmp_path):
+        argv = ["tune", "--strategy", "random", "--samples", "12",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        # the resumed run replays the journal and agrees on the winner
+        best_lines = [l for l in first.splitlines() if l.startswith("best")]
+        assert best_lines and best_lines[0] in second
+
+
+class TestTuningReport:
+    @pytest.fixture(scope="class")
+    def tune_result(self):
+        from repro.api import TuneSpec, run_tune
+
+        return run_tune(TuneSpec())
+
+    def test_section_contents(self, tune_result):
+        from repro.analysis import tuning_markdown
+
+        text = tuning_markdown(tune_result)
+        assert "## Auto-tuning" in text
+        assert "`mr=6,nr=4,kc=256,unroll=2`" in text
+        assert "rediscovered" in text
+        assert "| rung | configs | trials | best | score |" in text
+
+    def test_none_renders_empty(self):
+        from repro.analysis import tuning_markdown
+
+        assert tuning_markdown(None) == ""
+
+    def test_experiments_markdown_appends_section(
+        self, campaign_result, tune_result
+    ):
+        text = experiments_markdown(campaign_result, tune=tune_result)
+        assert "## Auto-tuning" in text
+        # the tuning section sits after the claim table
+        assert text.index("| id | claim |") < text.index("## Auto-tuning")

@@ -140,6 +140,112 @@ class TestPlacement:
         assert all(p.ranks & (p.ranks - 1) == 0 for p in cands)
 
 
+class TestCandidatePlacementEdges:
+    """Edge cases of the exploration grid: max_total interplay with the
+    numa_domains/total extras, the pow2 filter, and thread options."""
+
+    def _topo(self):
+        return Topology("t", numa_domains=4, cores_per_domain=12)
+
+    def test_max_total_caps_every_placement(self):
+        cands = candidate_placements(self._topo(), max_total=10)
+        assert cands
+        for p in cands:
+            assert p.total_cores_used <= 10
+
+    def test_max_total_replaces_total_extra(self):
+        # the "total" extra becomes the cap itself, not the node total
+        cands = candidate_placements(self._topo(), max_total=10)
+        ranks = {p.ranks for p in cands}
+        assert 10 in ranks
+        assert 48 not in ranks
+        # numa_domains (4, also a power of two) still present
+        assert 4 in ranks
+
+    def test_max_total_above_node_clamps_to_node(self):
+        topo = self._topo()
+        assert candidate_placements(topo, max_total=10_000) == candidate_placements(
+            topo
+        )
+
+    def test_non_pow2_numa_domains_extra_injected(self):
+        # 3 domains: the per-domain rank count is not a power of two but
+        # must still be swept (it is the recommended rank count)
+        topo = Topology("t", numa_domains=3, cores_per_domain=10)
+        ranks = {p.ranks for p in candidate_placements(topo)}
+        assert 3 in ranks
+        assert 30 in ranks  # the total extra
+
+    def test_pow2_filter_drops_injected_extras(self):
+        topo = Topology("t", numa_domains=3, cores_per_domain=10)
+        cands = candidate_placements(topo, pow2_ranks_only=True)
+        ranks = {p.ranks for p in cands}
+        assert all(r & (r - 1) == 0 for r in ranks)
+        assert 3 not in ranks and 30 not in ranks
+
+    def test_pow2_filter_composes_with_max_total(self):
+        cands = candidate_placements(
+            self._topo(), pow2_ranks_only=True, max_total=10
+        )
+        for p in cands:
+            assert p.ranks & (p.ranks - 1) == 0
+            assert p.total_cores_used <= 10
+        assert {p.ranks for p in cands} == {1, 2, 4, 8}
+
+    def test_full_domain_thread_count_always_offered(self):
+        # 12 threads is not a power of two; the per-domain count must be
+        # injected whenever it fits a rank's share
+        cands = candidate_placements(self._topo())
+        assert any(p.ranks == 1 and p.threads == 12 for p in cands)
+        assert any(p.ranks == 4 and p.threads == 12 for p in cands)
+
+    def test_max_threads_share_included(self):
+        # each rank's share (total // ranks) appears even when odd-sized
+        topo = Topology("t", numa_domains=3, cores_per_domain=10)
+        cands = candidate_placements(topo)
+        assert any(p.ranks == 4 and p.threads == 7 for p in cands)  # 30//4
+
+
+class TestPlacementStraddlingDomains:
+    """domains_used / active_cores_per_domain when a rank's threads
+    straddle CMG boundaries."""
+
+    def _topo(self):
+        return Topology("t", numa_domains=4, cores_per_domain=12)
+
+    def test_threads_overflow_one_domain(self):
+        topo = self._topo()
+        # 13 threads need two domains; one rank -> 2 domains, 6.5 avg
+        assert Placement(1, 13).domains_used(topo) == 2
+        assert Placement(1, 13).active_cores_per_domain(topo) == pytest.approx(6.5)
+        assert Placement(1, 13).spans_domains(topo)
+
+    def test_two_ranks_straddling(self):
+        topo = self._topo()
+        # each of 2 ranks needs ceil(18/12)=2 domains -> all 4 used
+        p = Placement(2, 18)
+        assert p.domains_used(topo) == 4
+        assert p.active_cores_per_domain(topo) == pytest.approx(36 / 4)
+
+    def test_rank_count_caps_domains(self):
+        topo = self._topo()
+        # more ranks than domains: every domain is in use
+        assert Placement(8, 6).domains_used(topo) == 4
+        assert Placement(48, 1).domains_used(topo) == 4
+        assert Placement(48, 1).active_cores_per_domain(topo) == 12
+
+    def test_exact_domain_fit_does_not_straddle(self):
+        topo = self._topo()
+        assert Placement(4, 12).domains_used(topo) == 4
+        assert not Placement(4, 12).spans_domains(topo)
+        assert Placement(2, 12).domains_used(topo) == 2
+        assert Placement(2, 12).active_cores_per_domain(topo) == 12
+
+    def test_oversubscription_rejected_by_domains_used(self):
+        with pytest.raises(PlacementError):
+            Placement(4, 13).domains_used(self._topo())
+
+
 class TestA64FX:
     def test_datasheet_invariants(self):
         m = a64fx()

@@ -192,3 +192,18 @@ class TestFeatureMatrixProperties:
         nest = b.nest([("i", 16), ("j", 16)], [stmt])
         info = CodegenNestInfo(nest=nest)
         assert nest_features(info, machine) is nest_features(info, machine)
+
+
+class TestGridCellRanked:
+    def test_ranked_fastest_first_ties_keep_order(self, a64fx_machine):
+        grid = evaluate_grid(benchmarks=("ecp.nekbone",), variants=("GNU",))
+        cell = grid.cell("ecp.nekbone", "GNU")
+        ranked = cell.ranked
+        assert len(ranked) == len(cell.results)
+        times = [r.time_s for r in ranked]
+        assert times == sorted(times)
+        assert ranked[0] == cell.best
+        # a permutation, nothing dropped
+        assert sorted(ranked, key=id) != [] and set(
+            id(r) for r in ranked
+        ) == set(id(r) for r in cell.results)

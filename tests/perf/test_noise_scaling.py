@@ -54,6 +54,62 @@ class TestNoise:
         assert timer_resolution_floor(0.5) == 0.5
 
 
+class TestNoiseMoments:
+    """The docstring's distributional contract: exp(sigma*|Z|) with
+    support [1, inf), half-normal log, and the documented median/mean."""
+
+    N = 4000
+
+    def _samples(self, cv):
+        return [noise_multiplier(cv, "moments", cv, i) for i in range(self.N)]
+
+    @pytest.mark.parametrize("cv", [0.005, 0.05, 0.22])
+    def test_support_is_one_to_infinity(self, cv):
+        samples = self._samples(cv)
+        assert min(samples) >= 1.0
+        # the infimum 1.0 is approached but the multiplier sits above it
+        assert min(samples) < 1.0 + 3 * cv
+
+    @pytest.mark.parametrize("cv", [0.005, 0.05, 0.22])
+    def test_median_is_half_normal_median(self, cv):
+        import math
+
+        sigma = math.sqrt(math.log(1.0 + cv * cv))
+        expected = math.exp(0.67448975 * sigma)
+        assert statistics.median(self._samples(cv)) == pytest.approx(
+            expected, rel=5 * cv / self.N**0.5 + 1e-4
+        )
+
+    @pytest.mark.parametrize("cv", [0.005, 0.05, 0.22])
+    def test_mean_is_folded_lognormal_mean(self, cv):
+        import math
+
+        sigma = math.sqrt(math.log(1.0 + cv * cv))
+        phi = 0.5 * (1.0 + math.erf(sigma / math.sqrt(2.0)))
+        expected = 2.0 * math.exp(sigma * sigma / 2.0) * phi
+        assert statistics.fmean(self._samples(cv)) == pytest.approx(
+            expected, rel=5 * cv / self.N**0.5 + 1e-4
+        )
+        # and the small-cv linearization quoted in the docstring
+        assert expected == pytest.approx(
+            1.0 + sigma * math.sqrt(2.0 / math.pi), abs=sigma * sigma
+        )
+
+    def test_mean_strictly_above_one(self):
+        assert statistics.fmean(self._samples(0.05)) > 1.0
+
+    def test_bit_identity_spot_values(self):
+        # The compatibility contract: every journaled trial time, cache
+        # key and golden campaign result depends on these bit-for-bit.
+        assert noise_multiplier(0.0, "any") == 1.0
+        assert noise_multiplier(0.05, "bench", "GNU", 3) == 1.0590140867878224
+        assert noise_multiplier(0.22, "stream", 0) == 1.0747947197300007
+        assert (
+            noise_multiplier(0.005, "explore", "micro.k04", "GNU", "1x12", 0)
+            == 1.0000560899441728
+        )
+
+
 class TestOmpOverhead:
     def test_single_thread_free(self):
         assert omp_region_overhead_s(2.0, 1.0, 1) == 0.0

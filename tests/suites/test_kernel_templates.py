@@ -24,6 +24,7 @@ ALL_TEMPLATES = [
     ("stencil3d7", lambda: kc.stencil3d7("t", 16)),
     ("stencil3d27", lambda: kc.stencil3d27("t", 16)),
     ("dense_matmul", lambda: kc.dense_matmul("t", 16, 16, 16)),
+    ("int8_sdot_gemm", lambda: kc.int8_sdot_gemm("t", 48, 48, 64)),
     ("matvec", lambda: kc.matvec("t", 16, 16)),
     ("rank1_update", lambda: kc.rank1_update("t", 16)),
     ("spmv_csr", lambda: kc.spmv_csr("t", 64, 4)),
@@ -122,3 +123,37 @@ class TestOpCounts:
     def test_stencil27_is_compute_rich(self):
         k = kc.stencil3d27("t", 16)
         assert k.arithmetic_intensity_naive > kc.stream_triad("t2", 256).arithmetic_intensity_naive
+
+
+class TestInt8SdotGemm:
+    """The materialized tuner-winning INT8 GEMM configuration."""
+
+    def test_integer_dominant_int8_arrays(self):
+        from repro.ir import DType
+
+        k = kc.int8_sdot_gemm("t", 48, 48, 64)
+        assert Feature.INTEGER_DOMINANT in k.features
+        arrays = {a.name: a for a in k.arrays}
+        assert arrays["A"].dtype is DType.I8
+        assert arrays["B"].dtype is DType.I8
+        assert arrays["C"].dtype is DType.I32
+
+    def test_tile_shapes_iteration_space(self):
+        # 6x4 tile over 48x48: 8 row tiles x 12 column tiles; 2x-unrolled
+        # 4-deep SDOT groups over k=64: 8 K iterations
+        k = kc.int8_sdot_gemm("t", 48, 48, 64, mr=6, nr=4, unroll=2)
+        nest = k.nests[0]
+        assert [loop.upper for loop in nest.loops] == [8, 12, 8]
+        assert nest.body[0].ops.iops == 6 * 4 * 2
+
+    def test_iops_track_tile_and_unroll(self):
+        small = kc.int8_sdot_gemm("a", 48, 48, 64, mr=2, nr=2, unroll=1)
+        big = kc.int8_sdot_gemm("b", 48, 48, 64, mr=6, nr=4, unroll=2)
+        assert big.nests[0].body[0].ops.iops == 12 * small.nests[0].body[0].ops.iops
+
+    def test_compiles_on_a64fx(self):
+        from repro.compilers import CompileStatus, compile_kernel
+        from repro.machine import a64fx
+
+        ck = compile_kernel("GNU", kc.int8_sdot_gemm("t", 48, 48, 64), a64fx())
+        assert ck.status is CompileStatus.OK

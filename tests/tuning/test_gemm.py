@@ -1,0 +1,92 @@
+"""Tests for the INT8 SDOT GEMM scenario: the landscape the tuner must
+rediscover (SNIPPETS Snippet 1's hand-tuned 6x4 kernel)."""
+
+import math
+
+import pytest
+
+from repro.tuning import Int8SdotGemmScenario, get_scenario, scenario_names
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Int8SdotGemmScenario()
+
+
+@pytest.fixture(scope="module")
+def space(scenario, a64fx_machine):
+    return scenario.space(a64fx_machine)
+
+
+class TestRegistration:
+    def test_registered_by_name(self):
+        assert "gemm-int8-sdot" in scenario_names()
+        assert isinstance(get_scenario("gemm-int8-sdot"), Int8SdotGemmScenario)
+
+
+class TestLandscape:
+    def test_grid_size(self, space):
+        assert space.size == 7 * 6 * 5 * 3 == 630
+
+    def test_known_best_is_the_grid_argmax(self, scenario, space, a64fx_machine):
+        best = max(space.grid(), key=scenario.efficiency)
+        assert best == scenario.known_best(a64fx_machine)
+        assert best.label == "mr=6,nr=4,kc=256,unroll=2"
+
+    def test_peak_efficiency_matches_the_writeup(self, scenario, a64fx_machine):
+        # the shipped kernel averages 94.9% (22.7 of 24 SDOT/cycle)
+        eff = scenario.efficiency(scenario.known_best(a64fx_machine))
+        assert 0.92 <= eff <= 0.96
+        assert eff * 24 == pytest.approx(22.7, abs=0.3)
+
+    def test_runner_up_within_a_percent(self, scenario, space, a64fx_machine):
+        # near-ties at the top are what successive halving's fidelity
+        # escalation exists for
+        effs = sorted((scenario.efficiency(c) for c in space.grid()), reverse=True)
+        gap = (effs[0] - effs[1]) / effs[0]
+        assert 0.001 < gap < 0.01
+
+    def test_spilled_tiles_collapse(self, scenario, space):
+        # 8x6: 48 accumulators + 8 A + 3 B = 59 regs, far past the 32 file
+        spilled = space.config(mr=8, nr=6, kc=256, unroll=2)
+        fits = space.config(mr=6, nr=4, kc=256, unroll=2)
+        assert scenario.efficiency(spilled) < 0.3 * scenario.efficiency(fits)
+
+    def test_l2_overflow_penalized(self, scenario, space):
+        # kc=1024 puts the 24 KiB/k B panel past the 7 MiB L2 budget
+        deep = space.config(mr=6, nr=4, kc=1024, unroll=2)
+        best = space.config(mr=6, nr=4, kc=256, unroll=2)
+        assert scenario.efficiency(deep) < scenario.efficiency(best)
+
+    def test_over_unrolling_pays_fetch(self, scenario, space):
+        u2 = space.config(mr=6, nr=4, kc=256, unroll=2)
+        u4 = space.config(mr=6, nr=4, kc=256, unroll=4)
+        assert scenario.efficiency(u4) < scenario.efficiency(u2)
+
+    def test_time_inverse_to_efficiency(self, scenario, space):
+        a = space.config(mr=6, nr=4, kc=256, unroll=2)
+        b = space.config(mr=2, nr=1, kc=64, unroll=1)
+        assert scenario.time_s(a) < scenario.time_s(b)
+        assert scenario.time_s(a) > 0
+
+    def test_efficiencies_are_fractions(self, scenario, space):
+        for config in space.grid():
+            assert 0.0 < scenario.efficiency(config) <= 1.0
+
+
+class TestEvaluate:
+    def test_batch_order_and_detail(self, scenario, space, a64fx_machine):
+        configs = space.grid()[:5]
+        evals = scenario.evaluate(configs, a64fx_machine)
+        assert tuple(e.config for e in evals) == configs
+        for e in evals:
+            assert e.valid
+            assert e.detail["sdot_per_cycle"] == pytest.approx(
+                e.detail["efficiency"] * 24
+            )
+            assert e.time_s == pytest.approx(scenario.time_s(e.config))
+
+    def test_fingerprint_stable(self, scenario, a64fx_machine):
+        assert scenario.fingerprint(a64fx_machine) == scenario.fingerprint(
+            a64fx_machine
+        )

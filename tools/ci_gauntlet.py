@@ -50,12 +50,13 @@ def _gate_argv(out_dir: Path, name: str) -> "tuple[str, list[str]]":
         "chaos": ("chaos_check", ["--out", report]),
         "shard": ("shard_check", ["--out", report]),
         "obs": ("obs_check", ["--out", report]),
+        "tuner": ("tuner_check", ["--out", report]),
         "lint": ("lint_gate", ["--sarif", str(out_dir / "lint.sarif")]),
         "service": ("service_check", ["--out", report]),
     }[name]
 
 
-DEFAULT_GATES = ("bench", "chaos", "shard", "obs", "lint")
+DEFAULT_GATES = ("bench", "chaos", "shard", "obs", "tuner", "lint")
 ALL_GATES = DEFAULT_GATES + ("service",)
 
 

@@ -10,8 +10,9 @@ the new floor (measured rate minus the slack, so run-to-run jitter
 doesn't flap the gate).
 
 The gate itself needs only the stdlib: it parses the XML with
-``xml.etree``, so it runs anywhere — only *producing* the XML needs
-pytest-cov.
+``xml.etree``, so it runs anywhere — producing the XML normally needs
+pytest-cov, but ``tools/coverage_measure.py`` can produce it with the
+stdlib alone (a self-retiring ``sys.settrace`` tracer).
 
 Usage::
 

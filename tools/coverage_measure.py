@@ -1,0 +1,300 @@
+#!/usr/bin/env python
+"""Stdlib line-coverage measurement: pytest under ``sys.settrace``.
+
+CI measures coverage with ``pytest --cov=repro --cov-report=xml``; this
+tool is the fallback for environments without pytest-cov.  It runs the
+test suite in-process under a self-retiring line tracer and writes a
+minimal Cobertura XML that ``tools/coverage_gate.py`` accepts:
+
+* **valid lines** come from compiling every ``src/repro`` file and
+  walking the code objects' ``co_lines()`` tables — the interpreter's
+  own notion of executable lines;
+* **covered lines** are recorded by a trace function that retires
+  itself per code object: once every line of a function has been seen,
+  its frames stop being traced, so the hot paths that dominate the
+  suite's runtime quickly run at full speed again;
+* *subprocesses* the suite spawns (example scripts, CLI integration
+  tests) are traced too, via an env-activated ``sitecustomize``
+  bootstrap that installs the same tracer in every child interpreter
+  and dumps its covered lines for the parent to merge — the stdlib
+  version of pytest-cov's ``.pth`` hook.  Only pool workers *forked*
+  from an already-running interpreter escape (they exit without
+  ``atexit``), so the measured rate still reads slightly low — the
+  gate's ``RATCHET_SLACK_PCT`` exists to absorb exactly this kind of
+  accounting skew.
+
+Usage::
+
+    python tools/coverage_measure.py --xml coverage.xml
+    python tools/coverage_gate.py --xml coverage.xml --update
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from xml.sax.saxutils import quoteattr
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+if str(ROOT / "tools") not in sys.path:
+    sys.path.insert(0, str(ROOT / "tools"))
+
+from toollog import add_logging_args, tool_logging  # noqa: E402
+
+SRC = ROOT / "src" / "repro"
+
+
+def _code_lines(code) -> "set[int]":
+    """Every line number the code object (and its nested code objects)
+    can execute, from the interpreter's own line table."""
+    lines = {line for _, _, line in code.co_lines() if line is not None}
+    for const in code.co_consts:
+        if hasattr(const, "co_lines"):
+            lines |= _code_lines(const)
+    return lines
+
+
+def valid_lines() -> "dict[str, set[int]]":
+    """Executable lines per file for the whole ``src/repro`` tree —
+    including files the suite never imports."""
+    out: dict[str, set[int]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        code = compile(path.read_text(), str(path), "exec")
+        out[str(path)] = _code_lines(code)
+    return out
+
+
+class LineTracer:
+    """A ``sys.settrace`` tracer that retires fully-covered functions.
+
+    The global trace declines every frame whose file is outside the
+    measured tree or whose code object is already fully covered; the
+    local trace discards seen lines from the code object's pending set
+    and stops tracing the frame once nothing is pending.
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self.covered: dict[str, set[int]] = {}
+        self._pending: dict = {}
+        self._done: set = set()
+
+    def _local(self, frame, event, arg):
+        if event == "line":
+            code = frame.f_code
+            pending = self._pending.get(code)
+            if pending is None:
+                pending = self._pending[code] = {
+                    line for _, _, line in code.co_lines() if line is not None
+                }
+                self.covered.setdefault(code.co_filename, set())
+            pending.discard(frame.f_lineno)
+            self.covered[code.co_filename].add(frame.f_lineno)
+            if not pending:
+                self._done.add(code)
+                return None
+        return self._local
+
+    def __call__(self, frame, event, arg):
+        if event != "call":
+            return None
+        code = frame.f_code
+        if code in self._done or not code.co_filename.startswith(self._prefix):
+            return None
+        return self._local
+
+    def install(self) -> None:
+        threading.settrace(self)
+        sys.settrace(self)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+
+
+#: Bootstrap written to a temp dir that is prepended to ``PYTHONPATH``:
+#: every child interpreter imports ``sitecustomize`` at startup, traces
+#: itself with the same self-retiring tracer, and dumps its covered
+#: lines on exit for the parent to merge.
+_SITECUSTOMIZE = '''\
+import atexit, json, os, sys, threading, uuid
+
+_dir = os.environ.get("COVERAGE_MEASURE_DIR")
+_prefix = os.environ.get("COVERAGE_MEASURE_PREFIX")
+if _dir and _prefix:
+    _covered, _pending, _done = {}, {}, set()
+
+    def _local(frame, event, arg):
+        if event == "line":
+            code = frame.f_code
+            pending = _pending.get(code)
+            if pending is None:
+                pending = _pending[code] = {
+                    line for _, _, line in code.co_lines() if line is not None
+                }
+                _covered.setdefault(code.co_filename, set())
+            pending.discard(frame.f_lineno)
+            _covered[code.co_filename].add(frame.f_lineno)
+            if not pending:
+                _done.add(code)
+                return None
+        return _local
+
+    def _global(frame, event, arg):
+        if event != "call":
+            return None
+        code = frame.f_code
+        if code in _done or not code.co_filename.startswith(_prefix):
+            return None
+        return _local
+
+    def _dump():
+        sys.settrace(None)
+        path = os.path.join(
+            _dir, "sub-%s-%s.json" % (os.getpid(), uuid.uuid4().hex[:8])
+        )
+        try:
+            with open(path, "w") as handle:
+                json.dump(
+                    {f: sorted(lines) for f, lines in _covered.items()}, handle
+                )
+        except OSError:
+            pass
+
+    threading.settrace(_global)
+    sys.settrace(_global)
+    atexit.register(_dump)
+'''
+
+
+def merge_subprocess_dumps(
+    dump_dir: Path, covered: "dict[str, set[int]]"
+) -> int:
+    """Fold every child interpreter's dump into ``covered``."""
+    dumps = 0
+    for path in sorted(dump_dir.glob("sub-*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        dumps += 1
+        for filename, lines in doc.items():
+            covered.setdefault(filename, set()).update(lines)
+    return dumps
+
+
+def write_cobertura(
+    xml_path: Path, valid: "dict[str, set[int]]",
+    covered: "dict[str, set[int]]",
+) -> "tuple[int, int]":
+    """A minimal Cobertura document: root counters plus one class per
+    file (enough for coverage_gate and for a human diffing two runs)."""
+    total_valid = sum(len(lines) for lines in valid.values())
+    total_covered = sum(
+        len(covered.get(path, set()) & lines) for path, lines in valid.items()
+    )
+    rate = total_covered / total_valid if total_valid else 0.0
+    rows = []
+    for path, lines in sorted(valid.items()):
+        hit = len(covered.get(path, set()) & lines)
+        file_rate = hit / len(lines) if lines else 1.0
+        rel = Path(path).relative_to(ROOT)
+        rows.append(
+            f'      <class name={quoteattr(rel.stem)} '
+            f'filename={quoteattr(str(rel))} '
+            f'line-rate="{file_rate:.4f}" '
+            f'lines-covered="{hit}" lines-valid="{len(lines)}"/>'
+        )
+    body = "\n".join(rows)
+    xml_path.write_text(
+        f'<?xml version="1.0" ?>\n'
+        f'<coverage line-rate="{rate:.4f}" lines-covered="{total_covered}" '
+        f'lines-valid="{total_valid}" version="repro-stdlib-trace" '
+        f'timestamp="0">\n'
+        f'  <packages>\n'
+        f'    <package name="repro" line-rate="{rate:.4f}">\n'
+        f"{body}\n"
+        f"    </package>\n"
+        f"  </packages>\n"
+        f"</coverage>\n"
+    )
+    return total_covered, total_valid
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--xml", default="coverage.xml",
+                        help="Cobertura XML output path")
+    parser.add_argument(
+        "--pytest-arg", action="append", default=None, metavar="ARG",
+        help="extra pytest argument (repeatable; default: just -q)",
+    )
+    add_logging_args(parser)
+    args = parser.parse_args(argv)
+
+    with tool_logging(args, "coverage_measure") as say:
+        import pytest
+
+        say("start", f"measuring {SRC} under the stdlib line tracer "
+            "(slower than a plain run; the tracer retires itself as "
+            "functions reach full coverage)")
+        dump_dir = Path(tempfile.mkdtemp(prefix="covmeasure-"))
+        boot = dump_dir / "boot"
+        boot.mkdir()
+        (boot / "sitecustomize.py").write_text(_SITECUSTOMIZE)
+        saved_env = {
+            key: os.environ.get(key)
+            for key in ("COVERAGE_MEASURE_DIR", "COVERAGE_MEASURE_PREFIX",
+                        "PYTHONPATH")
+        }
+        os.environ["COVERAGE_MEASURE_DIR"] = str(dump_dir)
+        os.environ["COVERAGE_MEASURE_PREFIX"] = str(SRC)
+        os.environ["PYTHONPATH"] = os.pathsep.join(
+            [str(boot), str(ROOT / "src")]
+            + ([saved_env["PYTHONPATH"]] if saved_env["PYTHONPATH"] else [])
+        )
+
+        tracer = LineTracer(str(SRC))
+        t0 = time.monotonic()
+        tracer.install()
+        try:
+            rc = pytest.main(["-q"] + (args.pytest_arg or []))
+        finally:
+            tracer.uninstall()
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        elapsed = time.monotonic() - t0
+        if rc != 0:
+            shutil.rmtree(dump_dir, ignore_errors=True)
+            say("fail", f"pytest failed (rc={rc}) — refusing to write "
+                "coverage for a broken suite", level="error")
+            return int(rc)
+
+        dumps = merge_subprocess_dumps(dump_dir, tracer.covered)
+        shutil.rmtree(dump_dir, ignore_errors=True)
+        say("subprocesses", f"merged {dumps} traced subprocess dump(s)",
+            dumps=dumps)
+        covered, valid = write_cobertura(
+            Path(args.xml), valid_lines(), tracer.covered
+        )
+        pct = 100.0 * covered / valid if valid else 0.0
+        say("measured", f"{pct:.2f}% ({covered}/{valid} lines) in "
+            f"{elapsed:.0f}s -> {args.xml}",
+            rate_pct=round(pct, 2), covered=covered, valid=valid,
+            elapsed_s=round(elapsed, 1))
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
